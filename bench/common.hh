@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches: every bench regenerates
+ * one table or figure of the paper and prints paper-vs-measured rows.
+ *
+ * Scale knobs come from the environment so the default `for b in
+ * build/bench/*` run finishes in minutes while still reproducing every
+ * shape:
+ *   ADRIAS_BENCH_SCENARIOS  data-collection scenarios (default 4)
+ *   ADRIAS_BENCH_DURATION   seconds per scenario (default 1800)
+ *   ADRIAS_BENCH_EPOCHS     training epochs (default 30)
+ *   ADRIAS_BENCH_SEED       base seed (default 100)
+ */
+
+#ifndef ADRIAS_BENCH_COMMON_HH
+#define ADRIAS_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "core/adrias.hh"
+
+namespace adrias::bench
+{
+
+/** Integer environment knob with default. */
+inline long
+envInt(const char *name, long fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    return std::strtol(value, nullptr, 10);
+}
+
+/** Standard bench banner: what experiment, what the paper reported. */
+inline void
+banner(const std::string &experiment, const std::string &paper_claim)
+{
+    std::cout << "==================================================\n"
+              << "Experiment: " << experiment << "\n"
+              << "Paper:      " << paper_claim << "\n"
+              << "==================================================\n";
+}
+
+/** Build options scaled by the environment knobs. */
+inline core::AdriasStack::BuildOptions
+stackOptions()
+{
+    core::AdriasStack::BuildOptions options;
+    options.scenarios =
+        static_cast<std::size_t>(envInt("ADRIAS_BENCH_SCENARIOS", 4));
+    options.scenarioDurationSec = envInt("ADRIAS_BENCH_DURATION", 1800);
+    options.seed =
+        static_cast<std::uint64_t>(envInt("ADRIAS_BENCH_SEED", 100));
+    options.model.epochs =
+        static_cast<std::size_t>(envInt("ADRIAS_BENCH_EPOCHS", 30));
+    return options;
+}
+
+/** Evaluation-scenario config derived from the same knobs. */
+inline scenario::ScenarioConfig
+evalScenario(std::uint64_t seed, SimTime spawn_max = 30)
+{
+    scenario::ScenarioConfig config;
+    config.durationSec = envInt("ADRIAS_BENCH_DURATION", 1800);
+    config.spawnMinSec = 5;
+    config.spawnMaxSec = spawn_max;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace adrias::bench
+
+#endif // ADRIAS_BENCH_COMMON_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 4 — Spark execution time in isolation, local vs remote.
+ *
+ * Expected shape: ~20% mean degradation on remote; nweight and lr close
+ * to 2x; gmm and pca under 10%.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace adrias;
+
+double
+runJob(const workloads::WorkloadSpec &spec, MemoryMode mode)
+{
+    testbed::Testbed bed;
+    bed.setNoise(0.0);
+    workloads::WorkloadInstance app(1, spec, mode, 0, 7);
+    SimTime now = 0;
+    while (!app.finished()) {
+        const auto tick = bed.tick({app.load()});
+        app.advance(tick.outcomes.at(0), ++now);
+    }
+    return app.executionTimeSec();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 4 — BE execution time in isolation (local vs "
+                  "remote)",
+                  "~20% average remote degradation; nweight/lr ~2x; "
+                  "gmm/pca <10%");
+
+    TextTable table({"benchmark", "local (s)", "remote (s)",
+                     "remote/local"});
+    double ratio_sum = 0.0;
+    for (const auto &spec : workloads::sparkBenchmarks()) {
+        const double local = runJob(spec, MemoryMode::Local);
+        const double remote = runJob(spec, MemoryMode::Remote);
+        const double ratio = remote / local;
+        ratio_sum += ratio;
+        table.addRow(spec.name, {local, remote, ratio}, 2);
+    }
+    std::cout << table.toString();
+    std::cout << "\nMean remote/local slowdown: "
+              << formatDouble(ratio_sum / 17.0, 3)
+              << "  (paper: ~1.20)\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 5 — Relative slowdown (remote vs local) under interference.
+ *
+ * For each application and each iBench kind (cpu, l2, l3, memBw) x
+ * trasher count (1..16), reports the ratio of the app's slowdown on
+ * remote over local placement.  Expected shape (R5-R7): a chasm at
+ * >= 8 memBw / 16 l3 trashers (up to ~4x extra), stacking effects for
+ * nweight/sort/kmeans, and LC apps more resistant than BE ones.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace adrias;
+
+double
+contendedSlowdown(const workloads::WorkloadSpec &app,
+                  workloads::IBenchKind kind, int trashers,
+                  MemoryMode mode)
+{
+    testbed::Testbed bed;
+    bed.setNoise(0.0);
+    std::vector<testbed::LoadDescriptor> loads;
+    loads.push_back(app.toLoad(0, mode));
+    for (int i = 1; i <= trashers; ++i)
+        loads.push_back(workloads::ibenchSpec(kind).toLoad(
+            static_cast<DeploymentId>(i), mode));
+    return bed.tick(loads).outcomes.at(0).slowdown;
+}
+
+void
+heatmapFor(const workloads::WorkloadSpec &app)
+{
+    std::cout << "\n--- " << app.name << " (remote/local slowdown ratio) "
+              << "---\n";
+    TextTable table({"interference", "n=1", "n=2", "n=4", "n=8", "n=16"});
+    for (auto kind :
+         {workloads::IBenchKind::Cpu, workloads::IBenchKind::L2,
+          workloads::IBenchKind::L3, workloads::IBenchKind::MemBw}) {
+        std::vector<double> ratios;
+        for (int n : {1, 2, 4, 8, 16}) {
+            const double local =
+                contendedSlowdown(app, kind, n, MemoryMode::Local);
+            const double remote =
+                contendedSlowdown(app, kind, n, MemoryMode::Remote);
+            ratios.push_back(remote / local);
+        }
+        table.addRow(toString(kind), ratios, 2);
+    }
+    std::cout << table.toString();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 5 — interference heatmap (remote vs local)",
+                  "chasm at >= 8 memBw / 16 l3 trashers (up to ~4x); "
+                  "stacking for nweight/sort/kmeans; LC resistant");
+
+    for (const char *name : {"sort", "kmeans", "nweight", "gmm"})
+        heatmapFor(workloads::sparkBenchmark(name));
+    heatmapFor(workloads::redisSpec());
+    heatmapFor(workloads::memcachedSpec());
+
+    std::cout << "\nShape check: ratios stay near 1 for cpu/l2, open "
+                 "beyond 8 memBw trashers, and are smaller for the LC "
+                 "apps (R5-R7).\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the deep-learning kernels:
+ * matmul, LSTM forward/backward, head forward.  Not a paper figure —
+ * establishes the substrate's throughput envelope.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "ml/loss.hh"
+#include "ml/lstm.hh"
+#include "ml/sequential.hh"
+
+namespace
+{
+
+using namespace adrias;
+
+ml::Matrix
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    ml::Matrix m(rows, cols);
+    for (double &x : m.raw())
+        x = rng.gaussian();
+    return m;
+}
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const ml::Matrix a = randomMatrix(n, n, rng);
+    const ml::Matrix b = randomMatrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.matmul(b));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_LstmForward(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    ml::Lstm lstm(7, hidden, rng);
+    std::vector<ml::Matrix> seq;
+    for (int t = 0; t < 12; ++t)
+        seq.push_back(randomMatrix(32, 7, rng));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lstm.forwardSequence(seq));
+    }
+}
+BENCHMARK(BM_LstmForward)->Arg(16)->Arg(24)->Arg(48);
+
+void
+BM_LstmTrainStep(benchmark::State &state)
+{
+    Rng rng(3);
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    ml::Lstm lstm(7, hidden, rng);
+    std::vector<ml::Matrix> seq;
+    for (int t = 0; t < 12; ++t)
+        seq.push_back(randomMatrix(32, 7, rng));
+    const ml::Matrix target = randomMatrix(32, hidden, rng);
+    for (auto _ : state) {
+        const auto out = lstm.forwardSequence(seq);
+        std::vector<ml::Matrix> grads(seq.size(),
+                                      ml::Matrix(32, hidden));
+        ml::mseLoss(out.back(), target, &grads.back());
+        benchmark::DoNotOptimize(lstm.backwardSequence(grads));
+    }
+}
+BENCHMARK(BM_LstmTrainStep)->Arg(16)->Arg(24);
+
+void
+BM_HeadForward(benchmark::State &state)
+{
+    Rng rng(4);
+    auto head = ml::makeNonLinearHead(56, 32, 1, 0.0, rng,
+                                      ml::HeadNorm::Layer);
+    head->setTraining(false);
+    const ml::Matrix input = randomMatrix(32, 56, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(head->forward(input));
+    }
+}
+BENCHMARK(BM_HeadForward);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the testbed simulator:
+ * contention-resolution throughput per tick and full-scenario
+ * execution rate.  Not a paper figure — establishes how cheaply the
+ * 72x1h trace-collection protocol can be reproduced.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "scenario/runner.hh"
+#include "scenario/signature.hh"
+#include "testbed/testbed.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace adrias;
+
+void
+BM_TestbedTick(benchmark::State &state)
+{
+    const auto apps = static_cast<std::size_t>(state.range(0));
+    testbed::Testbed bed;
+    std::vector<testbed::LoadDescriptor> loads;
+    const auto &sparks = workloads::sparkBenchmarks();
+    for (std::size_t i = 0; i < apps; ++i) {
+        loads.push_back(sparks[i % sparks.size()].toLoad(
+            static_cast<DeploymentId>(i),
+            i % 2 ? MemoryMode::Remote : MemoryMode::Local));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bed.tick(loads));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TestbedTick)->Arg(1)->Arg(8)->Arg(35);
+
+void
+BM_ScenarioMinute(benchmark::State &state)
+{
+    // One simulated minute of a moderately congested scenario.
+    for (auto _ : state) {
+        scenario::ScenarioConfig config;
+        config.durationSec = 60;
+        config.spawnMinSec = 5;
+        config.spawnMaxSec = 20;
+        config.seed = 42;
+        scenario::ScenarioRunner runner(config);
+        scenario::RandomPlacement policy(43);
+        benchmark::DoNotOptimize(runner.run(policy));
+    }
+    state.SetItemsProcessed(state.iterations() * 60);
+}
+BENCHMARK(BM_ScenarioMinute);
+
+void
+BM_SignatureCollection(benchmark::State &state)
+{
+    const auto &spec = workloads::sparkBenchmark("gmm");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scenario::collectSignature(spec));
+    }
+}
+BENCHMARK(BM_SignatureCollection);
+
+} // namespace
+
+BENCHMARK_MAIN();

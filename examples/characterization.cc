@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Characterization study (paper §IV in miniature): explore how an
+ * application of your choice behaves on the disaggregated testbed
+ * under configurable interference.
+ *
+ * Usage:  ./build/examples/characterization [app] [ibench-kind] [count]
+ *   app          any of the 17 Spark names, "redis" or "memcached"
+ *                (default: kmeans)
+ *   ibench-kind  cpu | l2 | l3 | memBw (default: memBw)
+ *   count        number of trashers (default: 8)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/adrias.hh"
+
+using namespace adrias;
+
+namespace
+{
+
+const workloads::WorkloadSpec &
+findSpec(const std::string &name)
+{
+    if (name == "redis")
+        return workloads::redisSpec();
+    if (name == "memcached")
+        return workloads::memcachedSpec();
+    return workloads::sparkBenchmark(name);
+}
+
+workloads::IBenchKind
+findKind(const std::string &name)
+{
+    for (auto kind :
+         {workloads::IBenchKind::Cpu, workloads::IBenchKind::L2,
+          workloads::IBenchKind::L3, workloads::IBenchKind::MemBw})
+        if (toString(kind) == name)
+            return kind;
+    fatal("unknown iBench kind: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "kmeans";
+    const std::string kind_name = argc > 2 ? argv[2] : "memBw";
+    const int trashers = argc > 3 ? std::atoi(argv[3]) : 8;
+
+    const auto &spec = findSpec(app_name);
+    const auto kind = findKind(kind_name);
+
+    std::cout << "Characterizing '" << spec.name << "' under "
+              << trashers << " x ibench-" << kind_name
+              << " trashers\n\n";
+
+    TextTable table({"placement", "slowdown", "hit rate", "achieved GB/s",
+                     "pool latency (ns)", "channel (cycles)"});
+    for (MemoryMode mode : {MemoryMode::Local, MemoryMode::Remote}) {
+        testbed::Testbed bed;
+        bed.setNoise(0.0);
+        std::vector<testbed::LoadDescriptor> loads;
+        loads.push_back(spec.toLoad(0, mode));
+        for (int i = 1; i <= trashers; ++i)
+            loads.push_back(workloads::ibenchSpec(kind).toLoad(
+                static_cast<DeploymentId>(i), mode));
+        const auto tick = bed.tick(loads);
+        const auto &outcome = tick.outcomes.at(0);
+        table.addRow(toString(mode),
+                     {outcome.slowdown, outcome.hitRate,
+                      outcome.achievedGBps, outcome.latencyNs,
+                      tick.channelLatencyCycles},
+                     3);
+    }
+    std::cout << table.toString();
+
+    // Full-run comparison including completion times / tail latency.
+    std::cout << "\nFull-run comparison (trashers kept alive "
+                 "throughout):\n";
+    for (MemoryMode mode : {MemoryMode::Local, MemoryMode::Remote}) {
+        testbed::Testbed bed;
+        bed.setNoise(0.0);
+        workloads::WorkloadInstance app(0, spec, mode, 0, 11);
+        std::vector<workloads::WorkloadInstance> noise;
+        for (int i = 1; i <= trashers; ++i)
+            noise.emplace_back(static_cast<DeploymentId>(i),
+                               workloads::ibenchSpec(kind), mode, 0,
+                               static_cast<std::uint64_t>(100 + i));
+        SimTime now = 0;
+        while (!app.finished() && now < 3600) {
+            std::vector<testbed::LoadDescriptor> loads{app.load()};
+            for (auto &trasher : noise)
+                loads.push_back(trasher.load());
+            const auto tick = bed.tick(loads);
+            app.advance(tick.outcomes.at(0), now + 1);
+            // Trashers respawn forever: reset them when they expire.
+            for (std::size_t i = 0; i < noise.size(); ++i) {
+                noise[i].advance(tick.outcomes.at(i + 1), now + 1);
+                if (noise[i].finished()) {
+                    noise[i] = workloads::WorkloadInstance(
+                        noise[i].id(), workloads::ibenchSpec(kind), mode,
+                        now + 1,
+                        static_cast<std::uint64_t>(200 + i));
+                }
+            }
+            ++now;
+        }
+        std::cout << "  " << toString(mode) << ": ";
+        if (spec.cls == WorkloadClass::LatencyCritical) {
+            std::cout << "p99=" << formatDouble(app.tailLatencyMs(0.99), 2)
+                      << " ms p99.9="
+                      << formatDouble(app.tailLatencyMs(0.999), 2)
+                      << " ms";
+        } else {
+            std::cout << "execution time="
+                      << formatDouble(app.executionTimeSec(), 1) << " s";
+        }
+        std::cout << " (mean slowdown "
+                  << formatDouble(app.meanSlowdown(), 2) << ")\n";
+    }
+    return 0;
+}

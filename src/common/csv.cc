@@ -1,0 +1,64 @@
+#include "common/csv.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace adrias
+{
+
+CsvWriter::CsvWriter(const std::string &path) : out(path)
+{
+    if (!out)
+        fatal("CsvWriter: cannot open '" + path + "' for writing");
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        out << escape(cells[i]);
+        if (i + 1 < cells.size())
+            out << ',';
+    }
+    out << '\n';
+    ++rowsWritten;
+}
+
+void
+CsvWriter::writeRow(const std::string &label,
+                    const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, 6));
+    writeRow(cells);
+}
+
+void
+CsvWriter::close()
+{
+    out.close();
+}
+
+} // namespace adrias

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small CSV writer used by benches and examples to dump series for
+ * offline plotting.
+ */
+
+#ifndef ADRIAS_COMMON_CSV_HH
+#define ADRIAS_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace adrias
+{
+
+/**
+ * Streaming CSV writer.
+ *
+ * Cells containing commas, quotes or newlines are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open the target file for writing (truncates).
+     *
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of raw string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write a labelled numeric row. */
+    void writeRow(const std::string &label,
+                  const std::vector<double> &values);
+
+    /** Flush and close; further writes are invalid. */
+    void close();
+
+    /** @return number of rows written so far. */
+    std::size_t rowCount() const { return rowsWritten; }
+
+    /** Quote a cell if needed (exposed for testing). */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ofstream out;
+    std::size_t rowsWritten = 0;
+};
+
+} // namespace adrias
+
+#endif // ADRIAS_COMMON_CSV_HH

@@ -1,0 +1,89 @@
+#include "common/logging.hh"
+
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+namespace adrias
+{
+
+namespace
+{
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "DEBUG";
+      case LogLevel::Info:
+        return "INFO";
+      case LogLevel::Warn:
+        return "WARN";
+      case LogLevel::Error:
+        return "ERROR";
+      case LogLevel::Off:
+        return "OFF";
+    }
+    return "?";
+}
+
+std::mutex logMutex;
+
+} // namespace
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(minLevel))
+        return;
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::cerr << "[adrias:" << levelName(level) << "] " << message << "\n";
+}
+
+void
+logDebug(const std::string &message)
+{
+    Logger::instance().log(LogLevel::Debug, message);
+}
+
+void
+logInfo(const std::string &message)
+{
+    Logger::instance().log(LogLevel::Info, message);
+}
+
+void
+logWarn(const std::string &message)
+{
+    Logger::instance().log(LogLevel::Warn, message);
+}
+
+void
+logError(const std::string &message)
+{
+    Logger::instance().log(LogLevel::Error, message);
+}
+
+void
+fatal(const std::string &message)
+{
+    Logger::instance().log(LogLevel::Error, "fatal: " + message);
+    throw std::runtime_error("fatal: " + message);
+}
+
+void
+panic(const std::string &message)
+{
+    Logger::instance().log(LogLevel::Error, "panic: " + message);
+    throw std::logic_error("panic: " + message);
+}
+
+} // namespace adrias

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal severity-levelled logging used across the library.
+ *
+ * Follows the gem5 convention of separating user errors (fatal) from
+ * internal invariant violations (panic).  All output goes to stderr so
+ * bench binaries can print clean tables on stdout.
+ */
+
+#ifndef ADRIAS_COMMON_LOGGING_HH
+#define ADRIAS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace adrias
+{
+
+/** Log severity levels, ordered by verbosity. */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/**
+ * Process-wide log sink with a level filter.
+ *
+ * Thread-compatible: concurrent logging from multiple threads interleaves
+ * whole lines only.
+ */
+class Logger
+{
+  public:
+    /** @return the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Set the minimum severity that is emitted. */
+    void setLevel(LogLevel level) { minLevel = level; }
+
+    /** @return the current minimum severity. */
+    LogLevel level() const { return minLevel; }
+
+    /** Emit one line at the given severity (no trailing newline needed). */
+    void log(LogLevel level, const std::string &message);
+
+  private:
+    Logger() = default;
+
+    LogLevel minLevel = LogLevel::Warn;
+};
+
+/** Emit a debug-level message. */
+void logDebug(const std::string &message);
+/** Emit an info-level message. */
+void logInfo(const std::string &message);
+/** Emit a warning about questionable but survivable conditions. */
+void logWarn(const std::string &message);
+/** Emit an error message (does not terminate). */
+void logError(const std::string &message);
+
+/**
+ * Abort on a user-caused unrecoverable condition (bad configuration,
+ * invalid arguments).  Mirrors gem5's fatal().
+ *
+ * @throws std::runtime_error always.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Abort on an internal invariant violation (a bug in this library).
+ * Mirrors gem5's panic().
+ *
+ * @throws std::logic_error always.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+} // namespace adrias
+
+#endif // ADRIAS_COMMON_LOGGING_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in the library (scenario arrivals, workload
+ * selection, dropout masks, weight initialization) draws from an Rng so
+ * experiments are reproducible from a single seed.  The core generator is
+ * xoshiro256**, seeded via splitmix64 as its authors recommend.
+ */
+
+#ifndef ADRIAS_COMMON_RNG_HH
+#define ADRIAS_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace adrias
+{
+
+/**
+ * A small, fast, seedable random number generator (xoshiro256**).
+ *
+ * Not cryptographically secure; intended for simulation reproducibility.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0, is valid). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double uniform();
+
+    /** @return a double uniformly distributed in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /**
+     * @return an integer uniformly distributed in [lo, hi] inclusive.
+     * @pre lo <= hi
+     */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** @return a sample from the standard normal distribution N(0, 1). */
+    double gaussian();
+
+    /** @return a sample from N(mean, stddev^2). */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * @return a sample from the exponential distribution with given mean.
+     * @pre mean > 0
+     */
+    double exponential(double mean);
+
+    /** @return true with the given probability (clamped to [0, 1]). */
+    bool bernoulli(double probability);
+
+    /**
+     * Pick an index according to a vector of non-negative weights.
+     *
+     * @param weights per-index weights; at least one must be positive.
+     * @return index in [0, weights.size()).
+     */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng split();
+
+    /** Fisher-Yates shuffle of an index container. */
+    template <typename Container>
+    void
+    shuffle(Container &items)
+    {
+        if (items.size() < 2)
+            return;
+        for (std::size_t i = items.size() - 1; i > 0; --i) {
+            auto j = static_cast<std::size_t>(
+                uniformInt(0, static_cast<std::int64_t>(i)));
+            std::swap(items[i], items[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state[4];
+
+    /** Cached second Box-Muller variate (NaN when absent). */
+    double cachedGaussian;
+    bool hasCachedGaussian = false;
+};
+
+} // namespace adrias
+
+#endif // ADRIAS_COMMON_RNG_HH

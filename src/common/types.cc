@@ -1,0 +1,44 @@
+#include "common/types.hh"
+
+#include <stdexcept>
+
+namespace adrias
+{
+
+std::string
+toString(MemoryMode mode)
+{
+    switch (mode) {
+      case MemoryMode::Local:
+        return "local";
+      case MemoryMode::Remote:
+        return "remote";
+    }
+    return "unknown";
+}
+
+std::string
+toString(WorkloadClass cls)
+{
+    switch (cls) {
+      case WorkloadClass::BestEffort:
+        return "best-effort";
+      case WorkloadClass::LatencyCritical:
+        return "latency-critical";
+      case WorkloadClass::Interference:
+        return "interference";
+    }
+    return "unknown";
+}
+
+MemoryMode
+memoryModeFromString(const std::string &text)
+{
+    if (text == "local")
+        return MemoryMode::Local;
+    if (text == "remote")
+        return MemoryMode::Remote;
+    throw std::invalid_argument("unknown memory mode: '" + text + "'");
+}
+
+} // namespace adrias

@@ -1,0 +1,44 @@
+#include "core/adrias.hh"
+
+#include "common/logging.hh"
+
+namespace adrias::core
+{
+
+AdriasStack::AdriasStack() : AdriasStack(BuildOptions{}) {}
+
+AdriasStack::AdriasStack(BuildOptions options)
+{
+    if (options.scenarios == 0)
+        fatal("AdriasStack: need at least one scenario");
+
+    // 1. Design-time signatures for every catalogued application.
+    scenario::collectAllSignatures(store, options.testbed, options.seed);
+
+    // 2. Interference-aware trace collection: random placement across
+    //    a spread of arrival intensities (paper §V-B1).
+    const SimTime spawn_maxes[] = {20, 30, 40, 50, 60};
+    for (std::size_t i = 0; i < options.scenarios; ++i) {
+        scenario::ScenarioConfig config;
+        config.durationSec = options.scenarioDurationSec;
+        config.spawnMinSec = 5;
+        config.spawnMaxSec = spawn_maxes[i % std::size(spawn_maxes)];
+        config.seed = options.seed + i;
+        scenario::ScenarioRunner runner(config, options.testbed);
+        scenario::RandomPlacement policy(options.seed + 1000 + i);
+        collected.push_back(runner.run(policy));
+    }
+
+    // 3. Datasets and model training ({120, Ŝ} stacked configuration).
+    const auto state_samples =
+        scenario::DatasetBuilder::systemState(collected);
+    const auto be_samples = scenario::DatasetBuilder::performance(
+        collected, store, WorkloadClass::BestEffort);
+    const auto lc_samples = scenario::DatasetBuilder::performance(
+        collected, store, WorkloadClass::LatencyCritical);
+
+    stack = models::Predictor(options.model);
+    stack.train(state_samples, be_samples, lc_samples);
+}
+
+} // namespace adrias::core

@@ -1,0 +1,100 @@
+#include "core/orchestrator.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "scenario/runner.hh"
+
+namespace adrias::core
+{
+
+AdriasOrchestrator::AdriasOrchestrator(const models::PredictorBase &predictor_,
+                                       scenario::SignatureStore &signatures_,
+                                       AdriasConfig config_)
+    : predictor(&predictor_), signatures(&signatures_), policy(config_)
+{
+    if (policy.beta <= 0.0 || policy.beta > 1.5)
+        fatal("AdriasOrchestrator: beta out of sensible range");
+    if (!predictor->trained())
+        fatal("AdriasOrchestrator requires a trained Predictor");
+}
+
+std::string
+AdriasOrchestrator::name() const
+{
+    std::ostringstream out;
+    out << "adrias-b" << formatDouble(policy.beta, 1);
+    return out.str();
+}
+
+double
+AdriasOrchestrator::qosFor(const std::string &app_name) const
+{
+    auto it = policy.qosP99Ms.find(app_name);
+    return it == policy.qosP99Ms.end() ? policy.defaultQosP99Ms
+                                       : it->second;
+}
+
+MemoryMode
+AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
+                          const telemetry::Watcher &watcher, SimTime now)
+{
+    (void)now;
+
+    // Unknown application: bootstrap on remote memory and capture its
+    // signature from this run (paper §V-C).
+    if (!signatures->has(spec.name)) {
+        ++decisionStats.bootstrapPlacements;
+        ++decisionStats.remotePlacements;
+        return MemoryMode::Remote;
+    }
+
+    // Cold telemetry (scenario warm-up): fall back to the conventional
+    // placement until a history window exists.
+    if (watcher.sampleCount() == 0) {
+        ++decisionStats.localPlacements;
+        return MemoryMode::Local;
+    }
+
+    const auto history = watcher.binnedWindow(
+        scenario::ScenarioRunner::kWindowSec,
+        scenario::ScenarioRunner::kWindowBins);
+    const auto &signature = signatures->get(spec.name);
+
+    MemoryMode mode = MemoryMode::Local;
+    if (spec.cls == WorkloadClass::BestEffort) {
+        const double t_local = predictor->predictPerformance(
+            spec.cls, history, signature, MemoryMode::Local);
+        const double t_remote = predictor->predictPerformance(
+            spec.cls, history, signature, MemoryMode::Remote);
+        mode = t_local < policy.beta * t_remote ? MemoryMode::Local
+                                                : MemoryMode::Remote;
+    } else if (spec.cls == WorkloadClass::LatencyCritical) {
+        const double p99_remote = predictor->predictPerformance(
+            spec.cls, history, signature, MemoryMode::Remote);
+        mode = p99_remote <= qosFor(spec.name) ? MemoryMode::Remote
+                                               : MemoryMode::Local;
+    } else {
+        panic("AdriasOrchestrator asked to place a trasher");
+    }
+
+    if (mode == MemoryMode::Remote)
+        ++decisionStats.remotePlacements;
+    else
+        ++decisionStats.localPlacements;
+    return mode;
+}
+
+void
+AdriasOrchestrator::onCompletion(const scenario::DeploymentRecord &record)
+{
+    if (record.cls == WorkloadClass::Interference)
+        return;
+    // First encounter finished its bootstrap run on remote memory:
+    // store the captured execution-window metrics as its signature.
+    if (!signatures->has(record.name) && !record.executionWindow.empty())
+        signatures->put(record.name, record.executionWindow);
+}
+
+} // namespace adrias::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Adrias Orchestrator (paper §V-C): the interference-aware
+ * placement policy that queries the Predictor and applies the paper's
+ * decision rules —
+ *
+ *   BE:  local  iff  t̂_local < β · t̂_remote
+ *   LC:  remote iff  p̂99_remote ≤ QoS
+ *
+ * Applications without a stored signature are bootstrapped on remote
+ * memory and their signature is captured from their execution window.
+ */
+
+#ifndef ADRIAS_CORE_ORCHESTRATOR_HH
+#define ADRIAS_CORE_ORCHESTRATOR_HH
+
+#include <map>
+#include <string>
+
+#include "models/predictor.hh"
+#include "scenario/placement.hh"
+#include "scenario/signature.hh"
+
+namespace adrias::core
+{
+
+/** Policy knobs of the orchestrator. */
+struct AdriasConfig
+{
+    /**
+     * Slack β for best-effort apps: the performance-loss margin we
+     * accept to leverage remote memory (paper sweeps 1.0 … 0.6).
+     */
+    double beta = 0.8;
+
+    /** QoS constraint on predicted p99, ms, per LC application name. */
+    std::map<std::string, double> qosP99Ms;
+
+    /** Fallback QoS when an LC app has no explicit entry. */
+    double defaultQosP99Ms = 1.0;
+};
+
+/** Per-run decision statistics. */
+struct OrchestratorStats
+{
+    std::size_t localPlacements = 0;
+    std::size_t remotePlacements = 0;
+    std::size_t bootstrapPlacements = 0; ///< unknown-app remote runs
+};
+
+/** Interference-aware memory orchestrator. */
+class AdriasOrchestrator : public scenario::PlacementPolicy
+{
+  public:
+    /**
+     * @param predictor trained prediction stack (borrowed).
+     * @param signatures signature registry (borrowed; grows as unknown
+     *        apps are bootstrapped).
+     * @param config policy knobs.
+     */
+    AdriasOrchestrator(const models::PredictorBase &predictor,
+                       scenario::SignatureStore &signatures,
+                       AdriasConfig config = {});
+
+    std::string name() const override;
+
+    MemoryMode place(const workloads::WorkloadSpec &spec,
+                     const telemetry::Watcher &watcher,
+                     SimTime now) override;
+
+    void onCompletion(const scenario::DeploymentRecord &record) override;
+
+    const OrchestratorStats &stats() const { return decisionStats; }
+    const AdriasConfig &config() const { return policy; }
+
+    /** QoS threshold applied to one LC application. */
+    double qosFor(const std::string &name) const;
+
+  private:
+    const models::PredictorBase *predictor;
+    scenario::SignatureStore *signatures;
+    AdriasConfig policy;
+    OrchestratorStats decisionStats;
+};
+
+} // namespace adrias::core
+
+#endif // ADRIAS_CORE_ORCHESTRATOR_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Baseline scheduling policies the paper compares Adrias against
+ * (§VI-B): Random, Round-Robin and All-Local (plus All-Remote as a
+ * stress baseline).
+ */
+
+#ifndef ADRIAS_CORE_SCHEDULERS_HH
+#define ADRIAS_CORE_SCHEDULERS_HH
+
+#include "common/rng.hh"
+#include "scenario/placement.hh"
+
+namespace adrias::core
+{
+
+/** Alternates local/remote placements deterministically. */
+class RoundRobinScheduler : public scenario::PlacementPolicy
+{
+  public:
+    std::string name() const override { return "round-robin"; }
+
+    MemoryMode
+    place(const workloads::WorkloadSpec &, const telemetry::Watcher &,
+          SimTime) override
+    {
+        nextRemote = !nextRemote;
+        return nextRemote ? MemoryMode::Remote : MemoryMode::Local;
+    }
+
+  private:
+    bool nextRemote = false;
+};
+
+/** Places everything on local DRAM (the conventional deployment). */
+class AllLocalScheduler : public scenario::PlacementPolicy
+{
+  public:
+    std::string name() const override { return "all-local"; }
+
+    MemoryMode
+    place(const workloads::WorkloadSpec &, const telemetry::Watcher &,
+          SimTime) override
+    {
+        return MemoryMode::Local;
+    }
+};
+
+/** Places everything on disaggregated memory. */
+class AllRemoteScheduler : public scenario::PlacementPolicy
+{
+  public:
+    std::string name() const override { return "all-remote"; }
+
+    MemoryMode
+    place(const workloads::WorkloadSpec &, const telemetry::Watcher &,
+          SimTime) override
+    {
+        return MemoryMode::Remote;
+    }
+};
+
+} // namespace adrias::core
+
+#endif // ADRIAS_CORE_SCHEDULERS_HH

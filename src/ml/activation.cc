@@ -1,0 +1,75 @@
+#include "ml/activation.hh"
+
+#include <cmath>
+
+namespace adrias::ml
+{
+
+double
+sigmoidScalar(double x)
+{
+    // Split by sign for numerical stability at large |x|.
+    if (x >= 0.0) {
+        const double z = std::exp(-x);
+        return 1.0 / (1.0 + z);
+    }
+    const double z = std::exp(x);
+    return z / (1.0 + z);
+}
+
+Matrix
+ReLU::forward(const Matrix &input)
+{
+    lastInput = input;
+    return input.map([](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+Matrix
+ReLU::backward(const Matrix &grad_output)
+{
+    Matrix grad = grad_output;
+    const auto &in = lastInput.raw();
+    auto &g = grad.raw();
+    for (std::size_t i = 0; i < g.size(); ++i)
+        if (in[i] <= 0.0)
+            g[i] = 0.0;
+    return grad;
+}
+
+Matrix
+Tanh::forward(const Matrix &input)
+{
+    lastOutput = input.map([](double x) { return std::tanh(x); });
+    return lastOutput;
+}
+
+Matrix
+Tanh::backward(const Matrix &grad_output)
+{
+    Matrix grad = grad_output;
+    const auto &out = lastOutput.raw();
+    auto &g = grad.raw();
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] *= 1.0 - out[i] * out[i];
+    return grad;
+}
+
+Matrix
+Sigmoid::forward(const Matrix &input)
+{
+    lastOutput = input.map(sigmoidScalar);
+    return lastOutput;
+}
+
+Matrix
+Sigmoid::backward(const Matrix &grad_output)
+{
+    Matrix grad = grad_output;
+    const auto &out = lastOutput.raw();
+    auto &g = grad.raw();
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] *= out[i] * (1.0 - out[i]);
+    return grad;
+}
+
+} // namespace adrias::ml

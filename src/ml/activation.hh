@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Element-wise activation layers (ReLU, Tanh, Sigmoid).
+ */
+
+#ifndef ADRIAS_ML_ACTIVATION_HH
+#define ADRIAS_ML_ACTIVATION_HH
+
+#include "ml/layer.hh"
+
+namespace adrias::ml
+{
+
+/** Rectified linear unit: y = max(0, x). */
+class ReLU : public Layer
+{
+  public:
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+  private:
+    Matrix lastInput;
+};
+
+/** Hyperbolic tangent activation. */
+class Tanh : public Layer
+{
+  public:
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+  private:
+    Matrix lastOutput;
+};
+
+/** Logistic sigmoid activation. */
+class Sigmoid : public Layer
+{
+  public:
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+  private:
+    Matrix lastOutput;
+};
+
+/** Scalar sigmoid helper used by the LSTM cell. */
+double sigmoidScalar(double x);
+
+} // namespace adrias::ml
+
+#endif // ADRIAS_ML_ACTIVATION_HH

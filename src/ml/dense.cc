@@ -1,0 +1,41 @@
+#include "ml/dense.hh"
+
+#include <cmath>
+
+namespace adrias::ml
+{
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng &rng)
+    : weight("dense.weight", Matrix(in_features, out_features)),
+      bias("dense.bias", Matrix(1, out_features))
+{
+    // Glorot/Xavier uniform keeps activation variance stable through
+    // the non-linear blocks.
+    const double limit = std::sqrt(
+        6.0 / static_cast<double>(in_features + out_features));
+    for (double &w : weight.value.raw())
+        w = rng.uniform(-limit, limit);
+}
+
+Matrix
+Dense::forward(const Matrix &input)
+{
+    lastInput = input;
+    return input.matmul(weight.value).addRowBroadcast(bias.value);
+}
+
+Matrix
+Dense::backward(const Matrix &grad_output)
+{
+    weight.grad += lastInput.transposedMatmul(grad_output);
+    bias.grad += grad_output.sumRows();
+    return grad_output.matmulTransposed(weight.value);
+}
+
+std::vector<Param *>
+Dense::params()
+{
+    return {&weight, &bias};
+}
+
+} // namespace adrias::ml

@@ -1,0 +1,140 @@
+#include "ml/lstm.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "ml/activation.hh"
+
+namespace adrias::ml
+{
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng &rng)
+    : wx("lstm.wx", Matrix(input_size, 4 * hidden_size)),
+      wh("lstm.wh", Matrix(hidden_size, 4 * hidden_size)),
+      b("lstm.b", Matrix(1, 4 * hidden_size))
+{
+    const double limit =
+        1.0 / std::sqrt(static_cast<double>(hidden_size));
+    for (double &w : wx.value.raw())
+        w = rng.uniform(-limit, limit);
+    for (double &w : wh.value.raw())
+        w = rng.uniform(-limit, limit);
+    // Forget-gate bias (second H-wide block) starts at one.
+    for (std::size_t c = hidden_size; c < 2 * hidden_size; ++c)
+        b.value.at(0, c) = 1.0;
+}
+
+std::vector<Matrix>
+Lstm::forwardSequence(const std::vector<Matrix> &sequence)
+{
+    if (sequence.empty())
+        fatal("Lstm::forwardSequence on empty sequence");
+
+    const std::size_t hidden = hiddenSize();
+    const std::size_t batch = sequence.front().rows();
+
+    caches.clear();
+    caches.reserve(sequence.size());
+
+    Matrix h_prev(batch, hidden);
+    Matrix c_prev(batch, hidden);
+    std::vector<Matrix> outputs;
+    outputs.reserve(sequence.size());
+
+    for (const Matrix &x : sequence) {
+        if (x.rows() != batch || x.cols() != inputSize())
+            panic("Lstm: inconsistent sequence element shape");
+
+        Matrix z = x.matmul(wx.value) + h_prev.matmul(wh.value);
+        z = z.addRowBroadcast(b.value);
+
+        StepCache cache;
+        cache.input = x;
+        cache.hPrev = h_prev;
+        cache.cPrev = c_prev;
+        cache.gateI =
+            z.colRange(0, hidden).map(sigmoidScalar);
+        cache.gateF =
+            z.colRange(hidden, 2 * hidden).map(sigmoidScalar);
+        cache.gateG = z.colRange(2 * hidden, 3 * hidden)
+                          .map([](double v) { return std::tanh(v); });
+        cache.gateO =
+            z.colRange(3 * hidden, 4 * hidden).map(sigmoidScalar);
+
+        cache.cell = cache.gateF.hadamard(c_prev) +
+                     cache.gateI.hadamard(cache.gateG);
+        cache.tanhCell =
+            cache.cell.map([](double v) { return std::tanh(v); });
+
+        Matrix h = cache.gateO.hadamard(cache.tanhCell);
+        outputs.push_back(h);
+
+        h_prev = std::move(h);
+        c_prev = cache.cell;
+        caches.push_back(std::move(cache));
+    }
+    return outputs;
+}
+
+std::vector<Matrix>
+Lstm::backwardSequence(const std::vector<Matrix> &grad_hidden)
+{
+    if (grad_hidden.size() != caches.size())
+        panic("Lstm::backwardSequence length mismatch with forward pass");
+    if (caches.empty())
+        panic("Lstm::backwardSequence before forwardSequence");
+
+    const std::size_t hidden = hiddenSize();
+    const std::size_t steps = caches.size();
+    const std::size_t batch = caches.front().input.rows();
+
+    std::vector<Matrix> grad_inputs(steps);
+    Matrix dh_next(batch, hidden);
+    Matrix dc_next(batch, hidden);
+
+    auto one_minus_sq = [](double v) { return 1.0 - v * v; };
+    auto sig_deriv = [](double v) { return v * (1.0 - v); };
+
+    for (std::size_t step = steps; step-- > 0;) {
+        const StepCache &cache = caches[step];
+
+        Matrix dh = grad_hidden[step] + dh_next;
+
+        // h = o * tanh(c)
+        Matrix d_o = dh.hadamard(cache.tanhCell);
+        Matrix dc =
+            dh.hadamard(cache.gateO).hadamard(cache.tanhCell.map(
+                one_minus_sq)) +
+            dc_next;
+
+        // c = f*c_prev + i*g
+        Matrix d_f = dc.hadamard(cache.cPrev);
+        Matrix d_i = dc.hadamard(cache.gateG);
+        Matrix d_g = dc.hadamard(cache.gateI);
+        dc_next = dc.hadamard(cache.gateF);
+
+        // through the gate non-linearities to pre-activations
+        Matrix dz_i = d_i.hadamard(cache.gateI.map(sig_deriv));
+        Matrix dz_f = d_f.hadamard(cache.gateF.map(sig_deriv));
+        Matrix dz_g = d_g.hadamard(cache.gateG.map(one_minus_sq));
+        Matrix dz_o = d_o.hadamard(cache.gateO.map(sig_deriv));
+
+        Matrix dz = dz_i.hconcat(dz_f).hconcat(dz_g).hconcat(dz_o);
+
+        wx.grad += cache.input.transposedMatmul(dz);
+        wh.grad += cache.hPrev.transposedMatmul(dz);
+        b.grad += dz.sumRows();
+
+        grad_inputs[step] = dz.matmulTransposed(wx.value);
+        dh_next = dz.matmulTransposed(wh.value);
+    }
+    return grad_inputs;
+}
+
+std::vector<Param *>
+Lstm::params()
+{
+    return {&wx, &wh, &b};
+}
+
+} // namespace adrias::ml

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Long Short-Term Memory layer with full backpropagation through time.
+ *
+ * The Adrias Predictor (paper §V-B) stacks two LSTM layers over the
+ * monitored-metric time series; this class implements one such layer
+ * over a time-major sequence of (batch x features) matrices.
+ */
+
+#ifndef ADRIAS_ML_LSTM_HH
+#define ADRIAS_ML_LSTM_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/layer.hh"
+
+namespace adrias::ml
+{
+
+/**
+ * Single LSTM layer.
+ *
+ * Gate layout inside the packed 4H-wide weight matrices is
+ * [input | forget | cell | output].  The forget-gate bias is
+ * initialized to one, the standard remedy for early vanishing
+ * gradients.
+ */
+class Lstm
+{
+  public:
+    /**
+     * @param input_size per-step feature width.
+     * @param hidden_size state width H.
+     * @param rng weight-initialization source.
+     */
+    Lstm(std::size_t input_size, std::size_t hidden_size, Rng &rng);
+
+    /**
+     * Run the layer across a sequence (initial state is zero).
+     *
+     * @param sequence time-major input; sequence[t] is (batch x input).
+     * @return hidden states; result[t] is (batch x hidden).
+     */
+    std::vector<Matrix> forwardSequence(const std::vector<Matrix> &sequence);
+
+    /**
+     * BPTT through the most recent forwardSequence().
+     *
+     * @param grad_hidden dLoss/dH_t for every step (zero matrices are
+     *        fine for steps whose output is unused).
+     * @return dLoss/dX_t for every step; parameter gradients accumulate.
+     */
+    std::vector<Matrix>
+    backwardSequence(const std::vector<Matrix> &grad_hidden);
+
+    /** @return trainable parameters (Wx, Wh, bias). */
+    std::vector<Param *> params();
+
+    std::size_t inputSize() const { return wx.value.rows(); }
+    std::size_t hiddenSize() const { return wh.value.rows(); }
+
+  private:
+    Param wx; ///< (input x 4H)
+    Param wh; ///< (hidden x 4H)
+    Param b;  ///< (1 x 4H)
+
+    /** Everything backward needs about one timestep. */
+    struct StepCache
+    {
+        Matrix input;
+        Matrix hPrev;
+        Matrix cPrev;
+        Matrix gateI;
+        Matrix gateF;
+        Matrix gateG;
+        Matrix gateO;
+        Matrix cell;
+        Matrix tanhCell;
+    };
+
+    std::vector<StepCache> caches;
+};
+
+} // namespace adrias::ml
+
+#endif // ADRIAS_ML_LSTM_HH

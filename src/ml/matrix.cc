@@ -1,0 +1,310 @@
+#include "ml/matrix.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace adrias::ml
+{
+
+Matrix::Matrix(std::size_t rows_, std::size_t cols_)
+    : nRows(rows_), nCols(cols_), data(rows_ * cols_, 0.0)
+{
+}
+
+Matrix::Matrix(std::size_t rows_, std::size_t cols_,
+               std::vector<double> values)
+    : nRows(rows_), nCols(cols_), data(std::move(values))
+{
+    if (data.size() != nRows * nCols)
+        panic("Matrix: initializer size does not match shape");
+}
+
+Matrix
+Matrix::constant(std::size_t rows, std::size_t cols, double value)
+{
+    Matrix m(rows, cols);
+    for (double &x : m.data)
+        x = value;
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t order)
+{
+    Matrix m(order, order);
+    for (std::size_t i = 0; i < order; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::rowVector(const std::vector<double> &values)
+{
+    return Matrix(1, values.size(), values);
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    if (r >= nRows || c >= nCols)
+        panic("Matrix::at out of range (" + shape() + ")");
+    return data[r * nCols + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    if (r >= nRows || c >= nCols)
+        panic("Matrix::at out of range (" + shape() + ")");
+    return data[r * nCols + c];
+}
+
+void
+Matrix::checkSameShape(const Matrix &other, const char *op) const
+{
+    if (nRows != other.nRows || nCols != other.nCols) {
+        panic(std::string("Matrix shape mismatch in ") + op + ": " +
+              shape() + " vs " + other.shape());
+    }
+}
+
+Matrix
+Matrix::matmul(const Matrix &other) const
+{
+    if (nCols != other.nRows) {
+        panic("Matrix::matmul inner dimension mismatch: " + shape() +
+              " * " + other.shape());
+    }
+    Matrix out(nRows, other.nCols);
+    // i-k-j loop order keeps the inner loop contiguous in both inputs.
+    for (std::size_t i = 0; i < nRows; ++i) {
+        for (std::size_t k = 0; k < nCols; ++k) {
+            const double lhs = data[i * nCols + k];
+            if (lhs == 0.0)
+                continue;
+            const double *rhs_row = &other.data[k * other.nCols];
+            double *out_row = &out.data[i * other.nCols];
+            for (std::size_t j = 0; j < other.nCols; ++j)
+                out_row[j] += lhs * rhs_row[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposedMatmul(const Matrix &other) const
+{
+    // (this^T * other): this is (k x m), other (k x n) -> (m x n)
+    if (nRows != other.nRows) {
+        panic("Matrix::transposedMatmul dimension mismatch: " + shape() +
+              "^T * " + other.shape());
+    }
+    Matrix out(nCols, other.nCols);
+    for (std::size_t k = 0; k < nRows; ++k) {
+        const double *lhs_row = &data[k * nCols];
+        const double *rhs_row = &other.data[k * other.nCols];
+        for (std::size_t i = 0; i < nCols; ++i) {
+            const double lhs = lhs_row[i];
+            if (lhs == 0.0)
+                continue;
+            double *out_row = &out.data[i * other.nCols];
+            for (std::size_t j = 0; j < other.nCols; ++j)
+                out_row[j] += lhs * rhs_row[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::matmulTransposed(const Matrix &other) const
+{
+    // (this * other^T): this is (m x k), other (n x k) -> (m x n)
+    if (nCols != other.nCols) {
+        panic("Matrix::matmulTransposed dimension mismatch: " + shape() +
+              " * " + other.shape() + "^T");
+    }
+    Matrix out(nRows, other.nRows);
+    for (std::size_t i = 0; i < nRows; ++i) {
+        const double *lhs_row = &data[i * nCols];
+        for (std::size_t j = 0; j < other.nRows; ++j) {
+            const double *rhs_row = &other.data[j * other.nCols];
+            double acc = 0.0;
+            for (std::size_t k = 0; k < nCols; ++k)
+                acc += lhs_row[k] * rhs_row[k];
+            out.data[i * other.nRows + j] = acc;
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(nCols, nRows);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            out.data[c * nRows + r] = data[r * nCols + c];
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    checkSameShape(other, "operator+");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] += other.data[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    checkSameShape(other, "operator-");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] -= other.data[i];
+    return out;
+}
+
+Matrix
+Matrix::hadamard(const Matrix &other) const
+{
+    checkSameShape(other, "hadamard");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] *= other.data[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(double scalar) const
+{
+    Matrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    checkSameShape(other, "operator+=");
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] += other.data[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(double scalar)
+{
+    for (double &x : data)
+        x *= scalar;
+    return *this;
+}
+
+Matrix
+Matrix::addRowBroadcast(const Matrix &rowVec) const
+{
+    if (rowVec.nRows != 1 || rowVec.nCols != nCols)
+        panic("Matrix::addRowBroadcast shape mismatch");
+    Matrix out = *this;
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            out.data[r * nCols + c] += rowVec.data[c];
+    return out;
+}
+
+Matrix
+Matrix::sumRows() const
+{
+    Matrix out(1, nCols);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            out.data[c] += data[r * nCols + c];
+    return out;
+}
+
+Matrix
+Matrix::map(const std::function<double(double)> &fn) const
+{
+    Matrix out = *this;
+    for (double &x : out.data)
+        x = fn(x);
+    return out;
+}
+
+Matrix
+Matrix::hconcat(const Matrix &other) const
+{
+    if (nRows != other.nRows)
+        panic("Matrix::hconcat row count mismatch");
+    Matrix out(nRows, nCols + other.nCols);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        for (std::size_t c = 0; c < nCols; ++c)
+            out.data[r * out.nCols + c] = data[r * nCols + c];
+        for (std::size_t c = 0; c < other.nCols; ++c)
+            out.data[r * out.nCols + nCols + c] =
+                other.data[r * other.nCols + c];
+    }
+    return out;
+}
+
+Matrix
+Matrix::colRange(std::size_t begin, std::size_t end) const
+{
+    if (begin > end || end > nCols)
+        panic("Matrix::colRange out of bounds");
+    Matrix out(nRows, end - begin);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = begin; c < end; ++c)
+            out.data[r * out.nCols + (c - begin)] = data[r * nCols + c];
+    return out;
+}
+
+Matrix
+Matrix::row(std::size_t r) const
+{
+    if (r >= nRows)
+        panic("Matrix::row out of range");
+    Matrix out(1, nCols);
+    for (std::size_t c = 0; c < nCols; ++c)
+        out.data[c] = data[r * nCols + c];
+    return out;
+}
+
+void
+Matrix::setZero()
+{
+    for (double &x : data)
+        x = 0.0;
+}
+
+double
+Matrix::norm() const
+{
+    double total = 0.0;
+    for (double x : data)
+        total += x * x;
+    return std::sqrt(total);
+}
+
+double
+Matrix::maxAbs() const
+{
+    double peak = 0.0;
+    for (double x : data)
+        peak = std::max(peak, std::fabs(x));
+    return peak;
+}
+
+std::string
+Matrix::shape() const
+{
+    std::ostringstream out;
+    out << nRows << "x" << nCols;
+    return out.str();
+}
+
+} // namespace adrias::ml

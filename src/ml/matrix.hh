@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dense row-major matrix — the numeric workhorse of the from-scratch
+ * deep-learning substrate.
+ *
+ * Everything the Adrias models need (batched dense layers, LSTM cells)
+ * is expressible with 2-D matrices; sequences are carried as
+ * time-major vectors of (batch x features) matrices.
+ */
+
+#ifndef ADRIAS_ML_MATRIX_HH
+#define ADRIAS_ML_MATRIX_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace adrias::ml
+{
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** @param rows_ row count; @param cols_ column count (zero-filled). */
+    Matrix(std::size_t rows_, std::size_t cols_);
+
+    /** Construct with explicit contents (row-major, size rows*cols). */
+    Matrix(std::size_t rows_, std::size_t cols_, std::vector<double> values);
+
+    /** @return matrix filled with a constant. */
+    static Matrix constant(std::size_t rows, std::size_t cols, double value);
+
+    /** @return identity matrix of the given order. */
+    static Matrix identity(std::size_t order);
+
+    /** @return a 1 x n row vector wrapping the given values. */
+    static Matrix rowVector(const std::vector<double> &values);
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+    std::size_t size() const { return data.size(); }
+    bool empty() const { return data.empty(); }
+
+    /** Element access (bounds-checked in debug via panic). */
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Raw row-major storage. */
+    std::vector<double> &raw() { return data; }
+    const std::vector<double> &raw() const { return data; }
+
+    /** Matrix product: (m x k) * (k x n) -> (m x n). */
+    Matrix matmul(const Matrix &other) const;
+
+    /** this^T * other without materializing the transpose. */
+    Matrix transposedMatmul(const Matrix &other) const;
+
+    /** this * other^T without materializing the transpose. */
+    Matrix matmulTransposed(const Matrix &other) const;
+
+    /** @return transposed copy. */
+    Matrix transposed() const;
+
+    /** Element-wise sum; shapes must match. */
+    Matrix operator+(const Matrix &other) const;
+
+    /** Element-wise difference; shapes must match. */
+    Matrix operator-(const Matrix &other) const;
+
+    /** Element-wise (Hadamard) product; shapes must match. */
+    Matrix hadamard(const Matrix &other) const;
+
+    /** Scalar multiple. */
+    Matrix operator*(double scalar) const;
+
+    /** In-place element-wise accumulate. */
+    Matrix &operator+=(const Matrix &other);
+
+    /** In-place scalar scale. */
+    Matrix &operator*=(double scalar);
+
+    /** Add a 1 x cols row vector to every row (bias broadcast). */
+    Matrix addRowBroadcast(const Matrix &row) const;
+
+    /** Column-wise sum producing a 1 x cols row vector. */
+    Matrix sumRows() const;
+
+    /** Apply a scalar function to every element (returns a copy). */
+    Matrix map(const std::function<double(double)> &fn) const;
+
+    /** Concatenate horizontally: [this | other]; row counts must match. */
+    Matrix hconcat(const Matrix &other) const;
+
+    /** Slice of columns [begin, end). */
+    Matrix colRange(std::size_t begin, std::size_t end) const;
+
+    /** Copy of one row as a 1 x cols matrix. */
+    Matrix row(std::size_t r) const;
+
+    /** Zero all elements in place. */
+    void setZero();
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** Largest absolute element. */
+    double maxAbs() const;
+
+    /** Shape string "RxC" for diagnostics. */
+    std::string shape() const;
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    std::vector<double> data;
+
+    void checkSameShape(const Matrix &other, const char *op) const;
+};
+
+} // namespace adrias::ml
+
+#endif // ADRIAS_ML_MATRIX_HH

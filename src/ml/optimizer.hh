@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Gradient-descent optimizers (SGD with momentum, Adam).
+ */
+
+#ifndef ADRIAS_ML_OPTIMIZER_HH
+#define ADRIAS_ML_OPTIMIZER_HH
+
+#include <vector>
+
+#include "ml/layer.hh"
+
+namespace adrias::ml
+{
+
+/** Abstract parameter updater. */
+class Optimizer
+{
+  public:
+    /** @param parameters the set of tensors this optimizer steps. */
+    explicit Optimizer(std::vector<Param *> parameters);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero every parameter's gradient accumulator. */
+    void zeroGrad();
+
+    /**
+     * Scale gradients so their global L2 norm is at most @p max_norm.
+     * @return the pre-clip norm.
+     */
+    double clipGradNorm(double max_norm);
+
+  protected:
+    std::vector<Param *> params;
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Param *> parameters, double learning_rate,
+        double momentum = 0.0);
+
+    void step() override;
+
+  private:
+    double lr;
+    double momentum;
+    std::vector<Matrix> velocity;
+};
+
+/** Adam optimizer with bias correction (Kingma & Ba, 2015). */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Param *> parameters, double learning_rate = 1e-3,
+         double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
+
+    void step() override;
+
+    /** Current learning rate (mutable for simple decay schedules). */
+    double learningRate() const { return lr; }
+    void setLearningRate(double learning_rate) { lr = learning_rate; }
+
+  private:
+    double lr;
+    double beta1;
+    double beta2;
+    double epsilon;
+    std::size_t t = 0;
+    std::vector<Matrix> m; ///< first-moment estimates
+    std::vector<Matrix> v; ///< second-moment estimates
+};
+
+} // namespace adrias::ml
+
+#endif // ADRIAS_ML_OPTIMIZER_HH

@@ -1,0 +1,147 @@
+#include "ml/serialize.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "ml/scaler.hh"
+
+namespace adrias::ml
+{
+
+void
+saveParams(std::ostream &out, const std::vector<Param *> &params)
+{
+    out << "adrias-params v1\n" << params.size() << "\n";
+    out << std::setprecision(17);
+    for (const Param *p : params) {
+        out << p->name << " " << p->value.rows() << " " << p->value.cols()
+            << "\n";
+        for (double v : p->value.raw())
+            out << v << " ";
+        out << "\n";
+    }
+}
+
+void
+loadParams(std::istream &in, const std::vector<Param *> &params)
+{
+    std::string magic, version;
+    in >> magic >> version;
+    if (magic != "adrias-params" || version != "v1")
+        fatal("loadParams: unrecognized parameter file header");
+    std::size_t count = 0;
+    in >> count;
+    if (count != params.size())
+        fatal("loadParams: parameter count mismatch");
+    for (Param *p : params) {
+        std::string name;
+        std::size_t rows = 0, cols = 0;
+        in >> name >> rows >> cols;
+        if (!in)
+            fatal("loadParams: truncated file");
+        if (rows != p->value.rows() || cols != p->value.cols()) {
+            fatal("loadParams: shape mismatch for '" + name + "'");
+        }
+        for (double &v : p->value.raw()) {
+            in >> v;
+            if (!in)
+                fatal("loadParams: truncated tensor data");
+        }
+    }
+}
+
+void
+saveScaler(std::ostream &out, const StandardScaler &scaler)
+{
+    if (!scaler.fitted())
+        fatal("saveScaler: scaler is not fitted");
+    out << "adrias-scaler v1\n" << scaler.mean().size() << "\n";
+    out << std::setprecision(17);
+    for (double m : scaler.mean())
+        out << m << " ";
+    out << "\n";
+    for (double s : scaler.stddev())
+        out << s << " ";
+    out << "\n";
+}
+
+void
+loadScaler(std::istream &in, StandardScaler &scaler)
+{
+    std::string magic, version;
+    in >> magic >> version;
+    if (magic != "adrias-scaler" || version != "v1")
+        fatal("loadScaler: unrecognized scaler header");
+    std::size_t width = 0;
+    in >> width;
+    std::vector<double> means(width), stds(width);
+    for (double &m : means)
+        in >> m;
+    for (double &s : stds)
+        in >> s;
+    if (!in)
+        fatal("loadScaler: truncated scaler data");
+    scaler.restore(std::move(means), std::move(stds));
+}
+
+void
+saveStateTensors(std::ostream &out, const std::vector<Matrix *> &tensors)
+{
+    out << "adrias-state v1\n" << tensors.size() << "\n";
+    out << std::setprecision(17);
+    for (const Matrix *m : tensors) {
+        out << m->rows() << " " << m->cols() << "\n";
+        for (double v : m->raw())
+            out << v << " ";
+        out << "\n";
+    }
+}
+
+void
+loadStateTensors(std::istream &in, const std::vector<Matrix *> &tensors)
+{
+    std::string magic, version;
+    in >> magic >> version;
+    if (magic != "adrias-state" || version != "v1")
+        fatal("loadStateTensors: unrecognized state header");
+    std::size_t count = 0;
+    in >> count;
+    if (count != tensors.size())
+        fatal("loadStateTensors: state tensor count mismatch");
+    for (Matrix *m : tensors) {
+        std::size_t rows = 0, cols = 0;
+        in >> rows >> cols;
+        if (rows != m->rows() || cols != m->cols())
+            fatal("loadStateTensors: state tensor shape mismatch");
+        for (double &v : m->raw()) {
+            in >> v;
+            if (!in)
+                fatal("loadStateTensors: truncated state data");
+        }
+    }
+}
+
+void
+saveParamsToFile(const std::string &path,
+                 const std::vector<Param *> &params)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveParamsToFile: cannot open '" + path + "'");
+    saveParams(out, params);
+}
+
+void
+loadParamsFromFile(const std::string &path,
+                   const std::vector<Param *> &params)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadParamsFromFile: cannot open '" + path + "'");
+    loadParams(in, params);
+}
+
+} // namespace adrias::ml

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parameter (de)serialization so trained Predictor models can be saved
+ * at design time and re-used at run time, mirroring the paper's
+ * offline/online split.
+ */
+
+#ifndef ADRIAS_ML_SERIALIZE_HH
+#define ADRIAS_ML_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ml/layer.hh"
+
+namespace adrias::ml
+{
+
+/** Write all parameter tensors to a text stream (shape + values). */
+void saveParams(std::ostream &out, const std::vector<Param *> &params);
+
+/**
+ * Read parameter tensors back; shapes must match what was saved.
+ *
+ * @throws std::runtime_error on malformed input or shape mismatch.
+ */
+void loadParams(std::istream &in, const std::vector<Param *> &params);
+
+/** Convenience wrapper around saveParams targeting a file path. */
+void saveParamsToFile(const std::string &path,
+                      const std::vector<Param *> &params);
+
+/** Convenience wrapper around loadParams reading a file path. */
+void loadParamsFromFile(const std::string &path,
+                        const std::vector<Param *> &params);
+
+class StandardScaler;
+
+/** Write a fitted scaler's statistics (mean/std per column). */
+void saveScaler(std::ostream &out, const StandardScaler &scaler);
+
+/** Restore a scaler saved with saveScaler. */
+void loadScaler(std::istream &in, StandardScaler &scaler);
+
+/** Write non-trainable state tensors (shapes must match on load). */
+void saveStateTensors(std::ostream &out,
+                      const std::vector<Matrix *> &tensors);
+
+/** Restore state tensors saved with saveStateTensors. */
+void loadStateTensors(std::istream &in,
+                      const std::vector<Matrix *> &tensors);
+
+} // namespace adrias::ml
+
+#endif // ADRIAS_ML_SERIALIZE_HH

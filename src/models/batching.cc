@@ -1,0 +1,52 @@
+#include "models/batching.hh"
+
+#include "common/logging.hh"
+
+namespace adrias::models
+{
+
+std::vector<ml::Matrix>
+stackSequences(const std::vector<const std::vector<ml::Matrix> *> &sequences)
+{
+    if (sequences.empty())
+        panic("stackSequences: empty batch");
+    const std::size_t steps = sequences.front()->size();
+    if (steps == 0)
+        panic("stackSequences: zero-length sequences");
+    const std::size_t width = sequences.front()->front().cols();
+
+    std::vector<ml::Matrix> batched;
+    batched.reserve(steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+        ml::Matrix step(sequences.size(), width);
+        for (std::size_t b = 0; b < sequences.size(); ++b) {
+            const auto &sequence = *sequences[b];
+            if (sequence.size() != steps ||
+                sequence[t].cols() != width || sequence[t].rows() != 1) {
+                panic("stackSequences: ragged batch");
+            }
+            for (std::size_t c = 0; c < width; ++c)
+                step.at(b, c) = sequence[t].at(0, c);
+        }
+        batched.push_back(std::move(step));
+    }
+    return batched;
+}
+
+ml::Matrix
+stackRows(const std::vector<const ml::Matrix *> &rows)
+{
+    if (rows.empty())
+        panic("stackRows: empty batch");
+    const std::size_t width = rows.front()->cols();
+    ml::Matrix out(rows.size(), width);
+    for (std::size_t b = 0; b < rows.size(); ++b) {
+        if (rows[b]->cols() != width || rows[b]->rows() != 1)
+            panic("stackRows: ragged batch");
+        for (std::size_t c = 0; c < width; ++c)
+            out.at(b, c) = rows[b]->at(0, c);
+    }
+    return out;
+}
+
+} // namespace adrias::models

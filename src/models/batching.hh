@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minibatch assembly helpers shared by the model trainers: stacking
+ * equal-length (1 x F) sequences into time-major (B x F) batches.
+ */
+
+#ifndef ADRIAS_MODELS_BATCHING_HH
+#define ADRIAS_MODELS_BATCHING_HH
+
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace adrias::models
+{
+
+/**
+ * Stack per-sample sequences into a batched time-major sequence.
+ *
+ * @param sequences one entry per batch row; all must share length and
+ *        width, each step (1 x F).
+ * @return sequence of (B x F) matrices.
+ */
+std::vector<ml::Matrix>
+stackSequences(const std::vector<const std::vector<ml::Matrix> *> &sequences);
+
+/** Stack (1 x F) row vectors into a (B x F) matrix. */
+ml::Matrix stackRows(const std::vector<const ml::Matrix *> &rows);
+
+} // namespace adrias::models
+
+#endif // ADRIAS_MODELS_BATCHING_HH

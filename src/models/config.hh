@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hyper-parameters of the Adrias prediction models.
+ *
+ * The architectures follow Fig. 11 of the paper (2 LSTM layers feeding
+ * a triplet of Dense+ReLU+BatchNorm+Dropout blocks); sizes are scaled
+ * down from the PyTorch originals so CPU training stays in seconds
+ * (documented substitution, DESIGN.md §5).
+ */
+
+#ifndef ADRIAS_MODELS_CONFIG_HH
+#define ADRIAS_MODELS_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ml/sequential.hh"
+
+namespace adrias::models
+{
+
+/** Training/topology knobs shared by both model families. */
+struct ModelConfig
+{
+    /**
+     * Normalization inside the head blocks.  The paper's architecture
+     * uses batch normalization; layer normalization is the default
+     * here because the spiky channel counters make small-batch
+     * statistics untransferable to single-sample inference (see
+     * DESIGN.md §5 and the bench/ablation_head_norm experiment).
+     */
+    ml::HeadNorm headNorm = ml::HeadNorm::Layer;
+
+    /** LSTM hidden width H. */
+    std::size_t hidden = 24;
+
+    /** Width of each non-linear head block. */
+    std::size_t headWidth = 32;
+
+    /** Dropout probability inside the head blocks. */
+    double dropout = 0.05;
+
+    /** Adam learning rate. */
+    double learningRate = 5e-3;
+
+    /** Training epochs. */
+    std::size_t epochs = 30;
+
+    /** Minibatch size. */
+    std::size_t batchSize = 32;
+
+    /** Global gradient-norm clip. */
+    double gradClip = 5.0;
+
+    /** Weight-init / shuffle / dropout seed. */
+    std::uint64_t seed = 1234;
+
+    /**
+     * Regress log(target) instead of the raw target in the
+     * performance models.  Execution times and tail latencies are
+     * right-skewed across congestion levels; the log transform makes
+     * the loss scale-free and markedly improves R².
+     */
+    bool logTarget = true;
+};
+
+} // namespace adrias::models
+
+#endif // ADRIAS_MODELS_CONFIG_HH

@@ -1,0 +1,420 @@
+#include "models/performance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "ml/serialize.hh"
+
+#include "common/logging.hh"
+#include "ml/loss.hh"
+#include "ml/optimizer.hh"
+#include "models/batching.hh"
+#include "stats/regression_metrics.hh"
+#include "testbed/counters.hh"
+
+namespace adrias::models
+{
+
+using testbed::kNumPerfEvents;
+
+std::string
+toString(FutureKind kind)
+{
+    switch (kind) {
+      case FutureKind::None:
+        return "None";
+      case FutureKind::ActualWindow:
+        return "120";
+      case FutureKind::ActualExec:
+        return "exec";
+      case FutureKind::Predicted:
+        return "S^";
+    }
+    panic("unknown FutureKind");
+}
+
+PerformanceModel::PerformanceModel(FutureKind future_, ModelConfig config_)
+    : future(future_), config(config_), rng(config_.seed)
+{
+    historyLstm1 =
+        std::make_unique<ml::Lstm>(kNumPerfEvents, config.hidden, rng);
+    historyLstm2 =
+        std::make_unique<ml::Lstm>(config.hidden, config.hidden, rng);
+    signatureLstm1 =
+        std::make_unique<ml::Lstm>(kNumPerfEvents, config.hidden, rng);
+    signatureLstm2 =
+        std::make_unique<ml::Lstm>(config.hidden, config.hidden, rng);
+    const std::size_t head_input =
+        2 * config.hidden + 1 + futureWidth();
+    head = ml::makeNonLinearHead(head_input, config.headWidth, 1,
+                                 config.dropout, rng, config.headNorm);
+}
+
+std::size_t
+PerformanceModel::futureWidth() const
+{
+    return future == FutureKind::None ? 0 : kNumPerfEvents;
+}
+
+double
+PerformanceModel::encodeTarget(double target) const
+{
+    if (!config.logTarget)
+        return target;
+    if (target <= 0.0)
+        fatal("PerformanceModel: non-positive target with logTarget");
+    return std::log(target);
+}
+
+double
+PerformanceModel::decodeTarget(double encoded) const
+{
+    return config.logTarget ? std::exp(encoded) : encoded;
+}
+
+std::vector<ml::Param *>
+PerformanceModel::params()
+{
+    std::vector<ml::Param *> all;
+    for (ml::Lstm *lstm : {historyLstm1.get(), historyLstm2.get(),
+                           signatureLstm1.get(), signatureLstm2.get()})
+        for (ml::Param *p : lstm->params())
+            all.push_back(p);
+    for (ml::Param *p : head->params())
+        all.push_back(p);
+    return all;
+}
+
+ml::Matrix
+PerformanceModel::resolveFuture(const scenario::PerformanceSample &sample,
+                                const SystemStateModel *system) const
+{
+    switch (future) {
+      case FutureKind::None:
+        return ml::Matrix();
+      case FutureKind::ActualWindow:
+        return sample.futureWindow;
+      case FutureKind::ActualExec:
+        return sample.futureExec;
+      case FutureKind::Predicted:
+        if (!system || !system->trained())
+            fatal("FutureKind::Predicted needs a trained system model");
+        return system->predict(sample.history);
+    }
+    panic("unknown FutureKind");
+}
+
+ml::Matrix
+PerformanceModel::forwardBatch(const std::vector<ml::Matrix> &history,
+                               const std::vector<ml::Matrix> &signature,
+                               const ml::Matrix &mode_col,
+                               const ml::Matrix &future_rows) const
+{
+    const auto h1 = historyLstm1->forwardSequence(history);
+    const auto h2 = historyLstm2->forwardSequence(h1);
+    const auto k1 = signatureLstm1->forwardSequence(signature);
+    const auto k2 = signatureLstm2->forwardSequence(k1);
+
+    ml::Matrix hidden = h2.back().hconcat(k2.back()).hconcat(mode_col);
+    if (futureWidth() > 0)
+        hidden = hidden.hconcat(future_rows);
+    return head->forward(hidden);
+}
+
+void
+PerformanceModel::backwardBatch(const ml::Matrix &grad_output,
+                                std::size_t batch_rows) const
+{
+    const ml::Matrix grad_hidden = head->backward(grad_output);
+    const std::size_t H = config.hidden;
+
+    const ml::Matrix grad_h_last = grad_hidden.colRange(0, H);
+    const ml::Matrix grad_k_last = grad_hidden.colRange(H, 2 * H);
+    // Gradients w.r.t. mode and future inputs are discarded — they are
+    // inputs, not parameters.
+
+    const std::size_t bins = scenario::ScenarioRunner::kWindowBins;
+    std::vector<ml::Matrix> grad_h2(bins, ml::Matrix(batch_rows, H));
+    grad_h2.back() = grad_h_last;
+    historyLstm1->backwardSequence(historyLstm2->backwardSequence(grad_h2));
+
+    std::vector<ml::Matrix> grad_k2(bins, ml::Matrix(batch_rows, H));
+    grad_k2.back() = grad_k_last;
+    signatureLstm1->backwardSequence(
+        signatureLstm2->backwardSequence(grad_k2));
+}
+
+double
+PerformanceModel::train(
+    const std::vector<scenario::PerformanceSample> &samples,
+    const SystemStateModel *system)
+{
+    if (samples.size() < 4)
+        fatal("PerformanceModel::train: too few samples");
+
+    // Counter scaler pooled over histories and signatures (same units).
+    std::vector<std::vector<ml::Matrix>> sequences;
+    for (const auto &sample : samples) {
+        sequences.push_back(sample.history);
+        sequences.push_back(sample.signature);
+    }
+    counterScaler.fitSequences(sequences);
+
+    ml::Matrix targets(samples.size(), 1);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        targets.at(i, 0) = encodeTarget(samples[i].target);
+    targetScaler.fit(targets);
+
+    return fitLoop(samples, system, config.epochs, config.learningRate);
+}
+
+double
+PerformanceModel::fineTune(
+    const std::vector<scenario::PerformanceSample> &samples,
+    const SystemStateModel *system, std::size_t epochs)
+{
+    if (!isTrained)
+        fatal("PerformanceModel::fineTune before train()");
+    if (samples.empty())
+        fatal("PerformanceModel::fineTune: no samples");
+    // Scalers are deliberately kept from the original fit so the new
+    // samples live in the same feature space; a reduced learning rate
+    // avoids catastrophic drift away from the base model.
+    return fitLoop(samples, system, epochs, config.learningRate * 0.3);
+}
+
+double
+PerformanceModel::fitLoop(
+    const std::vector<scenario::PerformanceSample> &samples,
+    const SystemStateModel *system, std::size_t epochs,
+    double learning_rate)
+{
+    // Pre-resolve the future vectors once (the Predicted variant runs
+    // the system model per sample).
+    std::vector<ml::Matrix> futures(samples.size());
+    if (futureWidth() > 0)
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            futures[i] = resolveFuture(samples[i], system);
+
+    auto parameters = params();
+    ml::Adam optimizer(parameters, learning_rate);
+    head->setTraining(true);
+
+    std::vector<std::size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    double epoch_loss = 0.0;
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        rng.shuffle(order);
+        epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t begin = 0; begin < order.size();
+             begin += config.batchSize) {
+            const std::size_t end =
+                std::min(order.size(), begin + config.batchSize);
+            const std::size_t rows = end - begin;
+
+            std::vector<std::vector<ml::Matrix>> scaled_h, scaled_k;
+            std::vector<const std::vector<ml::Matrix> *> h_ptrs, k_ptrs;
+            ml::Matrix mode_col(rows, 1);
+            ml::Matrix future_rows(rows, futureWidth());
+            ml::Matrix target(rows, 1);
+            scaled_h.reserve(rows);
+            scaled_k.reserve(rows);
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto &sample = samples[order[i]];
+                scaled_h.push_back(
+                    counterScaler.transformSequence(sample.history));
+                scaled_k.push_back(
+                    counterScaler.transformSequence(sample.signature));
+                const std::size_t row = i - begin;
+                mode_col.at(row, 0) =
+                    sample.mode == MemoryMode::Remote ? 1.0 : 0.0;
+                if (futureWidth() > 0) {
+                    const ml::Matrix scaled_future =
+                        counterScaler.transform(futures[order[i]]);
+                    for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+                        future_rows.at(row, e) = scaled_future.at(0, e);
+                }
+                target.at(row, 0) = targetScaler.transformScalar(
+                    encodeTarget(sample.target), 0);
+            }
+            for (const auto &seq : scaled_h)
+                h_ptrs.push_back(&seq);
+            for (const auto &seq : scaled_k)
+                k_ptrs.push_back(&seq);
+
+            optimizer.zeroGrad();
+            const ml::Matrix prediction =
+                forwardBatch(stackSequences(h_ptrs),
+                             stackSequences(k_ptrs), mode_col,
+                             future_rows);
+            ml::Matrix grad;
+            epoch_loss += ml::mseLoss(prediction, target, &grad);
+            ++batches;
+            backwardBatch(grad, rows);
+            optimizer.clipGradNorm(config.gradClip);
+            optimizer.step();
+        }
+        epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    }
+
+    // Replace BatchNorm running statistics with exact population
+    // statistics (clean pass over the training set, no updates).
+    head->beginStatsEstimation();
+    for (std::size_t begin = 0; begin < samples.size();
+         begin += config.batchSize) {
+        const std::size_t end =
+            std::min(samples.size(), begin + config.batchSize);
+        const std::size_t rows = end - begin;
+        std::vector<std::vector<ml::Matrix>> scaled_h, scaled_k;
+        std::vector<const std::vector<ml::Matrix> *> h_ptrs, k_ptrs;
+        ml::Matrix mode_col(rows, 1);
+        ml::Matrix future_rows(rows, futureWidth());
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto &sample = samples[i];
+            scaled_h.push_back(
+                counterScaler.transformSequence(sample.history));
+            scaled_k.push_back(
+                counterScaler.transformSequence(sample.signature));
+            const std::size_t row = i - begin;
+            mode_col.at(row, 0) =
+                sample.mode == MemoryMode::Remote ? 1.0 : 0.0;
+            if (futureWidth() > 0) {
+                const ml::Matrix scaled_future =
+                    counterScaler.transform(futures[i]);
+                for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+                    future_rows.at(row, e) = scaled_future.at(0, e);
+            }
+        }
+        for (const auto &seq : scaled_h)
+            h_ptrs.push_back(&seq);
+        for (const auto &seq : scaled_k)
+            k_ptrs.push_back(&seq);
+        forwardBatch(stackSequences(h_ptrs), stackSequences(k_ptrs),
+                     mode_col, future_rows);
+    }
+    head->endStatsEstimation();
+
+    head->setTraining(false);
+    isTrained = true;
+    return epoch_loss;
+}
+
+void
+PerformanceModel::save(const std::string &path)
+{
+    if (!isTrained)
+        fatal("PerformanceModel::save before train()");
+    std::ofstream out(path);
+    if (!out)
+        fatal("PerformanceModel::save: cannot open '" + path + "'");
+    out << "adrias-perf " << toString(future) << " "
+        << (config.logTarget ? 1 : 0) << "\n";
+    ml::saveParams(out, params());
+    ml::saveStateTensors(out, head->stateTensors());
+    ml::saveScaler(out, counterScaler);
+    ml::saveScaler(out, targetScaler);
+}
+
+void
+PerformanceModel::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("PerformanceModel::load: cannot open '" + path + "'");
+    std::string magic, kind;
+    int log_flag = 0;
+    in >> magic >> kind >> log_flag;
+    if (magic != "adrias-perf")
+        fatal("PerformanceModel::load: unrecognized header");
+    if (kind != toString(future))
+        fatal("PerformanceModel::load: FutureKind mismatch (file has '" +
+              kind + "')");
+    if ((log_flag != 0) != config.logTarget)
+        fatal("PerformanceModel::load: logTarget mismatch");
+    ml::loadParams(in, params());
+    ml::loadStateTensors(in, head->stateTensors());
+    ml::loadScaler(in, counterScaler);
+    ml::loadScaler(in, targetScaler);
+    head->setTraining(false);
+    isTrained = true;
+}
+
+double
+PerformanceModel::predict(const std::vector<ml::Matrix> &history,
+                          const std::vector<ml::Matrix> &signature,
+                          MemoryMode mode, const ml::Matrix &future_vec) const
+{
+    if (!isTrained)
+        fatal("PerformanceModel::predict before train()");
+    if (history.empty() || signature.empty())
+        fatal("PerformanceModel::predict needs history and signature");
+    if (futureWidth() > 0 && future_vec.empty())
+        fatal("PerformanceModel::predict: this model needs a future "
+              "vector");
+
+    const auto h = counterScaler.transformSequence(history);
+    const auto k = counterScaler.transformSequence(signature);
+    ml::Matrix mode_col(1, 1);
+    mode_col.at(0, 0) = mode == MemoryMode::Remote ? 1.0 : 0.0;
+    ml::Matrix future_rows(1, futureWidth());
+    if (futureWidth() > 0) {
+        const ml::Matrix scaled = counterScaler.transform(future_vec);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            future_rows.at(0, e) = scaled.at(0, e);
+    }
+    const ml::Matrix out = forwardBatch(h, k, mode_col, future_rows);
+    return decodeTarget(targetScaler.inverseTransformScalar(out.at(0, 0),
+                                                            0));
+}
+
+PerformanceEvaluation
+PerformanceModel::evaluate(
+    const std::vector<scenario::PerformanceSample> &samples,
+    const SystemStateModel *system) const
+{
+    if (samples.empty())
+        fatal("PerformanceModel::evaluate on empty set");
+
+    PerformanceEvaluation eval;
+    std::vector<double> actual_local, pred_local;
+    std::vector<double> actual_remote, pred_remote;
+    std::map<std::string, std::vector<double>> errors_per_app;
+
+    for (const auto &sample : samples) {
+        const ml::Matrix future_vec = resolveFuture(sample, system);
+        const double prediction = predict(sample.history, sample.signature,
+                                          sample.mode, future_vec);
+        eval.actual.push_back(sample.target);
+        eval.predicted.push_back(prediction);
+        errors_per_app[sample.name].push_back(
+            std::fabs(sample.target - prediction));
+        if (sample.mode == MemoryMode::Local) {
+            actual_local.push_back(sample.target);
+            pred_local.push_back(prediction);
+        } else {
+            actual_remote.push_back(sample.target);
+            pred_remote.push_back(prediction);
+        }
+    }
+
+    eval.r2 = stats::r2Score(eval.actual, eval.predicted);
+    eval.mae = stats::meanAbsoluteError(eval.actual, eval.predicted);
+    if (actual_local.size() >= 2)
+        eval.r2Local = stats::r2Score(actual_local, pred_local);
+    if (actual_remote.size() >= 2)
+        eval.r2Remote = stats::r2Score(actual_remote, pred_remote);
+    for (const auto &[name, errors] : errors_per_app) {
+        double total = 0.0;
+        for (double e : errors)
+            total += e;
+        eval.maePerApp[name] =
+            total / static_cast<double>(errors.size());
+    }
+    return eval;
+}
+
+} // namespace adrias::models

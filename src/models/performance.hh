@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The application performance prediction model (paper Fig. 11b):
+ * separate 2-layer LSTM encoders for the system history S and the
+ * application signature k, concatenated with the deployment mode and
+ * the (predicted or actual) future system state Ŝ, followed by the
+ * non-linear head producing one scalar — execution time for the
+ * universal BE model, p99 latency for the LC model.
+ */
+
+#ifndef ADRIAS_MODELS_PERFORMANCE_HH
+#define ADRIAS_MODELS_PERFORMANCE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/lstm.hh"
+#include "ml/scaler.hh"
+#include "ml/sequential.hh"
+#include "models/config.hh"
+#include "models/system_state.hh"
+#include "scenario/dataset.hh"
+
+namespace adrias::models
+{
+
+/**
+ * What is fed as the future-state vector Ŝ (the {train, test} ablation
+ * of paper Fig. 13b).
+ */
+enum class FutureKind
+{
+    None,         ///< no future input at all
+    ActualWindow, ///< actual mean counters over the 120 s after arrival
+    ActualExec,   ///< actual mean counters over the full execution
+    Predicted,    ///< propagated from the system-state model
+};
+
+/** @return short label used in bench tables ("None", "120", ...). */
+std::string toString(FutureKind kind);
+
+/** Test metrics for a performance model (Figs. 13-14). */
+struct PerformanceEvaluation
+{
+    double r2 = 0.0;
+    double mae = 0.0;
+    double r2Local = 0.0;
+    double r2Remote = 0.0;
+
+    /** MAE per application name. */
+    std::map<std::string, double> maePerApp;
+
+    std::vector<double> actual;
+    std::vector<double> predicted;
+};
+
+/** Universal per-class performance predictor. */
+class PerformanceModel
+{
+  public:
+    /**
+     * @param future which Ŝ variant this model consumes.
+     * @param config topology/training knobs.
+     */
+    explicit PerformanceModel(FutureKind future, ModelConfig config = {});
+
+    /**
+     * Train on performance samples.
+     *
+     * @param samples training split.
+     * @param system required when future == Predicted (Ŝ is propagated
+     *        through the trained system-state model).
+     * @return final-epoch training loss.
+     */
+    double train(const std::vector<scenario::PerformanceSample> &samples,
+                 const SystemStateModel *system = nullptr);
+
+    /**
+     * Continue training on newly collected samples without refitting
+     * the scalers (continual learning, the operational consequence of
+     * the paper's Fig. 15: unseen apps need signature collection and
+     * retraining).  Uses a reduced learning rate to avoid drift.
+     *
+     * @pre train() has run.
+     * @return final-epoch loss on the new samples.
+     */
+    double
+    fineTune(const std::vector<scenario::PerformanceSample> &samples,
+             const SystemStateModel *system, std::size_t epochs);
+
+    /**
+     * Predict the performance metric for a hypothetical deployment.
+     *
+     * @param history binned Watcher window S.
+     * @param signature application signature k.
+     * @param mode deployment mode under consideration.
+     * @param future Ŝ vector (1 x events); pass an empty Matrix for
+     *        FutureKind::None models.
+     * @return predicted execution time (s) or p99 (ms).
+     */
+    double predict(const std::vector<ml::Matrix> &history,
+                   const std::vector<ml::Matrix> &signature,
+                   MemoryMode mode, const ml::Matrix &future) const;
+
+    /** Evaluate on held-out samples (Ŝ resolved per this model's kind). */
+    PerformanceEvaluation
+    evaluate(const std::vector<scenario::PerformanceSample> &samples,
+             const SystemStateModel *system = nullptr) const;
+
+    FutureKind futureKind() const { return future; }
+    bool trained() const { return isTrained; }
+
+    /** All trainable parameters (for persistence). */
+    std::vector<ml::Param *> params();
+
+    /** Persist the full model (weights, norm state, scalers). */
+    void save(const std::string &path);
+
+    /**
+     * Restore a model saved with save(); FutureKind and ModelConfig
+     * must match the constructor arguments.  Marks the model trained.
+     */
+    void load(const std::string &path);
+
+    /** Resolve the Ŝ input for one sample given this model's kind. */
+    ml::Matrix resolveFuture(const scenario::PerformanceSample &sample,
+                             const SystemStateModel *system) const;
+
+  private:
+    FutureKind future;
+    ModelConfig config;
+    mutable Rng rng;
+    std::unique_ptr<ml::Lstm> historyLstm1;
+    std::unique_ptr<ml::Lstm> historyLstm2;
+    std::unique_ptr<ml::Lstm> signatureLstm1;
+    std::unique_ptr<ml::Lstm> signatureLstm2;
+    std::unique_ptr<ml::Sequential> head;
+    ml::StandardScaler counterScaler; ///< shared by S, k and Ŝ
+    ml::StandardScaler targetScaler;
+    bool isTrained = false;
+
+    std::size_t futureWidth() const;
+
+    /** Raw-target <-> regression-space transforms (log when enabled). */
+    double encodeTarget(double target) const;
+    double decodeTarget(double encoded) const;
+
+    /** Shared epoch loop of train() and fineTune(). */
+    double fitLoop(const std::vector<scenario::PerformanceSample> &samples,
+                   const SystemStateModel *system, std::size_t epochs,
+                   double learning_rate);
+
+    /** Batched forward; returns (B x 1) scaled prediction. */
+    ml::Matrix forwardBatch(const std::vector<ml::Matrix> &history,
+                            const std::vector<ml::Matrix> &signature,
+                            const ml::Matrix &mode_col,
+                            const ml::Matrix &future_rows) const;
+
+    void backwardBatch(const ml::Matrix &grad_output,
+                       std::size_t batch_rows) const;
+};
+
+} // namespace adrias::models
+
+#endif // ADRIAS_MODELS_PERFORMANCE_HH

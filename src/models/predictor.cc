@@ -1,0 +1,71 @@
+#include "models/predictor.hh"
+
+#include "common/logging.hh"
+#include "scenario/runner.hh"
+
+namespace adrias::models
+{
+
+Predictor::Predictor(ModelConfig config)
+{
+    system = std::make_unique<SystemStateModel>(config);
+    ModelConfig perf_config = config;
+    perf_config.seed = config.seed + 1;
+    bestEffort = std::make_unique<PerformanceModel>(FutureKind::Predicted,
+                                                    perf_config);
+    perf_config.seed = config.seed + 2;
+    lc = std::make_unique<PerformanceModel>(FutureKind::Predicted,
+                                            perf_config);
+}
+
+void
+Predictor::train(
+    const std::vector<scenario::SystemStateSample> &state_samples,
+    const std::vector<scenario::PerformanceSample> &be_samples,
+    const std::vector<scenario::PerformanceSample> &lc_samples)
+{
+    system->train(state_samples);
+    bestEffort->train(be_samples, system.get());
+    if (lc_samples.size() >= 4) {
+        lc->train(lc_samples, system.get());
+        lcTrained = true;
+    } else {
+        logWarn("Predictor: too few LC samples; LC model not trained");
+    }
+    isTrained = true;
+}
+
+ml::Matrix
+Predictor::predictSystemState(const telemetry::Watcher &watcher) const
+{
+    if (!isTrained)
+        fatal("Predictor::predictSystemState before train()");
+    const auto window = watcher.binnedWindow(
+        scenario::ScenarioRunner::kWindowSec,
+        scenario::ScenarioRunner::kWindowBins);
+    return system->predict(window);
+}
+
+double
+Predictor::predictPerformance(WorkloadClass cls,
+                              const std::vector<ml::Matrix> &history,
+                              const std::vector<ml::Matrix> &signature,
+                              MemoryMode mode) const
+{
+    if (!isTrained)
+        fatal("Predictor::predictPerformance before train()");
+    const ml::Matrix future = system->predict(history);
+    switch (cls) {
+      case WorkloadClass::BestEffort:
+        return bestEffort->predict(history, signature, mode, future);
+      case WorkloadClass::LatencyCritical:
+        if (!lcTrained)
+            fatal("Predictor: LC model was not trained");
+        return lc->predict(history, signature, mode, future);
+      case WorkloadClass::Interference:
+        fatal("Predictor: no performance model for trashers");
+    }
+    panic("unknown WorkloadClass");
+}
+
+} // namespace adrias::models

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Predictor component (paper §V-B): the stacked-model facade that
+ * chains the system-state forecaster into the per-class performance
+ * models, exposing exactly what the Orchestrator needs at deployment
+ * time.
+ */
+
+#ifndef ADRIAS_MODELS_PREDICTOR_HH
+#define ADRIAS_MODELS_PREDICTOR_HH
+
+#include <memory>
+
+#include "models/performance.hh"
+#include "models/system_state.hh"
+#include "scenario/signature.hh"
+#include "telemetry/watcher.hh"
+
+namespace adrias::models
+{
+
+/**
+ * What the Orchestrator needs from a prediction stack.  The production
+ * implementation is Predictor; tests inject stubs to pin down the
+ * decision rules exactly.
+ */
+class PredictorBase
+{
+  public:
+    virtual ~PredictorBase() = default;
+
+    /** Forecast mean counters over the horizon from live telemetry. */
+    virtual ml::Matrix
+    predictSystemState(const telemetry::Watcher &watcher) const = 0;
+
+    /**
+     * Predict an application's performance under a hypothetical mode
+     * (execution time in seconds for BE, p99 in ms for LC).
+     */
+    virtual double
+    predictPerformance(WorkloadClass cls,
+                       const std::vector<ml::Matrix> &history,
+                       const std::vector<ml::Matrix> &signature,
+                       MemoryMode mode) const = 0;
+
+    /** @return true once the stack is ready to serve predictions. */
+    virtual bool trained() const = 0;
+};
+
+/** Design-time trained, run-time queried prediction stack. */
+class Predictor : public PredictorBase
+{
+  public:
+    /**
+     * @param config shared model hyper-parameters.
+     *
+     * The performance models use FutureKind::Predicted — the paper's
+     * best pragmatic variant {120, Ŝ} — i.e. they are trained on Ŝ
+     * propagated from the system-state model.
+     */
+    explicit Predictor(ModelConfig config = {});
+
+    /**
+     * Offline phase: train all three models.
+     *
+     * @param state_samples system-state training set.
+     * @param be_samples best-effort performance training set.
+     * @param lc_samples latency-critical performance training set
+     *        (may be empty; LC predictions then unavailable).
+     */
+    void train(const std::vector<scenario::SystemStateSample> &state_samples,
+               const std::vector<scenario::PerformanceSample> &be_samples,
+               const std::vector<scenario::PerformanceSample> &lc_samples);
+
+    /** Forecast mean counters over the horizon from live telemetry. */
+    ml::Matrix
+    predictSystemState(const telemetry::Watcher &watcher) const override;
+
+    /**
+     * Predict an application's performance under a hypothetical mode.
+     *
+     * @param cls BestEffort (returns execution time, s) or
+     *        LatencyCritical (returns p99, ms).
+     * @param history Watcher window S at decision time.
+     * @param signature application signature k.
+     * @param mode hypothetical placement.
+     */
+    double
+    predictPerformance(WorkloadClass cls,
+                       const std::vector<ml::Matrix> &history,
+                       const std::vector<ml::Matrix> &signature,
+                       MemoryMode mode) const override;
+
+    const SystemStateModel &systemModel() const { return *system; }
+    SystemStateModel &systemModel() { return *system; }
+    const PerformanceModel &bestEffortModel() const { return *bestEffort; }
+    const PerformanceModel &latencyCriticalModel() const { return *lc; }
+
+    bool trained() const override { return isTrained; }
+
+  private:
+    std::unique_ptr<SystemStateModel> system;
+    std::unique_ptr<PerformanceModel> bestEffort;
+    std::unique_ptr<PerformanceModel> lc;
+    bool isTrained = false;
+    bool lcTrained = false;
+};
+
+} // namespace adrias::models
+
+#endif // ADRIAS_MODELS_PREDICTOR_HH

@@ -1,0 +1,221 @@
+#include "models/system_state.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "ml/loss.hh"
+#include "ml/optimizer.hh"
+#include "ml/serialize.hh"
+#include "models/batching.hh"
+#include "stats/regression_metrics.hh"
+#include "testbed/counters.hh"
+
+namespace adrias::models
+{
+
+using testbed::kNumPerfEvents;
+
+SystemStateModel::SystemStateModel(ModelConfig config_)
+    : config(config_), rng(config_.seed)
+{
+    lstm1 = std::make_unique<ml::Lstm>(kNumPerfEvents, config.hidden, rng);
+    lstm2 = std::make_unique<ml::Lstm>(config.hidden, config.hidden, rng);
+    head = ml::makeNonLinearHead(config.hidden, config.headWidth,
+                                 kNumPerfEvents, config.dropout, rng,
+                                 config.headNorm);
+}
+
+std::vector<ml::Param *>
+SystemStateModel::params()
+{
+    std::vector<ml::Param *> all = lstm1->params();
+    for (ml::Param *p : lstm2->params())
+        all.push_back(p);
+    for (ml::Param *p : head->params())
+        all.push_back(p);
+    return all;
+}
+
+ml::Matrix
+SystemStateModel::forwardBatch(const std::vector<ml::Matrix> &batch) const
+{
+    const auto hidden1 = lstm1->forwardSequence(batch);
+    const auto hidden2 = lstm2->forwardSequence(hidden1);
+    return head->forward(hidden2.back());
+}
+
+void
+SystemStateModel::backwardBatch(const ml::Matrix &grad_output,
+                                std::size_t batch_rows) const
+{
+    const ml::Matrix grad_last = head->backward(grad_output);
+    std::vector<ml::Matrix> grad_hidden2(
+        scenario::ScenarioRunner::kWindowBins,
+        ml::Matrix(batch_rows, config.hidden));
+    grad_hidden2.back() = grad_last;
+    const auto grad_hidden1 = lstm2->backwardSequence(grad_hidden2);
+    lstm1->backwardSequence(grad_hidden1);
+}
+
+double
+SystemStateModel::train(
+    const std::vector<scenario::SystemStateSample> &samples)
+{
+    if (samples.size() < 4)
+        fatal("SystemStateModel::train: too few samples");
+
+    // Fit scalers on the training inputs/targets only.
+    std::vector<std::vector<ml::Matrix>> sequences;
+    sequences.reserve(samples.size());
+    for (const auto &sample : samples)
+        sequences.push_back(sample.history);
+    inputScaler.fitSequences(sequences);
+
+    ml::Matrix targets(samples.size(), kNumPerfEvents);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            targets.at(i, e) = samples[i].target.at(0, e);
+    targetScaler.fit(targets);
+
+    auto parameters = params();
+    ml::Adam optimizer(parameters, config.learningRate);
+    head->setTraining(true);
+
+    std::vector<std::size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    double epoch_loss = 0.0;
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t begin = 0; begin < order.size();
+             begin += config.batchSize) {
+            const std::size_t end =
+                std::min(order.size(), begin + config.batchSize);
+
+            std::vector<const std::vector<ml::Matrix> *> batch_seqs;
+            std::vector<const ml::Matrix *> batch_targets;
+            std::vector<std::vector<ml::Matrix>> scaled_seqs;
+            scaled_seqs.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+                scaled_seqs.push_back(inputScaler.transformSequence(
+                    samples[order[i]].history));
+                batch_targets.push_back(&samples[order[i]].target);
+            }
+            for (const auto &seq : scaled_seqs)
+                batch_seqs.push_back(&seq);
+
+            const auto batch = stackSequences(batch_seqs);
+            const ml::Matrix target =
+                targetScaler.transform(stackRows(batch_targets));
+
+            optimizer.zeroGrad();
+            const ml::Matrix prediction = forwardBatch(batch);
+            ml::Matrix grad;
+            epoch_loss += ml::mseLoss(prediction, target, &grad);
+            ++batches;
+            backwardBatch(grad, end - begin);
+            optimizer.clipGradNorm(config.gradClip);
+            optimizer.step();
+        }
+        epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    }
+
+    // One clean pass to replace BatchNorm running statistics with exact
+    // population statistics — eliminates the train/eval normalization
+    // mismatch that spiky channel counters otherwise cause.
+    head->beginStatsEstimation();
+    for (std::size_t begin = 0; begin < samples.size();
+         begin += config.batchSize) {
+        const std::size_t end =
+            std::min(samples.size(), begin + config.batchSize);
+        std::vector<std::vector<ml::Matrix>> scaled;
+        std::vector<const std::vector<ml::Matrix> *> ptrs;
+        scaled.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            scaled.push_back(
+                inputScaler.transformSequence(samples[i].history));
+        for (const auto &seq : scaled)
+            ptrs.push_back(&seq);
+        forwardBatch(stackSequences(ptrs));
+    }
+    head->endStatsEstimation();
+
+    head->setTraining(false);
+    isTrained = true;
+    return epoch_loss;
+}
+
+void
+SystemStateModel::save(const std::string &path)
+{
+    if (!isTrained)
+        fatal("SystemStateModel::save before train()");
+    std::ofstream out(path);
+    if (!out)
+        fatal("SystemStateModel::save: cannot open '" + path + "'");
+    ml::saveParams(out, params());
+    ml::saveStateTensors(out, head->stateTensors());
+    ml::saveScaler(out, inputScaler);
+    ml::saveScaler(out, targetScaler);
+}
+
+void
+SystemStateModel::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("SystemStateModel::load: cannot open '" + path + "'");
+    ml::loadParams(in, params());
+    ml::loadStateTensors(in, head->stateTensors());
+    ml::loadScaler(in, inputScaler);
+    ml::loadScaler(in, targetScaler);
+    head->setTraining(false);
+    isTrained = true;
+}
+
+ml::Matrix
+SystemStateModel::predict(const std::vector<ml::Matrix> &history) const
+{
+    if (!isTrained)
+        fatal("SystemStateModel::predict before train()");
+    if (history.empty())
+        fatal("SystemStateModel::predict on empty history");
+    const auto scaled = inputScaler.transformSequence(history);
+    const ml::Matrix out = forwardBatch(scaled);
+    return targetScaler.inverseTransform(out);
+}
+
+SystemStateEvaluation
+SystemStateModel::evaluate(
+    const std::vector<scenario::SystemStateSample> &samples) const
+{
+    if (samples.empty())
+        fatal("SystemStateModel::evaluate on empty set");
+
+    std::vector<std::vector<double>> actual(kNumPerfEvents);
+    std::vector<std::vector<double>> predicted(kNumPerfEvents);
+    SystemStateEvaluation eval;
+    for (const auto &sample : samples) {
+        const ml::Matrix out = predict(sample.history);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e) {
+            actual[e].push_back(sample.target.at(0, e));
+            predicted[e].push_back(out.at(0, e));
+            eval.actual.push_back(sample.target.at(0, e));
+            eval.predicted.push_back(out.at(0, e));
+        }
+    }
+    double total = 0.0;
+    for (std::size_t e = 0; e < kNumPerfEvents; ++e) {
+        const double r2 = stats::r2Score(actual[e], predicted[e]);
+        eval.r2PerEvent.push_back(r2);
+        total += r2;
+    }
+    eval.r2Average = total / static_cast<double>(kNumPerfEvents);
+    return eval;
+}
+
+} // namespace adrias::models

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The system-state prediction model (paper Fig. 11a, Table I): two
+ * stacked LSTM layers over the binned 120 s history window, followed by
+ * the non-linear head, predicting the mean of every monitored event
+ * over the next 120 s.
+ */
+
+#ifndef ADRIAS_MODELS_SYSTEM_STATE_HH
+#define ADRIAS_MODELS_SYSTEM_STATE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/lstm.hh"
+#include "ml/scaler.hh"
+#include "ml/sequential.hh"
+#include "models/config.hh"
+#include "scenario/dataset.hh"
+
+namespace adrias::models
+{
+
+/** Per-event and aggregate test metrics (what Table I reports). */
+struct SystemStateEvaluation
+{
+    /** R² per monitored event. */
+    std::vector<double> r2PerEvent;
+
+    /** Average R² across events. */
+    double r2Average = 0.0;
+
+    /** Flattened actual/predicted pairs for residual plots (Fig. 12). */
+    std::vector<double> actual;
+    std::vector<double> predicted;
+};
+
+/** Forecasts the mean of each performance event over the horizon. */
+class SystemStateModel
+{
+  public:
+    explicit SystemStateModel(ModelConfig config = {});
+
+    /**
+     * Fit scalers and train on the given samples.
+     *
+     * @return final-epoch training loss (scaled units).
+     */
+    double train(const std::vector<scenario::SystemStateSample> &samples);
+
+    /**
+     * Predict the horizon mean for one history window.
+     *
+     * @param history binned window (kWindowBins steps of 1 x events).
+     * @return (1 x events) prediction in counter units.
+     */
+    ml::Matrix predict(const std::vector<ml::Matrix> &history) const;
+
+    /** Evaluate R² per event on held-out samples. */
+    SystemStateEvaluation
+    evaluate(const std::vector<scenario::SystemStateSample> &samples) const;
+
+    /** @return true after train() has run. */
+    bool trained() const { return isTrained; }
+
+    /** All trainable parameters (for persistence). */
+    std::vector<ml::Param *> params();
+
+    /**
+     * Persist the full model (weights, normalization state, scalers)
+     * so a serving process can reload it without retraining.
+     */
+    void save(const std::string &path);
+
+    /**
+     * Restore a model saved with save(); topology (ModelConfig) must
+     * match the constructor arguments.  Marks the model trained.
+     */
+    void load(const std::string &path);
+
+  private:
+    ModelConfig config;
+    mutable Rng rng;
+    std::unique_ptr<ml::Lstm> lstm1;
+    std::unique_ptr<ml::Lstm> lstm2;
+    std::unique_ptr<ml::Sequential> head;
+    ml::StandardScaler inputScaler;
+    ml::StandardScaler targetScaler;
+    bool isTrained = false;
+
+    /**
+     * Batched forward pass to the head output.
+     *
+     * @param batch time-major scaled sequence of (B x events).
+     * @return (B x events) scaled prediction.
+     */
+    ml::Matrix forwardBatch(const std::vector<ml::Matrix> &batch) const;
+
+    /** Backward from head-output gradient through both LSTMs. */
+    void backwardBatch(const ml::Matrix &grad_output,
+                       std::size_t batch_rows) const;
+};
+
+} // namespace adrias::models
+
+#endif // ADRIAS_MODELS_SYSTEM_STATE_HH

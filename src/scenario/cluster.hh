@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Multi-node cluster simulation — the paper's §VII scalability design:
+ * the Watcher and Predictor are per-node, while the orchestration
+ * logic is centralized and must pick a node *and* a memory mode for
+ * each arriving application, accounting for cluster-level efficiency
+ * on iso-QoS predictions.
+ *
+ * Each node is an independent ThymesisFlow borrower/lender pair (the
+ * prototype's unit); there is no cross-node memory lending.
+ */
+
+#ifndef ADRIAS_SCENARIO_CLUSTER_HH
+#define ADRIAS_SCENARIO_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "scenario/placement.hh"
+#include "scenario/runner.hh"
+
+namespace adrias::scenario
+{
+
+/** A (node, mode) decision. */
+struct ClusterPlacement
+{
+    std::size_t node = 0;
+    MemoryMode mode = MemoryMode::Local;
+};
+
+/** What a cluster policy may inspect about one node. */
+struct NodeView
+{
+    /** The node's live telemetry. */
+    const telemetry::Watcher *watcher = nullptr;
+
+    /** Number of deployments currently running on the node. */
+    std::size_t running = 0;
+};
+
+/** Chooses node and memory mode for arriving applications. */
+class ClusterPolicy
+{
+  public:
+    virtual ~ClusterPolicy() = default;
+
+    /** Short name for bench tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Decide placement for an arriving application.
+     *
+     * @param spec the application.
+     * @param nodes one view per node, index == node id.
+     * @param now arrival time.
+     */
+    virtual ClusterPlacement place(const workloads::WorkloadSpec &spec,
+                                   const std::vector<NodeView> &nodes,
+                                   SimTime now) = 0;
+
+    /** Completion callback with the owning node. */
+    virtual void
+    onCompletion(std::size_t node, const DeploymentRecord &record)
+    {
+        (void)node;
+        (void)record;
+    }
+};
+
+/** Uniformly random node and mode. */
+class RandomClusterPolicy : public ClusterPolicy
+{
+  public:
+    explicit RandomClusterPolicy(std::uint64_t seed = 7) : rng(seed) {}
+
+    std::string name() const override { return "random"; }
+
+    ClusterPlacement
+    place(const workloads::WorkloadSpec &,
+          const std::vector<NodeView> &nodes, SimTime) override
+    {
+        ClusterPlacement placement;
+        placement.node = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(nodes.size()) - 1));
+        placement.mode = rng.bernoulli(0.5) ? MemoryMode::Remote
+                                            : MemoryMode::Local;
+        return placement;
+    }
+
+  private:
+    Rng rng;
+};
+
+/** Node chosen by fewest running apps, always local memory. */
+class LeastLoadedLocalPolicy : public ClusterPolicy
+{
+  public:
+    std::string name() const override { return "least-loaded-local"; }
+
+    ClusterPlacement
+    place(const workloads::WorkloadSpec &,
+          const std::vector<NodeView> &nodes, SimTime) override
+    {
+        ClusterPlacement placement;
+        placement.mode = MemoryMode::Local;
+        std::size_t best = SIZE_MAX;
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (nodes[n].running < best) {
+                best = nodes[n].running;
+                placement.node = n;
+            }
+        }
+        return placement;
+    }
+};
+
+/** One completed cluster scenario. */
+struct ClusterResult
+{
+    /** Per-node scenario results (trace, concurrency, records). */
+    std::vector<ScenarioResult> nodes;
+
+    /** Total channel traffic across all nodes, GB. */
+    double totalRemoteTrafficGB = 0.0;
+
+    /** All completion records across nodes (node id attached). */
+    struct NodeRecord
+    {
+        std::size_t node;
+        const DeploymentRecord *record;
+    };
+    std::vector<NodeRecord> allRecords() const;
+};
+
+/** Drives one arrival stream across a cluster of simulated nodes. */
+class ClusterScenarioRunner
+{
+  public:
+    /**
+     * @param nodes cluster size (>= 1).
+     * @param config arrival/scenario knobs (shared stream).
+     * @param params per-node testbed calibration.
+     */
+    ClusterScenarioRunner(std::size_t nodes, ScenarioConfig config,
+                          testbed::TestbedParams params = {});
+
+    /** Execute the scenario under the given cluster policy. */
+    ClusterResult run(ClusterPolicy &policy);
+
+  private:
+    std::size_t nodeCount;
+    ScenarioConfig config;
+    testbed::TestbedParams testbedParams;
+};
+
+} // namespace adrias::scenario
+
+#endif // ADRIAS_SCENARIO_CLUSTER_HH

@@ -1,0 +1,224 @@
+#include "scenario/dataset_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "common/logging.hh"
+#include "testbed/counters.hh"
+
+namespace adrias::scenario
+{
+
+using testbed::kNumPerfEvents;
+
+namespace
+{
+
+constexpr std::size_t kBins = ScenarioRunner::kWindowBins;
+
+/** Append a time-major sequence's cells to a flat row. */
+void
+appendSequence(std::vector<double> &row,
+               const std::vector<ml::Matrix> &sequence)
+{
+    if (sequence.size() != kBins)
+        fatal("dataset_io: sequence length mismatch");
+    for (const ml::Matrix &step : sequence)
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            row.push_back(step.at(0, e));
+}
+
+/** Read a sequence back from a flat cell span. */
+std::vector<ml::Matrix>
+readSequence(const std::vector<std::string> &cells, std::size_t &cursor)
+{
+    std::vector<ml::Matrix> sequence;
+    sequence.reserve(kBins);
+    for (std::size_t b = 0; b < kBins; ++b) {
+        ml::Matrix step(1, kNumPerfEvents);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e) {
+            if (cursor >= cells.size())
+                fatal("dataset_io: truncated row");
+            step.at(0, e) = std::stod(cells[cursor++]);
+        }
+        sequence.push_back(std::move(step));
+    }
+    return sequence;
+}
+
+ml::Matrix
+readRowVector(const std::vector<std::string> &cells, std::size_t &cursor)
+{
+    ml::Matrix vec(1, kNumPerfEvents);
+    for (std::size_t e = 0; e < kNumPerfEvents; ++e) {
+        if (cursor >= cells.size())
+            fatal("dataset_io: truncated row");
+        vec.at(0, e) = std::stod(cells[cursor++]);
+    }
+    return vec;
+}
+
+/** Split one CSV line (fields are numbers/identifiers, no quoting). */
+std::vector<std::string>
+splitLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream in(line);
+    while (std::getline(in, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+std::string
+classToken(WorkloadClass cls)
+{
+    switch (cls) {
+      case WorkloadClass::BestEffort:
+        return "be";
+      case WorkloadClass::LatencyCritical:
+        return "lc";
+      case WorkloadClass::Interference:
+        return "ib";
+    }
+    panic("unknown WorkloadClass");
+}
+
+WorkloadClass
+classFromToken(const std::string &token)
+{
+    if (token == "be")
+        return WorkloadClass::BestEffort;
+    if (token == "lc")
+        return WorkloadClass::LatencyCritical;
+    if (token == "ib")
+        return WorkloadClass::Interference;
+    fatal("dataset_io: unknown class token '" + token + "'");
+}
+
+} // namespace
+
+void
+saveSystemStateCsv(const std::string &path,
+                   const std::vector<SystemStateSample> &samples)
+{
+    CsvWriter csv(path);
+    csv.writeRow({"# adrias-system-state-v1",
+                  std::to_string(kBins),
+                  std::to_string(kNumPerfEvents)});
+    for (const SystemStateSample &sample : samples) {
+        std::vector<double> row;
+        row.reserve(kBins * kNumPerfEvents + kNumPerfEvents);
+        appendSequence(row, sample.history);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            row.push_back(sample.target.at(0, e));
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (double v : row)
+            cells.push_back(formatDouble(v, 9));
+        csv.writeRow(cells);
+    }
+}
+
+std::vector<SystemStateSample>
+loadSystemStateCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadSystemStateCsv: cannot open '" + path + "'");
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.find("# adrias-system-state-v1") != 0)
+        fatal("loadSystemStateCsv: bad header");
+    const auto header = splitLine(line);
+    if (header.size() != 3 ||
+        std::stoul(header[1]) != kBins ||
+        std::stoul(header[2]) != kNumPerfEvents)
+        fatal("loadSystemStateCsv: geometry mismatch");
+
+    std::vector<SystemStateSample> samples;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto cells = splitLine(line);
+        std::size_t cursor = 0;
+        SystemStateSample sample;
+        sample.history = readSequence(cells, cursor);
+        sample.target = readRowVector(cells, cursor);
+        if (cursor != cells.size())
+            fatal("loadSystemStateCsv: trailing cells");
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+void
+savePerformanceCsv(const std::string &path,
+                   const std::vector<PerformanceSample> &samples)
+{
+    CsvWriter csv(path);
+    csv.writeRow({"# adrias-performance-v1",
+                  std::to_string(kBins),
+                  std::to_string(kNumPerfEvents)});
+    for (const PerformanceSample &sample : samples) {
+        std::vector<std::string> cells;
+        cells.push_back(sample.name);
+        cells.push_back(classToken(sample.cls));
+        cells.push_back(toString(sample.mode));
+        cells.push_back(formatDouble(sample.target, 9));
+        std::vector<double> row;
+        appendSequence(row, sample.history);
+        appendSequence(row, sample.signature);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            row.push_back(sample.futureWindow.at(0, e));
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            row.push_back(sample.futureExec.at(0, e));
+        for (double v : row)
+            cells.push_back(formatDouble(v, 9));
+        csv.writeRow(cells);
+    }
+}
+
+std::vector<PerformanceSample>
+loadPerformanceCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadPerformanceCsv: cannot open '" + path + "'");
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.find("# adrias-performance-v1") != 0)
+        fatal("loadPerformanceCsv: bad header");
+    const auto header = splitLine(line);
+    if (header.size() != 3 ||
+        std::stoul(header[1]) != kBins ||
+        std::stoul(header[2]) != kNumPerfEvents)
+        fatal("loadPerformanceCsv: geometry mismatch");
+
+    std::vector<PerformanceSample> samples;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto cells = splitLine(line);
+        if (cells.size() < 4)
+            fatal("loadPerformanceCsv: short row");
+        PerformanceSample sample;
+        sample.name = cells[0];
+        sample.cls = classFromToken(cells[1]);
+        sample.mode = memoryModeFromString(cells[2]);
+        sample.target = std::stod(cells[3]);
+        std::size_t cursor = 4;
+        sample.history = readSequence(cells, cursor);
+        sample.signature = readSequence(cells, cursor);
+        sample.futureWindow = readRowVector(cells, cursor);
+        sample.futureExec = readRowVector(cells, cursor);
+        if (cursor != cells.size())
+            fatal("loadPerformanceCsv: trailing cells");
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+} // namespace adrias::scenario

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Dataset persistence: flatten system-state and performance samples to
+ * CSV so the offline phase's (expensive) trace collection can be
+ * reused across training runs and shared between processes.
+ *
+ * Layout (one sample per row):
+ *  - system-state:  bins*events history cells, then events target cells
+ *  - performance:   name, class, mode, target, bins*events history,
+ *                   bins*events signature, events futureWindow,
+ *                   events futureExec
+ */
+
+#ifndef ADRIAS_SCENARIO_DATASET_IO_HH
+#define ADRIAS_SCENARIO_DATASET_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/dataset.hh"
+
+namespace adrias::scenario
+{
+
+/** Write system-state samples to a CSV file (with header row). */
+void saveSystemStateCsv(const std::string &path,
+                        const std::vector<SystemStateSample> &samples);
+
+/**
+ * Read system-state samples written by saveSystemStateCsv.
+ *
+ * @throws std::runtime_error on malformed files.
+ */
+std::vector<SystemStateSample>
+loadSystemStateCsv(const std::string &path);
+
+/** Write performance samples to a CSV file (with header row). */
+void savePerformanceCsv(const std::string &path,
+                        const std::vector<PerformanceSample> &samples);
+
+/** Read performance samples written by savePerformanceCsv. */
+std::vector<PerformanceSample>
+loadPerformanceCsv(const std::string &path);
+
+} // namespace adrias::scenario
+
+#endif // ADRIAS_SCENARIO_DATASET_IO_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Placement-policy interface between the scenario runner and the
+ * schedulers (baselines live in src/core; Adrias itself implements this
+ * interface on top of its Predictor).
+ */
+
+#ifndef ADRIAS_SCENARIO_PLACEMENT_HH
+#define ADRIAS_SCENARIO_PLACEMENT_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "telemetry/watcher.hh"
+#include "workloads/spec.hh"
+
+namespace adrias::scenario
+{
+
+/** Everything known about a finished deployment. */
+struct DeploymentRecord
+{
+    DeploymentId id = 0;
+    std::string name;
+    WorkloadClass cls = WorkloadClass::BestEffort;
+    MemoryMode mode = MemoryMode::Local;
+    SimTime arrival = 0;
+    SimTime completion = 0;
+
+    /** BE/interference: wall-clock execution time, seconds. */
+    double execTimeSec = 0.0;
+
+    /** LC: tail latencies over the whole run, ms. */
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+    double meanLatencyMs = 0.0;
+
+    double meanSlowdown = 1.0;
+
+    /** Bytes moved over the ThymesisFlow channel, GB. */
+    double remoteTrafficGB = 0.0;
+
+    /** L2 migrations performed during the run (0 without a runtime
+     *  policy). */
+    std::size_t migrations = 0;
+
+    /** Binned Watcher window S captured at arrival (may be empty for
+     *  the very first arrivals of a scenario). */
+    std::vector<ml::Matrix> historyWindow;
+
+    /** Binned counter trace over the app's own execution span — what
+     *  Adrias stores as a signature when it first meets an app. */
+    std::vector<ml::Matrix> executionWindow;
+
+    /** @return the headline performance number for this class:
+     *  execution time for BE, p99 for LC. */
+    double
+    primaryMetric() const
+    {
+        return cls == WorkloadClass::LatencyCritical ? p99Ms : execTimeSec;
+    }
+};
+
+/** Chooses local vs remote memory for arriving BE/LC applications. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /** Short name for bench tables ("random", "adrias-b0.8", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Decide the memory mode for an arriving application.
+     *
+     * @param spec the application about to be deployed.
+     * @param watcher live system telemetry at decision time.
+     * @param now arrival time.
+     */
+    virtual MemoryMode place(const workloads::WorkloadSpec &spec,
+                             const telemetry::Watcher &watcher,
+                             SimTime now) = 0;
+
+    /** Completion callback (Adrias records signatures here). */
+    virtual void onCompletion(const DeploymentRecord &record)
+    {
+        (void)record;
+    }
+};
+
+} // namespace adrias::scenario
+
+#endif // ADRIAS_SCENARIO_PLACEMENT_HH

@@ -1,0 +1,172 @@
+#include "scenario/runner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "telemetry/watcher.hh"
+
+namespace adrias::scenario
+{
+
+using workloads::IBenchKind;
+using workloads::WorkloadInstance;
+using workloads::WorkloadSpec;
+
+std::vector<const DeploymentRecord *>
+ScenarioResult::recordsOfClass(WorkloadClass cls) const
+{
+    std::vector<const DeploymentRecord *> selected;
+    for (const DeploymentRecord &record : records)
+        if (record.cls == cls)
+            selected.push_back(&record);
+    return selected;
+}
+
+std::vector<ml::Matrix>
+historyWindowAt(const std::vector<testbed::CounterSample> &trace,
+                SimTime arrival)
+{
+    if (arrival <= 0 || trace.empty())
+        return {};
+    const auto end = std::min<std::size_t>(
+        static_cast<std::size_t>(arrival), trace.size());
+    const std::size_t begin =
+        end > ScenarioRunner::kWindowSec
+            ? end - ScenarioRunner::kWindowSec
+            : 0;
+    return telemetry::binSpan(trace, begin, end,
+                              ScenarioRunner::kWindowBins);
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioConfig config_,
+                               testbed::TestbedParams params)
+    : config(config_), testbedParams(params)
+{
+    if (config.durationSec <= 0)
+        fatal("ScenarioRunner: duration must be positive");
+    if (config.spawnMinSec <= 0 || config.spawnMaxSec < config.spawnMinSec)
+        fatal("ScenarioRunner: invalid spawn interval");
+    if (config.ibenchFraction + config.lcFraction > 1.0)
+        fatal("ScenarioRunner: arrival fractions exceed 1");
+}
+
+ScenarioResult
+ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
+{
+    Rng rng(config.seed);
+    testbed::Testbed bed(testbedParams, rng.nextU64());
+    bed.setNoise(config.counterNoise);
+    telemetry::Watcher watcher(kWindowSec * 4);
+
+    ScenarioResult result;
+    result.trace.reserve(static_cast<std::size_t>(config.durationSec));
+    result.concurrency.reserve(
+        static_cast<std::size_t>(config.durationSec));
+
+    std::vector<std::unique_ptr<WorkloadInstance>> running;
+    DeploymentId next_id = 1;
+    SimTime next_arrival =
+        rng.uniformInt(config.spawnMinSec, config.spawnMaxSec);
+
+    const auto &sparks = workloads::sparkBenchmarks();
+    const auto &lcs = workloads::latencyCriticalBenchmarks();
+    const IBenchKind ibench_kinds[] = {IBenchKind::Cpu, IBenchKind::L2,
+                                       IBenchKind::L3, IBenchKind::MemBw};
+
+    for (SimTime now = 0; now < config.durationSec; ++now) {
+        // --- arrivals -------------------------------------------------
+        while (now >= next_arrival) {
+            next_arrival +=
+                rng.uniformInt(config.spawnMinSec, config.spawnMaxSec);
+            if (running.size() >= config.maxConcurrent)
+                continue; // testbed full: drop, as the prototype would
+
+            const double draw = rng.uniform();
+            const WorkloadSpec *spec = nullptr;
+            bool is_ibench = false;
+            if (draw < config.ibenchFraction) {
+                spec = &workloads::ibenchSpec(
+                    ibench_kinds[rng.uniformInt(0, 3)]);
+                is_ibench = true;
+            } else if (draw < config.ibenchFraction + config.lcFraction) {
+                spec = &lcs[static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<std::int64_t>(lcs.size()) -
+                                       1))];
+            } else {
+                spec = &sparks[static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(sparks.size()) - 1))];
+            }
+
+            // Trashers model background interference and are always
+            // placed randomly; applications go through the policy.
+            const MemoryMode mode =
+                is_ibench ? (rng.bernoulli(0.5) ? MemoryMode::Remote
+                                                : MemoryMode::Local)
+                          : policy.place(*spec, watcher, now);
+
+            auto instance = std::make_unique<WorkloadInstance>(
+                next_id++, *spec, mode, now, rng.nextU64());
+            running.push_back(std::move(instance));
+        }
+
+        // --- one second of contention ----------------------------------
+        std::vector<testbed::LoadDescriptor> loads;
+        loads.reserve(running.size());
+        for (const auto &instance : running)
+            loads.push_back(instance->load());
+        const testbed::TickResult tick = bed.tick(loads);
+
+        watcher.record(tick.counters);
+        result.trace.push_back(tick.counters);
+        result.concurrency.push_back(static_cast<int>(running.size()));
+        result.totalRemoteTrafficGB += tick.remoteTrafficGBps;
+
+        // --- progress & completion -------------------------------------
+        for (std::size_t i = 0; i < running.size(); ++i)
+            running[i]->advance(tick.outcomes[i], now + 1);
+
+        // --- L2 runtime management ---------------------------------------
+        if (runtime) {
+            std::vector<WorkloadInstance *> live;
+            live.reserve(running.size());
+            for (const auto &instance : running)
+                live.push_back(instance.get());
+            runtime->onTick(live, tick, now + 1);
+        }
+
+        for (std::size_t i = running.size(); i-- > 0;) {
+            if (!running[i]->finished())
+                continue;
+            const WorkloadInstance &done = *running[i];
+            DeploymentRecord record;
+            record.id = done.id();
+            record.name = done.spec().name;
+            record.cls = done.spec().cls;
+            record.mode = done.mode();
+            record.arrival = done.arrivalTime();
+            record.completion = now + 1;
+            record.execTimeSec = done.executionTimeSec();
+            if (record.cls == WorkloadClass::LatencyCritical) {
+                record.p99Ms = done.tailLatencyMs(0.99);
+                record.p999Ms = done.tailLatencyMs(0.999);
+                record.meanLatencyMs = done.meanLatencyMs();
+            }
+            record.meanSlowdown = done.meanSlowdown();
+            record.remoteTrafficGB = done.remoteTrafficGB();
+            record.migrations = done.migrationCount();
+            record.historyWindow =
+                historyWindowAt(result.trace, record.arrival);
+            record.executionWindow = telemetry::binSpan(
+                result.trace, static_cast<std::size_t>(record.arrival),
+                result.trace.size(), kWindowBins);
+            policy.onCompletion(record);
+            result.records.push_back(std::move(record));
+            running.erase(running.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        }
+    }
+    return result;
+}
+
+} // namespace adrias::scenario

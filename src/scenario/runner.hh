@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Scenario generation and execution (paper §V-B1): random application
+ * arrivals with configurable spawn intervals, random benchmark choice
+ * from the Spark/LC/iBench pools, and tick-by-tick execution against
+ * the simulated ThymesisFlow testbed while the Watcher samples
+ * performance events.
+ */
+
+#ifndef ADRIAS_SCENARIO_RUNNER_HH
+#define ADRIAS_SCENARIO_RUNNER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "scenario/placement.hh"
+#include "scenario/runtime.hh"
+#include "testbed/testbed.hh"
+#include "workloads/workload.hh"
+
+namespace adrias::scenario
+{
+
+/** Knobs of one randomized deployment scenario. */
+struct ScenarioConfig
+{
+    /** Scenario length, seconds (paper: 3600). */
+    SimTime durationSec = 3600;
+
+    /** Arrival spacing is uniform in [spawnMin, spawnMax] seconds. */
+    SimTime spawnMinSec = 5;
+    SimTime spawnMaxSec = 40;
+
+    std::uint64_t seed = 1;
+
+    /** Concurrency cap (paper footnote 3: at most 35). */
+    std::size_t maxConcurrent = 35;
+
+    /** Probability an arrival is an iBench trasher. */
+    double ibenchFraction = 0.35;
+
+    /** Probability an arrival is a latency-critical server. */
+    double lcFraction = 0.15;
+
+    /** Relative measurement noise of the counters. */
+    double counterNoise = 0.01;
+};
+
+/** Everything a finished scenario produced. */
+struct ScenarioResult
+{
+    /** Per-second counter samples (the Watcher's trace). */
+    std::vector<testbed::CounterSample> trace;
+
+    /** Per-second number of concurrently running deployments. */
+    std::vector<int> concurrency;
+
+    /** Completed deployments (all classes, trashers included). */
+    std::vector<DeploymentRecord> records;
+
+    /** Total ThymesisFlow traffic over the scenario, GB. */
+    double totalRemoteTrafficGB = 0.0;
+
+    /** Records of one class, excluding trashers unless asked. */
+    std::vector<const DeploymentRecord *>
+    recordsOfClass(WorkloadClass cls) const;
+};
+
+/** A random placement hook used for trace collection (paper: apps are
+ *  deployed "randomly on local or remote memory"). */
+class RandomPlacement : public PlacementPolicy
+{
+  public:
+    explicit RandomPlacement(std::uint64_t seed = 99) : rng(seed) {}
+
+    std::string name() const override { return "random"; }
+
+    MemoryMode
+    place(const workloads::WorkloadSpec &, const telemetry::Watcher &,
+          SimTime) override
+    {
+        return rng.bernoulli(0.5) ? MemoryMode::Remote : MemoryMode::Local;
+    }
+
+  private:
+    Rng rng;
+};
+
+/**
+ * Binned history window S for a deployment that arrived at `arrival`
+ * within a recorded trace: the 120 s (or whatever is available) before
+ * arrival, aggregated into ScenarioRunner::kWindowBins steps.  Returns
+ * an empty sequence for arrivals in the very first second.
+ */
+std::vector<ml::Matrix>
+historyWindowAt(const std::vector<testbed::CounterSample> &trace,
+                SimTime arrival);
+
+/** Drives one scenario tick by tick. */
+class ScenarioRunner
+{
+  public:
+    /**
+     * @param config scenario knobs.
+     * @param params testbed calibration.
+     */
+    explicit ScenarioRunner(ScenarioConfig config,
+                            testbed::TestbedParams params = {});
+
+    /**
+     * Execute the scenario to completion.
+     *
+     * @param policy decides local/remote for BE and LC arrivals
+     *        (iBench trashers are always placed randomly, as in the
+     *        paper's trace-collection protocol).
+     * @param runtime optional L2 runtime manager invoked every tick
+     *        (may migrate running instances between pools).
+     * @return the full trace and all completion records.
+     */
+    ScenarioResult run(PlacementPolicy &policy,
+                       RuntimePolicy *runtime = nullptr);
+
+    /** History window length r and horizon z, seconds (paper: 120). */
+    static constexpr std::size_t kWindowSec = 120;
+
+    /** Sequence bins used for model inputs (10 s bins over 120 s). */
+    static constexpr std::size_t kWindowBins = 12;
+
+  private:
+    ScenarioConfig config;
+    testbed::TestbedParams testbedParams;
+};
+
+} // namespace adrias::scenario
+
+#endif // ADRIAS_SCENARIO_RUNNER_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Runtime-management (L2) hook of the scenario runner.
+ *
+ * The paper separates placement-time orchestration (L1, Adrias) from
+ * dynamic runtime mechanisms (L2, e.g. page migration) and calls them
+ * orthogonal and complementary (§II).  A RuntimePolicy observes every
+ * tick and may migrate running instances between memory pools;
+ * src/core provides a threshold-based migrator as the reference L2
+ * mechanism.
+ */
+
+#ifndef ADRIAS_SCENARIO_RUNTIME_HH
+#define ADRIAS_SCENARIO_RUNTIME_HH
+
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.hh"
+#include "workloads/workload.hh"
+
+namespace adrias::scenario
+{
+
+/** Per-tick runtime manager with mutable access to running apps. */
+class RuntimePolicy
+{
+  public:
+    virtual ~RuntimePolicy() = default;
+
+    /** Short name for bench tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Inspect one tick's outcomes and optionally trigger migrations.
+     *
+     * @param running live instances, aligned index-for-index with
+     *        @p tick's outcomes.
+     * @param tick the contention results of the elapsed second.
+     * @param now simulation time at the end of the tick.
+     */
+    virtual void
+    onTick(const std::vector<workloads::WorkloadInstance *> &running,
+           const testbed::TickResult &tick, SimTime now) = 0;
+};
+
+} // namespace adrias::scenario
+
+#endif // ADRIAS_SCENARIO_RUNTIME_HH

@@ -1,0 +1,84 @@
+#include "scenario/signature.hh"
+
+#include "common/logging.hh"
+#include "scenario/runner.hh"
+#include "telemetry/watcher.hh"
+#include "testbed/testbed.hh"
+#include "workloads/workload.hh"
+
+namespace adrias::scenario
+{
+
+bool
+SignatureStore::has(const std::string &name) const
+{
+    return signatures.count(name) > 0;
+}
+
+const std::vector<ml::Matrix> &
+SignatureStore::get(const std::string &name) const
+{
+    auto it = signatures.find(name);
+    if (it == signatures.end())
+        fatal("SignatureStore: no signature for '" + name + "'");
+    return it->second;
+}
+
+void
+SignatureStore::put(const std::string &name,
+                    std::vector<ml::Matrix> signature)
+{
+    if (signature.empty())
+        fatal("SignatureStore: refusing to store empty signature");
+    signatures[name] = std::move(signature);
+}
+
+void
+SignatureStore::erase(const std::string &name)
+{
+    signatures.erase(name);
+}
+
+std::vector<std::string>
+SignatureStore::names() const
+{
+    std::vector<std::string> all;
+    all.reserve(signatures.size());
+    for (const auto &[name, signature] : signatures)
+        all.push_back(name);
+    return all;
+}
+
+std::vector<ml::Matrix>
+collectSignature(const workloads::WorkloadSpec &spec,
+                 testbed::TestbedParams params, std::uint64_t seed,
+                 SimTime max_seconds)
+{
+    testbed::Testbed bed(params, seed);
+    bed.setNoise(0.0); // signatures are design-time, measured cleanly
+    workloads::WorkloadInstance app(1, spec, MemoryMode::Remote, 0, seed);
+
+    std::vector<testbed::CounterSample> trace;
+    SimTime now = 0;
+    while (!app.finished() && now < max_seconds) {
+        const auto tick = bed.tick({app.load()});
+        trace.push_back(tick.counters);
+        app.advance(tick.outcomes.at(0), ++now);
+    }
+    if (trace.empty())
+        panic("collectSignature produced an empty trace");
+    return telemetry::binSpan(trace, 0, trace.size(),
+                              ScenarioRunner::kWindowBins);
+}
+
+void
+collectAllSignatures(SignatureStore &store, testbed::TestbedParams params,
+                     std::uint64_t seed)
+{
+    for (const auto &spec : workloads::sparkBenchmarks())
+        store.put(spec.name, collectSignature(spec, params, seed));
+    for (const auto &spec : workloads::latencyCriticalBenchmarks())
+        store.put(spec.name, collectSignature(spec, params, seed));
+}
+
+} // namespace adrias::scenario

@@ -1,0 +1,39 @@
+#include "stats/ewma.hh"
+
+#include "common/logging.hh"
+
+namespace adrias::stats
+{
+
+Ewma::Ewma(double alpha) : smoothing(alpha)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("Ewma: alpha must lie in (0, 1]");
+}
+
+double
+Ewma::add(double sample)
+{
+    if (samples == 0)
+        current = sample;
+    else
+        current = (1.0 - smoothing) * current + smoothing * sample;
+    ++samples;
+    return current;
+}
+
+void
+Ewma::reset()
+{
+    current = 0.0;
+    samples = 0;
+}
+
+void
+Ewma::reset(double seed_value)
+{
+    current = seed_value;
+    samples = 1;
+}
+
+} // namespace adrias::stats

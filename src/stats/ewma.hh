@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Exponentially weighted moving average — the smoothing primitive used
+ * by the runtime migrator and handy for counter streams.
+ */
+
+#ifndef ADRIAS_STATS_EWMA_HH
+#define ADRIAS_STATS_EWMA_HH
+
+#include <cstddef>
+
+namespace adrias::stats
+{
+
+/**
+ * EWMA with configurable smoothing factor.
+ *
+ * value_{t} = (1 - alpha) * value_{t-1} + alpha * sample_t, seeded
+ * with the first sample (no bias toward an arbitrary initial value).
+ */
+class Ewma
+{
+  public:
+    /** @param alpha smoothing factor in (0, 1]. */
+    explicit Ewma(double alpha);
+
+    /** Fold one sample in. @return the updated average. */
+    double add(double sample);
+
+    /** @return current average (0 before any sample). */
+    double value() const { return current; }
+
+    /** @return number of samples folded in. */
+    std::size_t count() const { return samples; }
+
+    /** Reset to the unseeded state. */
+    void reset();
+
+    /** Reset and seed with a specific value. */
+    void reset(double seed_value);
+
+    double alpha() const { return smoothing; }
+
+  private:
+    double smoothing;
+    double current = 0.0;
+    std::size_t samples = 0;
+};
+
+} // namespace adrias::stats
+
+#endif // ADRIAS_STATS_EWMA_HH

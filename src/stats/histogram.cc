@@ -1,0 +1,104 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "stats/percentile.hh"
+
+namespace adrias::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lower(lo), upper(hi), counts(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram needs at least one bin");
+    if (!(hi > lo))
+        fatal("Histogram range must be non-empty");
+}
+
+void
+Histogram::add(double value)
+{
+    const double span = upper - lower;
+    double frac = (value - lower) / span;
+    frac = std::clamp(frac, 0.0, 1.0);
+    auto bin = static_cast<std::size_t>(
+        frac * static_cast<double>(counts.size()));
+    bin = std::min(bin, counts.size() - 1);
+    ++counts[bin];
+    ++totalCount;
+}
+
+std::size_t
+Histogram::binCount(std::size_t bin) const
+{
+    if (bin >= counts.size())
+        panic("Histogram bin out of range");
+    return counts[bin];
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    if (bin >= counts.size())
+        panic("Histogram bin out of range");
+    const double width = (upper - lower) / static_cast<double>(counts.size());
+    return lower + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::string
+Histogram::sketch(int width) const
+{
+    std::size_t peak = 0;
+    for (std::size_t c : counts)
+        peak = std::max(peak, c);
+    std::ostringstream out;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        out << formatDouble(binCenter(b), 2) << " |"
+            << asciiBar(static_cast<double>(counts[b]),
+                        static_cast<double>(peak ? peak : 1), width)
+            << " " << counts[b] << "\n";
+    }
+    return out.str();
+}
+
+DistributionSummary
+DistributionSummary::from(const std::vector<double> &values)
+{
+    DistributionSummary s;
+    if (values.empty())
+        return s;
+    s.count = values.size();
+    s.min = *std::min_element(values.begin(), values.end());
+    s.max = *std::max_element(values.begin(), values.end());
+    s.p25 = quantile(values, 0.25);
+    s.median = quantile(values, 0.50);
+    s.p75 = quantile(values, 0.75);
+    s.p95 = quantile(values, 0.95);
+    s.p99 = quantile(values, 0.99);
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    s.mean = total / static_cast<double>(values.size());
+    return s;
+}
+
+std::string
+DistributionSummary::toString() const
+{
+    std::ostringstream out;
+    out << "n=" << count << " min=" << formatDouble(min, 2)
+        << " p25=" << formatDouble(p25, 2)
+        << " med=" << formatDouble(median, 2)
+        << " p75=" << formatDouble(p75, 2)
+        << " p95=" << formatDouble(p95, 2)
+        << " max=" << formatDouble(max, 2)
+        << " mean=" << formatDouble(mean, 2);
+    return out.str();
+}
+
+} // namespace adrias::stats

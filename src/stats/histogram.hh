@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-bin histogram plus distribution summary used by benches that
+ * reproduce the paper's box/violin-style distribution figures
+ * (Figs. 9, 10, 16).
+ */
+
+#ifndef ADRIAS_STATS_HISTOGRAM_HH
+#define ADRIAS_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adrias::stats
+{
+
+/** Uniform-bin histogram over a closed range [lo, hi]. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin.
+     * @param hi upper edge of the last bin (must exceed lo).
+     * @param bins number of bins (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Count one observation; out-of-range values clamp to edge bins. */
+    void add(double value);
+
+    /** @return count in the given bin. */
+    std::size_t binCount(std::size_t bin) const;
+
+    /** @return total observations. */
+    std::size_t total() const { return totalCount; }
+
+    /** @return number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** @return the centre value of the given bin. */
+    double binCenter(std::size_t bin) const;
+
+    /** Render as a compact one-histogram-per-line ASCII sketch. */
+    std::string sketch(int width = 50) const;
+
+  private:
+    double lower;
+    double upper;
+    std::vector<std::size_t> counts;
+    std::size_t totalCount = 0;
+};
+
+/**
+ * Five-number-plus summary of a sample: min, p25, median, p75, p95,
+ * p99, max and mean.  This is the unit benches print per box plot.
+ */
+struct DistributionSummary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+
+    /** Compute from a sample (empty sample yields all zeros). */
+    static DistributionSummary from(const std::vector<double> &values);
+
+    /** One-line rendering for bench tables. */
+    std::string toString() const;
+};
+
+} // namespace adrias::stats
+
+#endif // ADRIAS_STATS_HISTOGRAM_HH

@@ -1,0 +1,68 @@
+#include "stats/online_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adrias::stats
+{
+
+void
+OnlineStats::add(double value)
+{
+    ++n;
+    const double delta = value - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (value - mu);
+    minValue = std::min(minValue, value);
+    maxValue = std::max(maxValue, value);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n + other.n);
+    const double delta = other.mu - mu;
+    m2 += other.m2 +
+          delta * delta * static_cast<double>(n) *
+              static_cast<double>(other.n) / total;
+    mu += delta * static_cast<double>(other.n) / total;
+    n += other.n;
+    minValue = std::min(minValue, other.minValue);
+    maxValue = std::max(maxValue, other.maxValue);
+}
+
+void
+OnlineStats::reset()
+{
+    n = 0;
+    mu = 0.0;
+    m2 = 0.0;
+    minValue = std::numeric_limits<double>::infinity();
+    maxValue = -std::numeric_limits<double>::infinity();
+}
+
+double
+OnlineStats::variance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n);
+}
+
+double
+OnlineStats::sampleVariance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace adrias::stats

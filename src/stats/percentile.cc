@@ -1,0 +1,74 @@
+#include "stats/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace adrias::stats
+{
+
+double
+quantile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (q < 0.0 || q > 1.0)
+        fatal("quantile: q must lie in [0, 1]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double
+PercentileTracker::quantile(double q) const
+{
+    return stats::quantile(samples, q);
+}
+
+double
+PercentileTracker::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : samples)
+        total += v;
+    return total / static_cast<double>(samples.size());
+}
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+    : cap(capacity), rng(seed)
+{
+    if (capacity == 0)
+        fatal("ReservoirSampler capacity must be positive");
+    reservoir.reserve(capacity);
+}
+
+void
+ReservoirSampler::add(double value)
+{
+    ++seen;
+    if (reservoir.size() < cap) {
+        reservoir.push_back(value);
+        return;
+    }
+    const auto slot = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(seen - 1)));
+    if (slot < cap)
+        reservoir[slot] = value;
+}
+
+double
+ReservoirSampler::quantile(double q) const
+{
+    return stats::quantile(reservoir, q);
+}
+
+} // namespace adrias::stats

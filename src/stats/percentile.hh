@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Percentile estimation for latency distributions.
+ *
+ * The LC workload path needs p99/p99.9 over many sampled request
+ * latencies.  Two estimators are provided: an exact sampler that keeps
+ * all values (fine for simulation volumes) and a reservoir sampler with
+ * bounded memory for very long runs.
+ */
+
+#ifndef ADRIAS_STATS_PERCENTILE_HH
+#define ADRIAS_STATS_PERCENTILE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace adrias::stats
+{
+
+/**
+ * Compute the q-quantile of a sample by linear interpolation
+ * (type-7, the numpy/R default).
+ *
+ * @param values sample (copied and sorted internally).
+ * @param q quantile in [0, 1]; e.g. 0.99 for the 99th percentile.
+ * @return interpolated quantile; NaN for an empty sample.
+ */
+double quantile(std::vector<double> values, double q);
+
+/** Exact percentile tracker that retains all observations. */
+class PercentileTracker
+{
+  public:
+    /** Record one observation. */
+    void add(double value) { samples.push_back(value); }
+
+    /** @return the q-quantile of everything recorded so far. */
+    double quantile(double q) const;
+
+    /** @return number of recorded observations. */
+    std::size_t count() const { return samples.size(); }
+
+    /** @return mean of the recorded observations (0 when empty). */
+    double mean() const;
+
+    /** Drop all observations. */
+    void clear() { samples.clear(); }
+
+    /** @return the raw samples (chronological). */
+    const std::vector<double> &values() const { return samples; }
+
+  private:
+    std::vector<double> samples;
+};
+
+/**
+ * Bounded-memory quantile estimator using reservoir sampling
+ * (Vitter's algorithm R).
+ */
+class ReservoirSampler
+{
+  public:
+    /**
+     * @param capacity number of retained samples (> 0).
+     * @param seed RNG seed for replacement decisions.
+     */
+    explicit ReservoirSampler(std::size_t capacity,
+                              std::uint64_t seed = 12345);
+
+    /** Offer one observation to the reservoir. */
+    void add(double value);
+
+    /** @return estimated q-quantile from the reservoir contents. */
+    double quantile(double q) const;
+
+    /** @return total observations offered (not retained). */
+    std::size_t count() const { return seen; }
+
+    /** @return number of retained samples. */
+    std::size_t retained() const { return reservoir.size(); }
+
+  private:
+    std::size_t cap;
+    std::size_t seen = 0;
+    std::vector<double> reservoir;
+    Rng rng;
+};
+
+} // namespace adrias::stats
+
+#endif // ADRIAS_STATS_PERCENTILE_HH

@@ -1,0 +1,117 @@
+#include "telemetry/watcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adrias::telemetry
+{
+
+using testbed::CounterSample;
+using testbed::kNumPerfEvents;
+
+Watcher::Watcher(std::size_t capacity_seconds) : history(capacity_seconds)
+{
+}
+
+void
+Watcher::record(const CounterSample &sample)
+{
+    history.push(sample);
+}
+
+bool
+Watcher::hasWindow(std::size_t window_seconds) const
+{
+    return history.size() >= window_seconds;
+}
+
+std::vector<ml::Matrix>
+Watcher::binnedWindow(std::size_t window_seconds, std::size_t bins) const
+{
+    if (bins == 0 || window_seconds == 0)
+        fatal("Watcher::binnedWindow needs positive window and bins");
+    if (history.empty())
+        fatal("Watcher::binnedWindow with no samples recorded");
+
+    // Assemble the trailing window, left-padding a cold start with the
+    // oldest available sample.
+    std::vector<CounterSample> window(window_seconds);
+    const std::size_t have = std::min(history.size(), window_seconds);
+    const std::size_t pad = window_seconds - have;
+    for (std::size_t i = 0; i < pad; ++i)
+        window[i] = history.at(0);
+    for (std::size_t i = 0; i < have; ++i)
+        window[pad + i] = history.at(history.size() - have + i);
+
+    return binSpan(window, 0, window.size(), bins);
+}
+
+CounterSample
+Watcher::meanOverTrailing(std::size_t window_seconds) const
+{
+    if (history.empty())
+        fatal("Watcher::meanOverTrailing with no samples");
+    const std::size_t have = std::min(history.size(), window_seconds);
+    CounterSample mean{};
+    for (std::size_t i = history.size() - have; i < history.size(); ++i) {
+        const CounterSample &s = history.at(i);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            mean[e] += s[e];
+    }
+    for (double &v : mean)
+        v /= static_cast<double>(have);
+    return mean;
+}
+
+const CounterSample &
+Watcher::latest() const
+{
+    if (history.empty())
+        panic("Watcher::latest with no samples");
+    return history.newest();
+}
+
+CounterSample
+meanOverSpan(const std::vector<CounterSample> &trace, std::size_t begin,
+             std::size_t end)
+{
+    if (begin >= end || end > trace.size())
+        panic("meanOverSpan: invalid span");
+    CounterSample mean{};
+    for (std::size_t i = begin; i < end; ++i)
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            mean[e] += trace[i][e];
+    for (double &v : mean)
+        v /= static_cast<double>(end - begin);
+    return mean;
+}
+
+std::vector<ml::Matrix>
+binSpan(const std::vector<CounterSample> &trace, std::size_t begin,
+        std::size_t end, std::size_t bins)
+{
+    if (begin >= end || end > trace.size())
+        panic("binSpan: invalid span");
+    if (bins == 0)
+        fatal("binSpan: need at least one bin");
+
+    const std::size_t span = end - begin;
+    std::vector<ml::Matrix> sequence;
+    sequence.reserve(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+        // Partition the span as evenly as integer arithmetic allows.
+        const std::size_t lo = begin + b * span / bins;
+        std::size_t hi = begin + (b + 1) * span / bins;
+        hi = std::max(hi, lo + 1);
+        const CounterSample mean =
+            meanOverSpan(trace, lo, std::min(hi, end));
+        ml::Matrix step(1, kNumPerfEvents);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            step.at(0, e) = mean[e];
+        sequence.push_back(std::move(step));
+    }
+    return sequence;
+}
+
+} // namespace adrias::telemetry

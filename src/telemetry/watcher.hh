@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The Watcher component (paper §V-A): continuous 1 Hz sampling of the
+ * testbed's performance events with a bounded history window, plus the
+ * windowing/binning used to build model inputs.
+ */
+
+#ifndef ADRIAS_TELEMETRY_WATCHER_HH
+#define ADRIAS_TELEMETRY_WATCHER_HH
+
+#include <vector>
+
+#include "common/ring_buffer.hh"
+#include "common/types.hh"
+#include "ml/matrix.hh"
+#include "testbed/counters.hh"
+
+namespace adrias::telemetry
+{
+
+/**
+ * Rolling view of the monitored performance events.
+ *
+ * Keeps the last `capacity` one-second samples; exposes the paper's two
+ * model inputs: the binned history sequence S (an r-second window
+ * aggregated into fixed-length bins) and mean-over-window targets.
+ */
+class Watcher
+{
+  public:
+    /** @param capacity_seconds history retention (>= window length). */
+    explicit Watcher(std::size_t capacity_seconds = 600);
+
+    /** Record one tick's counter sample. */
+    void record(const testbed::CounterSample &sample);
+
+    /** @return number of samples currently retained. */
+    std::size_t sampleCount() const { return history.size(); }
+
+    /** @return true once at least `window` seconds are retained. */
+    bool hasWindow(std::size_t window_seconds) const;
+
+    /**
+     * Binned history sequence over the trailing window — the model
+     * input S of Fig. 11.
+     *
+     * @param window_seconds history length r (e.g. 120).
+     * @param bins number of sequence steps (e.g. 12 -> 10 s bins).
+     * @return time-major sequence of (1 x kNumPerfEvents) matrices,
+     *         oldest bin first.  If fewer samples than the window are
+     *         available the window is left-padded with the oldest
+     *         sample (cold-start behaviour).
+     */
+    std::vector<ml::Matrix> binnedWindow(std::size_t window_seconds,
+                                         std::size_t bins) const;
+
+    /** Mean of each event over the trailing `window_seconds`. */
+    testbed::CounterSample
+    meanOverTrailing(std::size_t window_seconds) const;
+
+    /** Most recent sample. @pre sampleCount() > 0. */
+    const testbed::CounterSample &latest() const;
+
+    /** Drop all history. */
+    void clear() { history.clear(); }
+
+  private:
+    RingBuffer<testbed::CounterSample> history;
+};
+
+/**
+ * Mean of each event across a span of a recorded trace
+ * [begin, end) — used by the dataset builder for horizon targets.
+ */
+testbed::CounterSample
+meanOverSpan(const std::vector<testbed::CounterSample> &trace,
+             std::size_t begin, std::size_t end);
+
+/**
+ * Bin a contiguous slice of a counter trace into a fixed-length
+ * time-major sequence of (1 x kNumPerfEvents) matrices.
+ *
+ * @param trace full per-second trace.
+ * @param begin first sample index (inclusive).
+ * @param end one past the last sample (exclusive, > begin).
+ * @param bins sequence length; samples are averaged per bin.
+ */
+std::vector<ml::Matrix>
+binSpan(const std::vector<testbed::CounterSample> &trace, std::size_t begin,
+        std::size_t end, std::size_t bins);
+
+} // namespace adrias::telemetry
+
+#endif // ADRIAS_TELEMETRY_WATCHER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-deployment load presented to the testbed during one tick, and the
+ * per-deployment outcome the contention model computes from it.
+ */
+
+#ifndef ADRIAS_TESTBED_LOAD_HH
+#define ADRIAS_TESTBED_LOAD_HH
+
+#include "common/types.hh"
+
+namespace adrias::testbed
+{
+
+/**
+ * Resource pressure one running workload exerts during a tick.
+ *
+ * The fields are the knobs of the contention model (DESIGN.md §4):
+ * compute share, memory traffic demand, the latency-bound fraction of
+ * that demand (pointer chasing), and LLC behaviour.
+ */
+struct LoadDescriptor
+{
+    DeploymentId id = 0;
+
+    /** Placement decided by the orchestrator. */
+    MemoryMode mode = MemoryMode::Local;
+
+    /** Cores' worth of compute demand while unimpeded. */
+    double cpuCores = 1.0;
+
+    /** Fraction of unimpeded time spent computing (not stalled). */
+    double cpuFraction = 0.5;
+
+    /** Memory traffic the app issues when unimpeded, GB/s. */
+    double memDemandGBps = 0.1;
+
+    /**
+     * Fraction of traffic that is latency-bound (dependent loads that
+     * cannot be overlapped); scales with pool latency.
+     */
+    double latencyBoundFraction = 0.1;
+
+    /** LLC access rate, GB/s (loads hitting the LLC level). */
+    double llcAccessGBps = 1.0;
+
+    /** LLC hit rate when the working set is fully resident. */
+    double baseHitRate = 0.85;
+
+    /** Hot working-set size competing for LLC capacity, MB. */
+    double cacheFootprintMb = 1.0;
+};
+
+/** What the contention model concluded for one deployment this tick. */
+struct LoadOutcome
+{
+    DeploymentId id = 0;
+
+    /**
+     * Wall-clock dilation of the app this tick (>= 1): one second of
+     * simulated time advances the app by 1/slowdown seconds of
+     * unimpeded progress.
+     */
+    double slowdown = 1.0;
+
+    /** Effective LLC hit rate after capacity contention. */
+    double hitRate = 0.85;
+
+    /** Memory traffic actually achieved, GB/s. */
+    double achievedGBps = 0.0;
+
+    /** Miss-induced traffic multiplier relative to isolation. */
+    double missScale = 1.0;
+
+    /** Pool latency (ns) this app observed. */
+    double latencyNs = 80.0;
+};
+
+} // namespace adrias::testbed
+
+#endif // ADRIAS_TESTBED_LOAD_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Calibration constants of the simulated ThymesisFlow testbed.
+ *
+ * Values mirror the prototype of paper §III and the characterization of
+ * §IV: two AC922 POWER9 nodes, 64 logical cores, 2x10 MB LLC, DDR4 that
+ * sustains ~120 Gbps, and an OpenCAPI/FPGA channel whose *effective*
+ * data throughput caps near 2.5 Gbps (R1) with a 350→900 cycle latency
+ * step under saturation (R2).
+ */
+
+#ifndef ADRIAS_TESTBED_PARAMS_HH
+#define ADRIAS_TESTBED_PARAMS_HH
+
+namespace adrias::testbed
+{
+
+/** Tunable hardware model; defaults reproduce the paper's testbed. */
+struct TestbedParams
+{
+    /** Logical cores on the borrower node. */
+    double cores = 64.0;
+
+    /** Aggregate LLC capacity (two sockets x 10 MB), in MB. */
+    double llcCapacityMb = 20.0;
+
+    /** Sustained local DRAM bandwidth, GB/s (~120 Gbps). */
+    double localBwGBps = 15.0;
+
+    /**
+     * Effective ThymesisFlow data throughput cap, GB/s (~2.5 Gbps,
+     * observation R1: three orders of magnitude under DDR4).
+     */
+    double remoteBwGBps = 0.3125;
+
+    /** Local DRAM load-to-use latency, ns (paper: ~80 ns). */
+    double localLatencyNs = 80.0;
+
+    /** Remote (cross-FPGA) latency, ns (paper: ~900 ns). */
+    double remoteLatencyNs = 900.0;
+
+    /** Channel latency in cycles at low load (R2 steady state). */
+    double channelLatencyBaseCycles = 350.0;
+
+    /** Channel latency plateau under back-pressure (R2). */
+    double channelLatencySatCycles = 900.0;
+
+    /**
+     * Channel demand pressure (total demand / capacity) where the
+     * back-pressure latency ramp begins.
+     */
+    double channelRampStart = 1.2;
+
+    /** Pressure at which latency reaches the saturation plateau. */
+    double channelRampEnd = 2.6;
+
+    /**
+     * Mild local-latency inflation exponent under local bandwidth
+     * contention (queueing in the memory controllers).
+     */
+    double localLatencyInflation = 0.35;
+
+    /** Fraction of memory traffic that is loads (rest: stores). */
+    double loadStoreSplit = 0.72;
+
+    /** Flit size on the OpenCAPI link, bytes. */
+    double flitBytes = 32.0;
+
+    /** @return latency throttle for remote latency-bound demand. */
+    double
+    remoteLatencyThrottle() const
+    {
+        return localLatencyNs / remoteLatencyNs;
+    }
+};
+
+} // namespace adrias::testbed
+
+#endif // ADRIAS_TESTBED_PARAMS_HH

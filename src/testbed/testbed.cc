@@ -1,0 +1,228 @@
+#include "testbed/testbed.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adrias::testbed
+{
+
+double
+llcEffectiveHitRate(double base_hit_rate, double footprint_mb,
+                    double total_footprint_mb, double capacity_mb)
+{
+    if (capacity_mb <= 0.0)
+        fatal("llcEffectiveHitRate: non-positive capacity");
+    if (footprint_mb < 0.0 || total_footprint_mb < footprint_mb)
+        panic("llcEffectiveHitRate: inconsistent footprints");
+    if (total_footprint_mb <= capacity_mb)
+        return base_hit_rate;
+    // Under capacity pressure each app keeps a proportional share of
+    // its hot set resident; misses grow with the evicted fraction.
+    const double resident_fraction = capacity_mb / total_footprint_mb;
+    return base_hit_rate * resident_fraction;
+}
+
+double
+channelLatencyCycles(const TestbedParams &params, double pressure)
+{
+    if (pressure < 0.0)
+        panic("channelLatencyCycles: negative pressure");
+    const double base = params.channelLatencyBaseCycles;
+    const double sat = params.channelLatencySatCycles;
+    if (pressure <= params.channelRampStart)
+        return base;
+    if (pressure >= params.channelRampEnd)
+        return sat;
+    const double frac = (pressure - params.channelRampStart) /
+                        (params.channelRampEnd - params.channelRampStart);
+    return base + frac * (sat - base);
+}
+
+Testbed::Testbed(TestbedParams params, std::uint64_t seed)
+    : parameters(params), rng(seed)
+{
+    if (parameters.remoteBwGBps <= 0.0 || parameters.localBwGBps <= 0.0)
+        fatal("Testbed: bandwidth capacities must be positive");
+    if (parameters.llcCapacityMb <= 0.0)
+        fatal("Testbed: LLC capacity must be positive");
+}
+
+double
+Testbed::noisy(double value)
+{
+    if (noiseSigma <= 0.0)
+        return value;
+    return std::max(0.0, value * (1.0 + rng.gaussian(0.0, noiseSigma)));
+}
+
+TickResult
+Testbed::tick(const std::vector<LoadDescriptor> &loads)
+{
+    TickResult result;
+    result.outcomes.resize(loads.size());
+
+    // --- Pass 1: aggregate pressure on every shared resource. -----------
+    double total_cpu = 0.0;
+    double total_footprint = 0.0;
+    for (const LoadDescriptor &load : loads) {
+        total_cpu += load.cpuCores;
+        total_footprint += load.cacheFootprintMb;
+    }
+    const double cpu_factor =
+        total_cpu <= parameters.cores ? 1.0 : parameters.cores / total_cpu;
+
+    // --- Pass 2: LLC contention -> per-app miss scaling and offered
+    //             traffic demand per memory pool. ------------------------
+    //
+    // A deployment's issueable traffic is memDemand with its
+    // latency-bound slice throttled by the local/remote latency ratio
+    // (dependent loads cannot be overlapped across the channel).  The
+    // offered demand at *base* remote latency determines the channel
+    // back-pressure (R2); one fixed-point iteration then re-throttles
+    // the latency-bound slice at the saturated latency, which is how
+    // the FPGAs' back-pressure physically slows issue rates.
+    const double remote_throttle = parameters.remoteLatencyThrottle();
+    std::vector<double> miss_scale(loads.size(), 1.0);
+    std::vector<double> hit_rate(loads.size(), 0.0);
+
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadDescriptor &load = loads[i];
+        const double h = llcEffectiveHitRate(
+            load.baseHitRate, load.cacheFootprintMb, total_footprint,
+            parameters.llcCapacityMb);
+        hit_rate[i] = h;
+        const double base_miss = std::max(1e-6, 1.0 - load.baseHitRate);
+        miss_scale[i] = std::max(1.0, (1.0 - h) / base_miss);
+    }
+
+    auto remote_demand_at = [&](const LoadDescriptor &load,
+                                double lat_scale) {
+        const double lat_fraction =
+            std::clamp(load.latencyBoundFraction, 0.0, 1.0);
+        const double throttle = (1.0 - lat_fraction) +
+                                lat_fraction * remote_throttle / lat_scale;
+        return load.memDemandGBps * throttle;
+    };
+
+    // Offered (base-latency) remote demand -> channel pressure.
+    double offered_remote = 0.0;
+    for (const LoadDescriptor &load : loads)
+        if (load.mode == MemoryMode::Remote)
+            offered_remote += remote_demand_at(load, 1.0);
+    result.channelPressure = offered_remote / parameters.remoteBwGBps;
+    result.channelLatencyCycles =
+        channelLatencyCycles(parameters, result.channelPressure);
+    const double channel_lat_scale =
+        result.channelLatencyCycles / parameters.channelLatencyBaseCycles;
+    const double remote_latency_ns =
+        parameters.remoteLatencyNs * channel_lat_scale;
+
+    // Back-pressured demand and pool shares.
+    std::vector<double> demand(loads.size(), 0.0);
+    double local_demand = 0.0;
+    double remote_demand = 0.0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadDescriptor &load = loads[i];
+        demand[i] = load.mode == MemoryMode::Remote
+                        ? remote_demand_at(load, channel_lat_scale)
+                        : load.memDemandGBps;
+        if (load.mode == MemoryMode::Remote)
+            remote_demand += demand[i];
+        else
+            local_demand += demand[i];
+    }
+    const double remote_share =
+        remote_demand <= parameters.remoteBwGBps
+            ? 1.0
+            : parameters.remoteBwGBps / remote_demand;
+    const double remote_achieved_total = remote_demand * remote_share;
+
+    // Remote traffic terminates in the borrower's memory controllers
+    // too (observation R3), so it contributes to local pressure.
+    const double local_total_demand = local_demand + remote_achieved_total;
+    const double local_share =
+        local_total_demand <= parameters.localBwGBps
+            ? 1.0
+            : parameters.localBwGBps / local_total_demand;
+
+    const double local_util =
+        std::min(1.0, local_total_demand / parameters.localBwGBps);
+    const double local_latency_ns =
+        parameters.localLatencyNs *
+        (1.0 + parameters.localLatencyInflation * local_util * local_util);
+
+    // --- Pass 3: per-app slowdown. --------------------------------------
+    double local_achieved = 0.0;
+    double remote_achieved = 0.0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadDescriptor &load = loads[i];
+        LoadOutcome &outcome = result.outcomes[i];
+        outcome.id = load.id;
+        outcome.hitRate = hit_rate[i];
+        outcome.missScale = miss_scale[i];
+
+        const bool remote = load.mode == MemoryMode::Remote;
+        const double share = remote ? remote_share * local_share
+                                    : local_share;
+        const double achieved = demand[i] * share;
+        outcome.achievedGBps = achieved;
+        outcome.latencyNs = remote ? remote_latency_ns : local_latency_ns;
+        if (remote)
+            remote_achieved += achieved;
+        else
+            local_achieved += achieved;
+
+        // Memory-phase dilation: the app needed memDemand of useful
+        // traffic per unit time (times missScale extra bytes under LLC
+        // contention) but only achieves `achieved`.  Latency throttling
+        // is already folded into demand, so no extra multiplier.
+        double mem_slowdown = 1.0;
+        if (load.memDemandGBps > 1e-9) {
+            mem_slowdown = miss_scale[i] * load.memDemandGBps /
+                           std::max(achieved, 1e-9);
+        }
+
+        const double mu = std::clamp(load.cpuFraction, 0.0, 1.0);
+        outcome.slowdown = mu / cpu_factor + (1.0 - mu) * mem_slowdown;
+        outcome.slowdown = std::max(1.0, outcome.slowdown);
+    }
+
+    result.remoteTrafficGBps = remote_achieved;
+    result.localTrafficGBps = local_achieved + remote_achieved;
+
+    // --- Pass 5: performance counters (Watcher events). -----------------
+    // Unit conventions: cache events in millions of events/s assuming
+    // 64 B lines; memory counters in GB/s; flits in millions/s.
+    double llc_loads = 0.0;
+    double llc_misses = 0.0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        // 64 B cache lines: GB/s -> million events/s.
+        const double accesses = loads[i].llcAccessGBps * 1e9 / 64.0 / 1e6;
+        llc_loads += accesses;
+        llc_misses += accesses * (1.0 - hit_rate[i]);
+    }
+    const double mem_total = result.localTrafficGBps;
+    const double flits_m =
+        remote_achieved / (parameters.flitBytes * 1e-9) / 1e6;
+
+    CounterSample &counters = result.counters;
+    counters[static_cast<std::size_t>(PerfEvent::LlcLoads)] =
+        noisy(llc_loads);
+    counters[static_cast<std::size_t>(PerfEvent::LlcMisses)] =
+        noisy(llc_misses);
+    counters[static_cast<std::size_t>(PerfEvent::MemLoads)] =
+        noisy(mem_total * parameters.loadStoreSplit);
+    counters[static_cast<std::size_t>(PerfEvent::MemStores)] =
+        noisy(mem_total * (1.0 - parameters.loadStoreSplit));
+    counters[static_cast<std::size_t>(PerfEvent::RemoteTx)] =
+        noisy(flits_m * 0.45);
+    counters[static_cast<std::size_t>(PerfEvent::RemoteRx)] =
+        noisy(flits_m * 0.55);
+    counters[static_cast<std::size_t>(PerfEvent::ChannelLat)] =
+        noisy(result.channelLatencyCycles);
+    return result;
+}
+
+} // namespace adrias::testbed

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The simulated two-node ThymesisFlow machine.
+ *
+ * Testbed::tick() is the heart of the reproduction: given the loads
+ * active during one second, it resolves the shared-resource contention
+ * (CPU, LLC capacity, local DRAM bandwidth, remote channel bandwidth
+ * and latency) and returns both per-app slowdowns and the performance
+ * counters the Watcher samples.  The model is deliberately stateless
+ * per tick so every piece is unit-testable.
+ */
+
+#ifndef ADRIAS_TESTBED_TESTBED_HH
+#define ADRIAS_TESTBED_TESTBED_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "testbed/counters.hh"
+#include "testbed/load.hh"
+#include "testbed/params.hh"
+
+namespace adrias::testbed
+{
+
+/** Aggregate result of one simulated second. */
+struct TickResult
+{
+    /** Per-deployment outcome, in input order. */
+    std::vector<LoadOutcome> outcomes;
+
+    /** The Watcher's counter sample for this tick. */
+    CounterSample counters{};
+
+    /** Total achieved remote traffic, GB/s. */
+    double remoteTrafficGBps = 0.0;
+
+    /** Total achieved local traffic, GB/s. */
+    double localTrafficGBps = 0.0;
+
+    /** Channel demand pressure (demand / capacity). */
+    double channelPressure = 0.0;
+
+    /** Channel latency this tick, cycles. */
+    double channelLatencyCycles = 350.0;
+};
+
+/**
+ * LLC capacity-contention submodel.
+ *
+ * Proportional occupancy: when the sum of hot footprints exceeds
+ * capacity, every app keeps capacity/total of its working set resident
+ * and its hit rate degrades linearly with the evicted fraction.
+ *
+ * @param base_hit_rate hit rate with a fully resident working set.
+ * @param footprint_mb this app's hot working set.
+ * @param total_footprint_mb sum over co-located apps.
+ * @param capacity_mb LLC capacity.
+ * @return effective hit rate in [0, base_hit_rate].
+ */
+double llcEffectiveHitRate(double base_hit_rate, double footprint_mb,
+                           double total_footprint_mb, double capacity_mb);
+
+/**
+ * Channel back-pressure latency (observation R2): constant at low
+ * pressure, linear ramp between rampStart and rampEnd, plateau above.
+ *
+ * @param pressure total channel demand divided by capacity.
+ */
+double channelLatencyCycles(const TestbedParams &params, double pressure);
+
+/** The simulated machine. */
+class Testbed
+{
+  public:
+    /**
+     * @param params hardware calibration.
+     * @param seed RNG seed for counter measurement noise.
+     */
+    explicit Testbed(TestbedParams params = {}, std::uint64_t seed = 1);
+
+    /**
+     * Resolve one second of execution.
+     *
+     * @param loads all deployments active during this tick.
+     * @return slowdowns, achieved traffic and counters.
+     */
+    TickResult tick(const std::vector<LoadDescriptor> &loads);
+
+    /** @return calibration in use. */
+    const TestbedParams &params() const { return parameters; }
+
+    /**
+     * Relative counter noise amplitude (0 disables measurement noise;
+     * default 1%).
+     */
+    void setNoise(double relative_sigma) { noiseSigma = relative_sigma; }
+
+  private:
+    TestbedParams parameters;
+    Rng rng;
+    double noiseSigma = 0.01;
+
+    /** Apply multiplicative measurement noise to a counter value. */
+    double noisy(double value);
+};
+
+} // namespace adrias::testbed
+
+#endif // ADRIAS_TESTBED_TESTBED_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memtier-style closed-loop load-generation configuration (paper
+ * §IV-A): 4 threads x 200 clients, SET:GET 1:10, constant per-client
+ * request budgets.  Used by the Fig. 3 characterization bench to sweep
+ * client counts against local/remote placements.
+ */
+
+#ifndef ADRIAS_WORKLOADS_MEMTIER_HH
+#define ADRIAS_WORKLOADS_MEMTIER_HH
+
+#include <cstddef>
+
+namespace adrias::workloads
+{
+
+/** Closed-loop client fleet description. */
+struct MemtierConfig
+{
+    /** Load-generating threads. */
+    std::size_t threads = 4;
+
+    /** Clients per thread (paper: 200, avoiding client bias). */
+    std::size_t clientsPerThread = 200;
+
+    /** Requests each client issues. */
+    std::size_t requestsPerClient = 10000;
+
+    /** SET fraction (SET:GET of 1:10 -> ~0.0909). */
+    double setFraction = 1.0 / 11.0;
+
+    /** @return total concurrent clients. */
+    std::size_t totalClients() const { return threads * clientsPerThread; }
+
+    /** @return total requests across all clients. */
+    std::size_t
+    totalRequests() const
+    {
+        return totalClients() * requestsPerClient;
+    }
+
+    /**
+     * Client-load multiplier relative to the paper's nominal fleet of
+     * 800 clients; drives the LC queueing model.
+     */
+    double
+    loadFactor() const
+    {
+        return static_cast<double>(totalClients()) / 800.0;
+    }
+};
+
+} // namespace adrias::workloads
+
+#endif // ADRIAS_WORKLOADS_MEMTIER_HH

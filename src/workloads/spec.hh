@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Static workload descriptions (behaviour models).
+ *
+ * Each spec parameterizes the contention model of src/testbed for one
+ * application: compute share, memory demand, pointer-chasing fraction,
+ * LLC behaviour — plus the run model (best-effort work amount or
+ * latency-critical request service).  Parameter values are calibrated
+ * so the paper's characterization (Figs. 2-5) is reproduced: nweight
+ * and lr lose ~2x on remote memory in isolation, gmm/pca lose <10%,
+ * the Spark mean is ~20-25%, and in-memory stores are latency-bound
+ * but bandwidth-light (R4, R6).
+ */
+
+#ifndef ADRIAS_WORKLOADS_SPEC_HH
+#define ADRIAS_WORKLOADS_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "testbed/load.hh"
+
+namespace adrias::workloads
+{
+
+/** iBench resource-trashing microbenchmark flavours (paper §IV). */
+enum class IBenchKind
+{
+    Cpu,
+    L2,
+    L3,
+    MemBw,
+};
+
+/** @return canonical name ("cpu", "l2", "l3", "memBw"). */
+std::string toString(IBenchKind kind);
+
+/** Static behaviour model of one application. */
+struct WorkloadSpec
+{
+    std::string name;
+    WorkloadClass cls = WorkloadClass::BestEffort;
+
+    // --- contention-model knobs (see testbed::LoadDescriptor) ---------
+    double cpuCores = 8.0;
+    double cpuFraction = 0.6;
+    double memDemandGBps = 0.3;
+    double latencyBoundFraction = 0.1;
+    double llcAccessGBps = 4.0;
+    double baseHitRate = 0.85;
+    double cacheFootprintMb = 3.0;
+
+    /**
+     * Resident memory footprint, GB — the data an L2 runtime mechanism
+     * must copy when migrating the app between memory pools.
+     */
+    double memoryFootprintGb = 2.0;
+
+    // --- best-effort run model ----------------------------------------
+    /** Unimpeded execution time of the job, seconds. */
+    double baseDurationSec = 60.0;
+
+    // --- latency-critical run model -----------------------------------
+    /** Requests served per second when unimpeded. */
+    double serviceRatePerSec = 0.0;
+    /** Total requests one deployment must serve. */
+    double totalRequests = 0.0;
+    /** Unimpeded mean request latency, ms. */
+    double baseLatencyMs = 0.0;
+    /** Lognormal sigma of per-request latency noise. */
+    double latencySigma = 0.25;
+
+    /** Build the per-tick load this app presents to the testbed. */
+    testbed::LoadDescriptor
+    toLoad(DeploymentId id, MemoryMode mode) const
+    {
+        testbed::LoadDescriptor load;
+        load.id = id;
+        load.mode = mode;
+        load.cpuCores = cpuCores;
+        load.cpuFraction = cpuFraction;
+        load.memDemandGBps = memDemandGBps;
+        load.latencyBoundFraction = latencyBoundFraction;
+        load.llcAccessGBps = llcAccessGBps;
+        load.baseHitRate = baseHitRate;
+        load.cacheFootprintMb = cacheFootprintMb;
+        return load;
+    }
+};
+
+/** @return the 17 HiBench Spark benchmark specs (best-effort). */
+const std::vector<WorkloadSpec> &sparkBenchmarks();
+
+/** Look up a Spark benchmark by name. @throws on unknown name. */
+const WorkloadSpec &sparkBenchmark(const std::string &name);
+
+/** @return the Redis spec (latency-critical, ~30k ops/s). */
+const WorkloadSpec &redisSpec();
+
+/** @return the Memcached spec (latency-critical, ~100k ops/s). */
+const WorkloadSpec &memcachedSpec();
+
+/** @return the iBench microbenchmark spec of the given kind. */
+const WorkloadSpec &ibenchSpec(IBenchKind kind);
+
+/** @return all LC specs (Redis, Memcached). */
+const std::vector<WorkloadSpec> &latencyCriticalBenchmarks();
+
+} // namespace adrias::workloads
+
+#endif // ADRIAS_WORKLOADS_SPEC_HH

@@ -1,0 +1,176 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adrias::workloads
+{
+
+WorkloadInstance::WorkloadInstance(DeploymentId id, const WorkloadSpec &spec,
+                                   MemoryMode mode, SimTime arrival_,
+                                   std::uint64_t seed, double load_factor)
+    : deploymentId(id), specification(&spec), memoryMode(mode),
+      arrival(arrival_), rng(seed), loadFactor(load_factor)
+{
+    if (load_factor <= 0.0)
+        fatal("WorkloadInstance: load factor must be positive");
+}
+
+testbed::LoadDescriptor
+WorkloadInstance::load() const
+{
+    testbed::LoadDescriptor descriptor =
+        specification->toLoad(deploymentId, memoryMode);
+    if (specification->cls == WorkloadClass::LatencyCritical) {
+        // Heavier client load raises both CPU and memory pressure.
+        descriptor.cpuCores *= loadFactor;
+        descriptor.memDemandGBps *= loadFactor;
+        descriptor.llcAccessGBps *= loadFactor;
+    }
+    return descriptor;
+}
+
+void
+WorkloadInstance::advance(const testbed::LoadOutcome &outcome, SimTime now)
+{
+    if (done)
+        panic("WorkloadInstance::advance after completion");
+    if (outcome.id != deploymentId)
+        panic("WorkloadInstance::advance got another instance's outcome");
+
+    const double slowdown = std::max(1.0, outcome.slowdown);
+    slowdownSum += slowdown;
+    ++ticks;
+    elapsedSec += 1.0;
+    if (memoryMode == MemoryMode::Remote)
+        remoteGb += outcome.achievedGBps; // GB/s over a 1 s tick
+
+    // A migration pause stalls progress while the pool copy runs.
+    if (migrationRemaining > 0.0) {
+        migrationRemaining -= 1.0;
+        // The copy itself crosses the channel, spread over the pause.
+        remoteGb +=
+            specification->memoryFootprintGb / migrationPauseTotal;
+        if (migrationRemaining <= 0.0) {
+            memoryMode = migrationTarget;
+            ++migrationsDone;
+        }
+        return;
+    }
+
+    switch (specification->cls) {
+      case WorkloadClass::BestEffort:
+        progressSec += 1.0 / slowdown;
+        if (progressSec >= specification->baseDurationSec) {
+            done = true;
+            completion = now;
+        }
+        break;
+      case WorkloadClass::LatencyCritical:
+        advanceLatencyCritical(outcome);
+        if (requestsServed >= specification->totalRequests) {
+            done = true;
+            completion = now;
+        }
+        break;
+      case WorkloadClass::Interference:
+        // Trashers run for fixed wall-clock time regardless of their
+        // own slowdown.
+        if (elapsedSec >= specification->baseDurationSec) {
+            done = true;
+            completion = now;
+        }
+        break;
+    }
+}
+
+void
+WorkloadInstance::advanceLatencyCritical(const testbed::LoadOutcome &outcome)
+{
+    const double slowdown = std::max(1.0, outcome.slowdown);
+
+    // Closed-loop clients: the server drains its nominal rate divided
+    // by the slowdown; heavier client load raises utilization and the
+    // queueing tail (M/M/1-flavoured inflation, normalized so nominal
+    // isolated load gives multiplier 1).
+    const double utilization = std::min(
+        0.98, kBaseUtilization * loadFactor * slowdown);
+    const double queue_mult =
+        (1.0 - kBaseUtilization) / (1.0 - utilization);
+
+    // Requests drained this one-second tick.
+    requestsServed +=
+        specification->serviceRatePerSec * loadFactor / slowdown;
+
+    const double sigma = specification->latencySigma;
+    for (int i = 0; i < kSamplesPerTick; ++i) {
+        const double noise =
+            std::exp(sigma * rng.gaussian() - 0.5 * sigma * sigma);
+        const double latency_ms = specification->baseLatencyMs * slowdown *
+                                  queue_mult * noise;
+        latencies.add(latency_ms);
+    }
+}
+
+double
+WorkloadInstance::executionTimeSec() const
+{
+    if (!done)
+        return elapsedSec;
+    return static_cast<double>(completion - arrival);
+}
+
+double
+WorkloadInstance::tailLatencyMs(double q) const
+{
+    return latencies.quantile(q);
+}
+
+double
+WorkloadInstance::meanLatencyMs() const
+{
+    return latencies.mean();
+}
+
+double
+WorkloadInstance::meanSlowdown() const
+{
+    return ticks == 0 ? 1.0 : slowdownSum / static_cast<double>(ticks);
+}
+
+bool
+WorkloadInstance::requestMigration(MemoryMode target, double pause_sec)
+{
+    if (done)
+        panic("WorkloadInstance::requestMigration after completion");
+    if (pause_sec <= 0.0)
+        fatal("WorkloadInstance::requestMigration: pause must be "
+              "positive");
+    if (memoryMode == target || migrating())
+        return false;
+    migrationTarget = target;
+    migrationRemaining = pause_sec;
+    migrationPauseTotal = pause_sec;
+    return true;
+}
+
+double
+WorkloadInstance::progressFraction() const
+{
+    switch (specification->cls) {
+      case WorkloadClass::BestEffort:
+        return std::min(1.0, progressSec / specification->baseDurationSec);
+      case WorkloadClass::LatencyCritical:
+        return specification->totalRequests <= 0.0
+                   ? 1.0
+                   : std::min(1.0, requestsServed /
+                                       specification->totalRequests);
+      case WorkloadClass::Interference:
+        return std::min(1.0, elapsedSec / specification->baseDurationSec);
+    }
+    return 0.0;
+}
+
+} // namespace adrias::workloads

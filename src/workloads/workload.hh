@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Runtime state of one deployed workload instance.
+ *
+ * Instances advance tick by tick against the testbed's contention
+ * outcomes: best-effort jobs accumulate progress until their work is
+ * done, latency-critical servers sample per-request latencies through a
+ * closed-loop (memtier-like) client model, and iBench trashers simply
+ * occupy resources for a fixed wall-clock duration.
+ */
+
+#ifndef ADRIAS_WORKLOADS_WORKLOAD_HH
+#define ADRIAS_WORKLOADS_WORKLOAD_HH
+
+#include <optional>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "stats/percentile.hh"
+#include "testbed/load.hh"
+#include "workloads/spec.hh"
+
+namespace adrias::workloads
+{
+
+/** A deployed, running (or finished) workload. */
+class WorkloadInstance
+{
+  public:
+    /**
+     * @param id unique deployment id.
+     * @param spec behaviour model.
+     * @param mode memory placement chosen by the orchestrator.
+     * @param arrival simulation time of deployment.
+     * @param seed latency-noise RNG seed.
+     * @param load_factor client-load multiplier for LC apps (1 = the
+     *        paper's nominal memtier load).
+     */
+    WorkloadInstance(DeploymentId id, const WorkloadSpec &spec,
+                     MemoryMode mode, SimTime arrival,
+                     std::uint64_t seed, double load_factor = 1.0);
+
+    /** @return the load this instance presents to the testbed now. */
+    testbed::LoadDescriptor load() const;
+
+    /**
+     * Consume one tick's contention outcome.
+     *
+     * @param outcome the testbed's verdict for this instance.
+     * @param now current simulation time (end of the tick).
+     */
+    void advance(const testbed::LoadOutcome &outcome, SimTime now);
+
+    /** @return true once the instance's run model has completed. */
+    bool finished() const { return done; }
+
+    DeploymentId id() const { return deploymentId; }
+    const WorkloadSpec &spec() const { return *specification; }
+    MemoryMode mode() const { return memoryMode; }
+    SimTime arrivalTime() const { return arrival; }
+
+    /** Wall-clock execution time; only meaningful once finished. */
+    double executionTimeSec() const;
+
+    /** LC: tail latency of all sampled requests so far, ms. */
+    double tailLatencyMs(double q) const;
+
+    /** LC: mean request latency, ms. */
+    double meanLatencyMs() const;
+
+    /** Mean slowdown observed across ticks so far. */
+    double meanSlowdown() const;
+
+    /** Total bytes moved over the ThymesisFlow channel, GB. */
+    double remoteTrafficGB() const { return remoteGb; }
+
+    /** Progress in [0, 1] for BE jobs; request fraction for LC. */
+    double progressFraction() const;
+
+    /**
+     * Request an L2 migration to the other memory pool (paper §II's
+     * runtime-management layer, complementary to Adrias).
+     *
+     * The instance pauses for @p pause_sec seconds (data copy over the
+     * channel), during which it makes no progress but still occupies
+     * resources; afterwards it resumes in @p target mode.  No-op when
+     * already in @p target or mid-migration.
+     *
+     * @return true if a migration was started.
+     */
+    bool requestMigration(MemoryMode target, double pause_sec);
+
+    /** @return true while a migration pause is in effect. */
+    bool migrating() const { return migrationRemaining > 0.0; }
+
+    /** @return number of completed migrations. */
+    std::size_t migrationCount() const { return migrationsDone; }
+
+  private:
+    DeploymentId deploymentId;
+    const WorkloadSpec *specification;
+    MemoryMode memoryMode;
+    SimTime arrival;
+    Rng rng;
+    double loadFactor;
+
+    bool done = false;
+    SimTime completion = -1;
+
+    // BE / interference progress
+    double progressSec = 0.0;   ///< unimpeded-equivalent seconds done
+    double elapsedSec = 0.0;    ///< wall-clock seconds so far
+
+    // LC request accounting
+    double requestsServed = 0.0;
+    stats::PercentileTracker latencies;
+
+    // aggregates
+    double slowdownSum = 0.0;
+    std::size_t ticks = 0;
+    double remoteGb = 0.0;
+
+    // L2 migration state
+    double migrationRemaining = 0.0; ///< pause seconds left
+    double migrationPauseTotal = 1.0;
+    MemoryMode migrationTarget = MemoryMode::Local;
+    std::size_t migrationsDone = 0;
+
+    /** Base server utilization at nominal load (queueing model). */
+    static constexpr double kBaseUtilization = 0.6;
+
+    /** Request-latency samples drawn per tick for the tail estimate. */
+    static constexpr int kSamplesPerTick = 24;
+
+    void advanceLatencyCritical(const testbed::LoadOutcome &outcome);
+};
+
+} // namespace adrias::workloads
+
+#endif // ADRIAS_WORKLOADS_WORKLOAD_HH

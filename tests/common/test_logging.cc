@@ -1,0 +1,50 @@
+/** @file Unit tests for common/logging. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace adrias
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("user misconfiguration"), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("invariant broken"), std::logic_error);
+}
+
+TEST(Logging, LevelFilterIsAdjustable)
+{
+    Logger &logger = Logger::instance();
+    const LogLevel original = logger.level();
+    logger.setLevel(LogLevel::Off);
+    EXPECT_EQ(logger.level(), LogLevel::Off);
+    // Must not crash even when filtered.
+    logDebug("filtered");
+    logInfo("filtered");
+    logWarn("filtered");
+    logError("filtered");
+    logger.setLevel(original);
+}
+
+TEST(Logging, FatalMessageIsPreserved)
+{
+    try {
+        fatal("bad beta value");
+        FAIL() << "fatal() must throw";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("bad beta value"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace adrias

@@ -1,0 +1,107 @@
+/** @file Unit tests for common/ring_buffer. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/ring_buffer.hh"
+
+namespace adrias
+{
+namespace
+{
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> buf(4);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.full());
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.capacity(), 4u);
+}
+
+TEST(RingBuffer, RejectsZeroCapacity)
+{
+    EXPECT_THROW(RingBuffer<int>(0), std::runtime_error);
+}
+
+TEST(RingBuffer, PushUntilFull)
+{
+    RingBuffer<int> buf(3);
+    buf.push(1);
+    buf.push(2);
+    EXPECT_EQ(buf.size(), 2u);
+    EXPECT_FALSE(buf.full());
+    buf.push(3);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.oldest(), 1);
+    EXPECT_EQ(buf.newest(), 3);
+}
+
+TEST(RingBuffer, EvictsOldestWhenFull)
+{
+    RingBuffer<int> buf(3);
+    for (int v = 1; v <= 5; ++v)
+        buf.push(v);
+    EXPECT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf.at(0), 3);
+    EXPECT_EQ(buf.at(1), 4);
+    EXPECT_EQ(buf.at(2), 5);
+}
+
+TEST(RingBuffer, ChronologicalOrderAcrossManyWraps)
+{
+    RingBuffer<int> buf(7);
+    for (int v = 0; v < 100; ++v)
+        buf.push(v);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        EXPECT_EQ(buf.at(i), 93 + static_cast<int>(i));
+}
+
+TEST(RingBuffer, AtOutOfRangePanics)
+{
+    RingBuffer<int> buf(2);
+    buf.push(1);
+    EXPECT_THROW(buf.at(1), std::logic_error);
+}
+
+TEST(RingBuffer, ClearResetsButKeepsCapacity)
+{
+    RingBuffer<int> buf(3);
+    buf.push(1);
+    buf.push(2);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.capacity(), 3u);
+    buf.push(9);
+    EXPECT_EQ(buf.newest(), 9);
+    EXPECT_EQ(buf.oldest(), 9);
+}
+
+TEST(RingBuffer, ToVectorMatchesChronology)
+{
+    RingBuffer<std::string> buf(3);
+    buf.push("a");
+    buf.push("b");
+    buf.push("c");
+    buf.push("d");
+    const auto v = buf.toVector();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "b");
+    EXPECT_EQ(v[1], "c");
+    EXPECT_EQ(v[2], "d");
+}
+
+TEST(RingBuffer, CapacityOneAlwaysKeepsNewest)
+{
+    RingBuffer<int> buf(1);
+    for (int v = 0; v < 10; ++v) {
+        buf.push(v);
+        EXPECT_EQ(buf.newest(), v);
+        EXPECT_EQ(buf.oldest(), v);
+        EXPECT_EQ(buf.size(), 1u);
+    }
+}
+
+} // namespace
+} // namespace adrias

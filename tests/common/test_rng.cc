@@ -1,0 +1,179 @@
+/** @file Unit and statistical tests for common/rng. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace adrias
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.nextU64() == b.nextU64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(9, 9), 9);
+}
+
+TEST(Rng, GaussianMomentsAreSane)
+{
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaledMoments)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double e = rng.exponential(4.0);
+        EXPECT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean)
+{
+    Rng rng(19);
+    EXPECT_THROW(rng.exponential(0.0), std::logic_error);
+    EXPECT_THROW(rng.exponential(-1.0), std::logic_error);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRateApproximatesProbability)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexHonoursWeights)
+{
+    Rng rng(31);
+    std::vector<double> weights{1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsDegenerateInput)
+{
+    Rng rng(31);
+    std::vector<double> zeros{0.0, 0.0};
+    EXPECT_THROW(rng.weightedIndex(zeros), std::logic_error);
+    std::vector<double> negative{1.0, -0.5};
+    EXPECT_THROW(rng.weightedIndex(negative), std::logic_error);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(37);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.nextU64() == child.nextU64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(41);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = items;
+    rng.shuffle(items);
+    std::sort(items.begin(), items.end());
+    EXPECT_EQ(items, copy);
+}
+
+} // namespace
+} // namespace adrias

@@ -1,0 +1,41 @@
+/** @file Unit tests for common/types. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace adrias
+{
+namespace
+{
+
+TEST(Types, MemoryModeToString)
+{
+    EXPECT_EQ(toString(MemoryMode::Local), "local");
+    EXPECT_EQ(toString(MemoryMode::Remote), "remote");
+}
+
+TEST(Types, WorkloadClassToString)
+{
+    EXPECT_EQ(toString(WorkloadClass::BestEffort), "best-effort");
+    EXPECT_EQ(toString(WorkloadClass::LatencyCritical), "latency-critical");
+    EXPECT_EQ(toString(WorkloadClass::Interference), "interference");
+}
+
+TEST(Types, MemoryModeRoundTrip)
+{
+    EXPECT_EQ(memoryModeFromString(toString(MemoryMode::Local)),
+              MemoryMode::Local);
+    EXPECT_EQ(memoryModeFromString(toString(MemoryMode::Remote)),
+              MemoryMode::Remote);
+}
+
+TEST(Types, MemoryModeFromStringRejectsJunk)
+{
+    EXPECT_THROW(memoryModeFromString("LOCAL"), std::invalid_argument);
+    EXPECT_THROW(memoryModeFromString(""), std::invalid_argument);
+    EXPECT_THROW(memoryModeFromString("near"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace adrias

@@ -1,0 +1,168 @@
+/** @file Tests for the cluster-level Adrias orchestrator (§VII). */
+
+#include <gtest/gtest.h>
+
+#include "core/adrias.hh"
+
+namespace adrias::core
+{
+namespace
+{
+
+using scenario::ClusterScenarioRunner;
+using scenario::ScenarioConfig;
+
+class ClusterOrchestratorTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        AdriasStack::BuildOptions options;
+        options.scenarios = 3;
+        options.scenarioDurationSec = 1500;
+        options.seed = 1700;
+        options.model.epochs = 18;
+        options.model.hidden = 16;
+        options.model.headWidth = 24;
+        stack = new AdriasStack(options);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete stack;
+    }
+
+    static ScenarioConfig
+    evalConfig(std::uint64_t seed)
+    {
+        ScenarioConfig config;
+        config.durationSec = 1200;
+        config.spawnMinSec = 3;
+        config.spawnMaxSec = 12;
+        config.seed = seed;
+        return config;
+    }
+
+    static AdriasStack *stack;
+};
+
+AdriasStack *ClusterOrchestratorTest::stack = nullptr;
+
+TEST_F(ClusterOrchestratorTest, RequiresTrainedPredictorAndSaneBeta)
+{
+    models::Predictor untrained;
+    scenario::SignatureStore store;
+    EXPECT_THROW(
+        AdriasClusterOrchestrator(untrained, store, AdriasConfig{}),
+        std::runtime_error);
+
+    AdriasConfig bad;
+    bad.beta = -1.0;
+    EXPECT_THROW(AdriasClusterOrchestrator(stack->predictor(),
+                                           stack->signatures(), bad),
+                 std::runtime_error);
+}
+
+TEST_F(ClusterOrchestratorTest, NameEncodesBeta)
+{
+    AdriasConfig config;
+    config.beta = 0.8;
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), config);
+    EXPECT_EQ(orchestrator.name(), "adrias-cluster-b0.8");
+}
+
+TEST_F(ClusterOrchestratorTest, UnknownAppBootstrapsOnLeastLoaded)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    telemetry::Watcher w0(16), w1(16);
+    std::vector<scenario::NodeView> nodes{{&w0, 5}, {&w1, 2}};
+    workloads::WorkloadSpec novel = workloads::sparkBenchmark("sort");
+    novel.name = "never-seen";
+    const auto placement =
+        orchestrator.place(novel, nodes, 0);
+    EXPECT_EQ(placement.node, 1u);
+    EXPECT_EQ(placement.mode, MemoryMode::Remote);
+}
+
+TEST_F(ClusterOrchestratorTest, ColdClusterFallsBackToLeastLoadedLocal)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    telemetry::Watcher w0(16), w1(16);
+    std::vector<scenario::NodeView> nodes{{&w0, 4}, {&w1, 1}};
+    const auto placement = orchestrator.place(
+        workloads::sparkBenchmark("sort"), nodes, 0);
+    EXPECT_EQ(placement.node, 1u);
+    EXPECT_EQ(placement.mode, MemoryMode::Local);
+}
+
+TEST_F(ClusterOrchestratorTest, PrefersQuietNodeForBestEffort)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+
+    // Node 0: heavily congested telemetry; node 1: idle telemetry.
+    testbed::Testbed busy_bed, idle_bed;
+    busy_bed.setNoise(0.0);
+    idle_bed.setNoise(0.0);
+    telemetry::Watcher busy(200), idle(200);
+    std::vector<testbed::LoadDescriptor> heavy_loads;
+    for (int i = 0; i < 12; ++i)
+        heavy_loads.push_back(
+            workloads::ibenchSpec(workloads::IBenchKind::MemBw)
+                .toLoad(static_cast<DeploymentId>(i),
+                        MemoryMode::Remote));
+    for (int t = 0; t < 150; ++t) {
+        busy.record(busy_bed.tick(heavy_loads).counters);
+        idle.record(idle_bed.tick({}).counters);
+    }
+
+    std::vector<scenario::NodeView> nodes{{&busy, 12}, {&idle, 12}};
+    const auto placement = orchestrator.place(
+        workloads::sparkBenchmark("lr"), nodes, 200);
+    EXPECT_EQ(placement.node, 1u);
+}
+
+TEST_F(ClusterOrchestratorTest, EndToEndComparableToLeastLoaded)
+{
+    // The cluster orchestrator must not lose to the load-balancing
+    // baseline on median BE performance while actually using remote
+    // memory.
+    AdriasConfig config;
+    config.beta = 0.8;
+    config.defaultQosP99Ms = 5.0;
+    AdriasClusterOrchestrator adrias(stack->predictor(),
+                                     stack->signatures(), config);
+    scenario::LeastLoadedLocalPolicy baseline;
+
+    auto be_median_and_offloads =
+        [&](scenario::ClusterPolicy &policy) {
+            ClusterScenarioRunner runner(3, evalConfig(1801));
+            const auto result = runner.run(policy);
+            std::vector<double> times;
+            std::size_t offloads = 0;
+            for (const auto &entry : result.allRecords()) {
+                if (entry.record->cls != WorkloadClass::BestEffort)
+                    continue;
+                times.push_back(entry.record->execTimeSec);
+                offloads += entry.record->mode == MemoryMode::Remote;
+            }
+            return std::pair<double, std::size_t>(
+                stats::quantile(times, 0.5), offloads);
+        };
+
+    const auto [adrias_median, adrias_offloads] =
+        be_median_and_offloads(adrias);
+    const auto [baseline_median, baseline_offloads] =
+        be_median_and_offloads(baseline);
+    (void)baseline_offloads;
+    EXPECT_LT(adrias_median, baseline_median * 1.25);
+    EXPECT_GT(adrias_offloads, 0u);
+}
+
+} // namespace
+} // namespace adrias::core

@@ -1,0 +1,211 @@
+/** @file Unit tests for ml/matrix. */
+
+#include <gtest/gtest.h>
+
+#include "ml/matrix.hh"
+
+namespace adrias::ml
+{
+namespace
+{
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ConstructionZeroFills)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(m.at(r, c), 0.0);
+}
+
+TEST(Matrix, InitializerShapeMismatchPanics)
+{
+    EXPECT_THROW(Matrix(2, 2, {1.0, 2.0, 3.0}), std::logic_error);
+}
+
+TEST(Matrix, AtBoundsChecked)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), std::logic_error);
+    EXPECT_THROW(m.at(0, 2), std::logic_error);
+}
+
+TEST(Matrix, MatmulKnownProduct)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+    Matrix c = a.matmul(b);
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, MatmulDimensionMismatchPanics)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW(a.matmul(b), std::logic_error);
+}
+
+TEST(Matrix, IdentityIsNeutral)
+{
+    Matrix a(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Matrix i = Matrix::identity(3);
+    const Matrix left = i.matmul(a);
+    const Matrix right = a.matmul(i);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_DOUBLE_EQ(left.at(r, c), a.at(r, c));
+            EXPECT_DOUBLE_EQ(right.at(r, c), a.at(r, c));
+        }
+}
+
+TEST(Matrix, TransposedMatmulMatchesExplicit)
+{
+    Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+    Matrix b(3, 4, {1, 0, 2, 1, 0, 1, 1, 2, 3, 1, 0, 1});
+    const Matrix fused = a.transposedMatmul(b);
+    const Matrix explicit_ = a.transposed().matmul(b);
+    ASSERT_EQ(fused.rows(), explicit_.rows());
+    ASSERT_EQ(fused.cols(), explicit_.cols());
+    for (std::size_t r = 0; r < fused.rows(); ++r)
+        for (std::size_t c = 0; c < fused.cols(); ++c)
+            EXPECT_DOUBLE_EQ(fused.at(r, c), explicit_.at(r, c));
+}
+
+TEST(Matrix, MatmulTransposedMatchesExplicit)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix b(4, 3, {1, 0, 2, 1, 0, 1, 1, 2, 3, 1, 0, 1});
+    const Matrix fused = a.matmulTransposed(b);
+    const Matrix explicit_ = a.matmul(b.transposed());
+    for (std::size_t r = 0; r < fused.rows(); ++r)
+        for (std::size_t c = 0; c < fused.cols(); ++c)
+            EXPECT_DOUBLE_EQ(fused.at(r, c), explicit_.at(r, c));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    const Matrix back = a.transposed().transposed();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(back.at(r, c), a.at(r, c));
+}
+
+TEST(Matrix, ElementwiseOps)
+{
+    Matrix a(1, 3, {1, 2, 3});
+    Matrix b(1, 3, {4, 5, 6});
+    const Matrix sum = a + b;
+    const Matrix diff = b - a;
+    const Matrix prod = a.hadamard(b);
+    const Matrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(sum.at(0, 2), 9.0);
+    EXPECT_DOUBLE_EQ(diff.at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(prod.at(0, 1), 10.0);
+    EXPECT_DOUBLE_EQ(scaled.at(0, 2), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchPanics)
+{
+    Matrix a(1, 3);
+    Matrix b(1, 2);
+    EXPECT_THROW(a + b, std::logic_error);
+    EXPECT_THROW(a - b, std::logic_error);
+    EXPECT_THROW(a.hadamard(b), std::logic_error);
+    EXPECT_THROW(a += b, std::logic_error);
+}
+
+TEST(Matrix, AddRowBroadcast)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix bias(1, 2, {10, 20});
+    const Matrix out = a.addRowBroadcast(bias);
+    EXPECT_DOUBLE_EQ(out.at(0, 0), 11.0);
+    EXPECT_DOUBLE_EQ(out.at(1, 1), 24.0);
+    Matrix bad(1, 3);
+    EXPECT_THROW(a.addRowBroadcast(bad), std::logic_error);
+}
+
+TEST(Matrix, SumRows)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    const Matrix s = a.sumRows();
+    ASSERT_EQ(s.rows(), 1u);
+    EXPECT_DOUBLE_EQ(s.at(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(s.at(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(s.at(0, 2), 9.0);
+}
+
+TEST(Matrix, HconcatAndColRange)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 1, {9, 8});
+    const Matrix cat = a.hconcat(b);
+    ASSERT_EQ(cat.cols(), 3u);
+    EXPECT_DOUBLE_EQ(cat.at(0, 2), 9.0);
+    EXPECT_DOUBLE_EQ(cat.at(1, 2), 8.0);
+
+    const Matrix mid = cat.colRange(1, 3);
+    ASSERT_EQ(mid.cols(), 2u);
+    EXPECT_DOUBLE_EQ(mid.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(mid.at(1, 1), 8.0);
+
+    EXPECT_THROW(cat.colRange(2, 1), std::logic_error);
+    EXPECT_THROW(cat.colRange(0, 4), std::logic_error);
+}
+
+TEST(Matrix, RowExtraction)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    const Matrix r = a.row(1);
+    ASSERT_EQ(r.rows(), 1u);
+    EXPECT_DOUBLE_EQ(r.at(0, 0), 4.0);
+    EXPECT_THROW(a.row(2), std::logic_error);
+}
+
+TEST(Matrix, MapAppliesFunction)
+{
+    Matrix a(1, 3, {-1, 0, 2});
+    const Matrix out = a.map([](double x) { return x * x; });
+    EXPECT_DOUBLE_EQ(out.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 2), 4.0);
+}
+
+TEST(Matrix, NormAndMaxAbs)
+{
+    Matrix a(1, 2, {3, -4});
+    EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(a.maxAbs(), 4.0);
+}
+
+TEST(Matrix, SetZero)
+{
+    Matrix a = Matrix::constant(2, 2, 7.0);
+    a.setZero();
+    EXPECT_DOUBLE_EQ(a.maxAbs(), 0.0);
+}
+
+TEST(Matrix, RowVectorFactory)
+{
+    const Matrix v = Matrix::rowVector({1.0, 2.0, 3.0});
+    ASSERT_EQ(v.rows(), 1u);
+    ASSERT_EQ(v.cols(), 3u);
+    EXPECT_DOUBLE_EQ(v.at(0, 1), 2.0);
+}
+
+} // namespace
+} // namespace adrias::ml

@@ -1,0 +1,143 @@
+/** @file Tests for the multi-node cluster runner and naive policies. */
+
+#include <gtest/gtest.h>
+
+#include "scenario/cluster.hh"
+
+namespace adrias::scenario
+{
+namespace
+{
+
+ScenarioConfig
+shortConfig(std::uint64_t seed = 3, SimTime duration = 900)
+{
+    ScenarioConfig config;
+    config.durationSec = duration;
+    config.spawnMinSec = 5;
+    config.spawnMaxSec = 15;
+    config.seed = seed;
+    return config;
+}
+
+TEST(ClusterRunner, ValidatesConfig)
+{
+    EXPECT_THROW(ClusterScenarioRunner(0, shortConfig()),
+                 std::runtime_error);
+    ScenarioConfig bad = shortConfig();
+    bad.durationSec = 0;
+    EXPECT_THROW(ClusterScenarioRunner(2, bad), std::runtime_error);
+}
+
+TEST(ClusterRunner, PerNodeTracesCoverEveryTick)
+{
+    ClusterScenarioRunner runner(3, shortConfig());
+    RandomClusterPolicy policy(5);
+    const ClusterResult result = runner.run(policy);
+    ASSERT_EQ(result.nodes.size(), 3u);
+    for (const auto &node : result.nodes) {
+        EXPECT_EQ(node.trace.size(), 900u);
+        EXPECT_EQ(node.concurrency.size(), 900u);
+    }
+}
+
+TEST(ClusterRunner, DeterministicForSameSeed)
+{
+    RandomClusterPolicy policy_a(5), policy_b(5);
+    const auto a = ClusterScenarioRunner(2, shortConfig(9)).run(policy_a);
+    const auto b = ClusterScenarioRunner(2, shortConfig(9)).run(policy_b);
+    EXPECT_DOUBLE_EQ(a.totalRemoteTrafficGB, b.totalRemoteTrafficGB);
+    EXPECT_EQ(a.allRecords().size(), b.allRecords().size());
+}
+
+TEST(ClusterRunner, AllRecordsAggregatesNodes)
+{
+    ClusterScenarioRunner runner(2, shortConfig(11));
+    RandomClusterPolicy policy(5);
+    const ClusterResult result = runner.run(policy);
+    std::size_t total = 0;
+    for (const auto &node : result.nodes)
+        total += node.records.size();
+    EXPECT_EQ(result.allRecords().size(), total);
+    EXPECT_GT(total, 0u);
+}
+
+TEST(ClusterRunner, RandomPolicySpreadsAcrossNodes)
+{
+    ClusterScenarioRunner runner(4, shortConfig(13, 1500));
+    RandomClusterPolicy policy(5);
+    const ClusterResult result = runner.run(policy);
+    std::size_t nodes_used = 0;
+    for (const auto &node : result.nodes)
+        nodes_used += !node.records.empty();
+    EXPECT_GE(nodes_used, 3u);
+}
+
+TEST(ClusterRunner, MoreNodesRaiseThroughput)
+{
+    // Same congested arrival stream: a bigger cluster completes at
+    // least as many applications.
+    ScenarioConfig congested = shortConfig(17, 1200);
+    congested.spawnMinSec = 2;
+    congested.spawnMaxSec = 6;
+    congested.maxConcurrent = 12;
+
+    auto completed = [&](std::size_t nodes) {
+        ClusterScenarioRunner runner(nodes, congested);
+        LeastLoadedLocalPolicy policy;
+        return runner.run(policy).allRecords().size();
+    };
+    const std::size_t one = completed(1);
+    const std::size_t four = completed(4);
+    EXPECT_GT(four, one);
+}
+
+TEST(ClusterRunner, LeastLoadedBalances)
+{
+    ClusterScenarioRunner runner(3, shortConfig(19, 1500));
+    LeastLoadedLocalPolicy policy;
+    const ClusterResult result = runner.run(policy);
+    std::vector<std::size_t> counts;
+    for (const auto &node : result.nodes)
+        counts.push_back(node.records.size());
+    const auto [lo, hi] = std::minmax_element(counts.begin(),
+                                              counts.end());
+    ASSERT_GT(*lo, 0u);
+    // Balanced within a factor of ~2 (arrival classes differ in size).
+    EXPECT_LT(static_cast<double>(*hi) / static_cast<double>(*lo), 2.0);
+}
+
+TEST(ClusterRunner, LeastLoadedLocalNeverOffloads)
+{
+    ClusterScenarioRunner runner(2, shortConfig(23));
+    LeastLoadedLocalPolicy policy;
+    const ClusterResult result = runner.run(policy);
+    for (const auto &entry : result.allRecords()) {
+        if (entry.record->cls == WorkloadClass::Interference)
+            continue; // trashers are placed randomly by the runner
+        EXPECT_EQ(entry.record->mode, MemoryMode::Local);
+    }
+}
+
+class BadPolicy : public ClusterPolicy
+{
+  public:
+    std::string name() const override { return "bad"; }
+
+    ClusterPlacement
+    place(const workloads::WorkloadSpec &,
+          const std::vector<NodeView> &, SimTime) override
+    {
+        return {99, MemoryMode::Local}; // invalid node
+    }
+};
+
+TEST(ClusterRunner, InvalidNodeFromPolicyPanics)
+{
+    ClusterScenarioRunner runner(2, shortConfig(29));
+    BadPolicy policy;
+    EXPECT_THROW(runner.run(policy), std::logic_error);
+}
+
+} // namespace
+} // namespace adrias::scenario

@@ -1,0 +1,153 @@
+/** @file Round-trip tests for dataset CSV persistence. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hh"
+#include "scenario/dataset_io.hh"
+
+namespace adrias::scenario
+{
+namespace
+{
+
+using testbed::kNumPerfEvents;
+
+constexpr std::size_t kBins = ScenarioRunner::kWindowBins;
+
+std::vector<ml::Matrix>
+randomSequence(Rng &rng)
+{
+    std::vector<ml::Matrix> sequence;
+    for (std::size_t b = 0; b < kBins; ++b) {
+        ml::Matrix step(1, kNumPerfEvents);
+        for (double &v : step.raw())
+            v = rng.uniform(0.0, 1000.0);
+        sequence.push_back(std::move(step));
+    }
+    return sequence;
+}
+
+ml::Matrix
+randomVector(Rng &rng)
+{
+    ml::Matrix vec(1, kNumPerfEvents);
+    for (double &v : vec.raw())
+        v = rng.uniform(0.0, 1000.0);
+    return vec;
+}
+
+void
+expectSequencesEqual(const std::vector<ml::Matrix> &a,
+                     const std::vector<ml::Matrix> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t)
+        EXPECT_LT((a[t] - b[t]).maxAbs(), 1e-6);
+}
+
+TEST(SystemStateCsv, RoundTrip)
+{
+    Rng rng(1);
+    std::vector<SystemStateSample> samples;
+    for (int i = 0; i < 5; ++i) {
+        SystemStateSample sample;
+        sample.history = randomSequence(rng);
+        sample.target = randomVector(rng);
+        samples.push_back(std::move(sample));
+    }
+    const std::string path = ::testing::TempDir() + "adrias_ss.csv";
+    saveSystemStateCsv(path, samples);
+    const auto loaded = loadSystemStateCsv(path);
+
+    ASSERT_EQ(loaded.size(), samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        expectSequencesEqual(loaded[i].history, samples[i].history);
+        EXPECT_LT((loaded[i].target - samples[i].target).maxAbs(), 1e-6);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SystemStateCsv, RejectsMissingAndMalformed)
+{
+    EXPECT_THROW(loadSystemStateCsv("/no/such/file.csv"),
+                 std::runtime_error);
+    const std::string path = ::testing::TempDir() + "adrias_bad.csv";
+    {
+        std::ofstream out(path);
+        out << "not-a-dataset\n1,2,3\n";
+    }
+    EXPECT_THROW(loadSystemStateCsv(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(PerformanceCsv, RoundTrip)
+{
+    Rng rng(2);
+    std::vector<PerformanceSample> samples;
+    for (int i = 0; i < 4; ++i) {
+        PerformanceSample sample;
+        sample.name = i % 2 ? "nweight" : "redis";
+        sample.cls = i % 2 ? WorkloadClass::BestEffort
+                           : WorkloadClass::LatencyCritical;
+        sample.mode =
+            i % 3 ? MemoryMode::Remote : MemoryMode::Local;
+        sample.history = randomSequence(rng);
+        sample.signature = randomSequence(rng);
+        sample.futureWindow = randomVector(rng);
+        sample.futureExec = randomVector(rng);
+        sample.target = rng.uniform(1.0, 500.0);
+        samples.push_back(std::move(sample));
+    }
+    const std::string path = ::testing::TempDir() + "adrias_perf.csv";
+    savePerformanceCsv(path, samples);
+    const auto loaded = loadPerformanceCsv(path);
+
+    ASSERT_EQ(loaded.size(), samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(loaded[i].name, samples[i].name);
+        EXPECT_EQ(loaded[i].cls, samples[i].cls);
+        EXPECT_EQ(loaded[i].mode, samples[i].mode);
+        EXPECT_NEAR(loaded[i].target, samples[i].target, 1e-6);
+        expectSequencesEqual(loaded[i].history, samples[i].history);
+        expectSequencesEqual(loaded[i].signature, samples[i].signature);
+        EXPECT_LT(
+            (loaded[i].futureWindow - samples[i].futureWindow).maxAbs(),
+            1e-6);
+        EXPECT_LT(
+            (loaded[i].futureExec - samples[i].futureExec).maxAbs(),
+            1e-6);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PerformanceCsv, LoadedDataTrainsAModel)
+{
+    // The persisted dataset must be usable exactly like the original:
+    // real end-to-end check through a scenario + training.
+    ScenarioConfig config;
+    config.durationSec = 1200;
+    config.spawnMinSec = 5;
+    config.spawnMaxSec = 20;
+    config.seed = 77;
+    ScenarioRunner runner(config);
+    RandomPlacement policy(78);
+    std::vector<ScenarioResult> results{runner.run(policy)};
+    SignatureStore signatures;
+    collectAllSignatures(signatures);
+
+    const auto original = DatasetBuilder::performance(
+        results, signatures, WorkloadClass::BestEffort);
+    ASSERT_GE(original.size(), 8u);
+
+    const std::string path = ::testing::TempDir() + "adrias_e2e.csv";
+    savePerformanceCsv(path, original);
+    const auto loaded = loadPerformanceCsv(path);
+    EXPECT_EQ(loaded.size(), original.size());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace adrias::scenario

@@ -1,0 +1,104 @@
+/** @file Unit tests for stats/correlation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/correlation.hh"
+
+namespace adrias::stats
+{
+namespace
+{
+
+TEST(Pearson, PerfectPositive)
+{
+    std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    std::vector<double> x{1.0, 2.0, 3.0};
+    std::vector<double> y{9.0, 6.0, 3.0};
+    EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero)
+{
+    std::vector<double> x{1.0, 1.0, 1.0};
+    std::vector<double> y{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, IndependentSamplesNearZero)
+{
+    Rng rng(3);
+    std::vector<double> x, y;
+    for (int i = 0; i < 20000; ++i) {
+        x.push_back(rng.gaussian());
+        y.push_back(rng.gaussian());
+    }
+    EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, InvariantToAffineTransform)
+{
+    Rng rng(9);
+    std::vector<double> x, y, y_scaled;
+    for (int i = 0; i < 500; ++i) {
+        const double a = rng.gaussian();
+        x.push_back(a);
+        const double b = 0.7 * a + 0.3 * rng.gaussian();
+        y.push_back(b);
+        y_scaled.push_back(5.0 * b - 100.0);
+    }
+    EXPECT_NEAR(pearson(x, y), pearson(x, y_scaled), 1e-12);
+}
+
+TEST(Pearson, InputValidation)
+{
+    EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), std::runtime_error);
+    EXPECT_THROW(pearson({1.0}, {1.0}), std::runtime_error);
+}
+
+TEST(FractionalRanks, NoTies)
+{
+    const auto r = fractionalRanks({30.0, 10.0, 20.0});
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    EXPECT_DOUBLE_EQ(r[1], 1.0);
+    EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(FractionalRanks, TiesShareAverageRank)
+{
+    const auto r = fractionalRanks({1.0, 2.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearRelationIsOne)
+{
+    std::vector<double> x, y;
+    for (int i = 1; i <= 50; ++i) {
+        x.push_back(i);
+        y.push_back(std::exp(0.1 * i)); // monotone but nonlinear
+    }
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, AntitoneIsMinusOne)
+{
+    std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> y{100.0, 10.0, 1.0, 0.1};
+    EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+} // namespace
+} // namespace adrias::stats

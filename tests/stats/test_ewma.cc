@@ -1,0 +1,79 @@
+/** @file Unit tests for stats/ewma. */
+
+#include <gtest/gtest.h>
+
+#include "stats/ewma.hh"
+
+namespace adrias::stats
+{
+namespace
+{
+
+TEST(Ewma, RejectsBadAlpha)
+{
+    EXPECT_THROW(Ewma(0.0), std::runtime_error);
+    EXPECT_THROW(Ewma(1.5), std::runtime_error);
+    EXPECT_NO_THROW(Ewma(1.0));
+}
+
+TEST(Ewma, SeedsWithFirstSample)
+{
+    Ewma ewma(0.2);
+    EXPECT_EQ(ewma.count(), 0u);
+    EXPECT_DOUBLE_EQ(ewma.value(), 0.0);
+    ewma.add(10.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+    EXPECT_EQ(ewma.count(), 1u);
+}
+
+TEST(Ewma, UpdateRule)
+{
+    Ewma ewma(0.5);
+    ewma.add(10.0);
+    EXPECT_DOUBLE_EQ(ewma.add(20.0), 15.0);
+    EXPECT_DOUBLE_EQ(ewma.add(15.0), 15.0);
+}
+
+TEST(Ewma, AlphaOneTracksLastSample)
+{
+    Ewma ewma(1.0);
+    for (double v : {3.0, 7.0, 1.0})
+        EXPECT_DOUBLE_EQ(ewma.add(v), v);
+}
+
+TEST(Ewma, ConvergesToConstantStream)
+{
+    Ewma ewma(0.1);
+    ewma.add(100.0);
+    for (int i = 0; i < 200; ++i)
+        ewma.add(5.0);
+    EXPECT_NEAR(ewma.value(), 5.0, 1e-6);
+}
+
+TEST(Ewma, SmallerAlphaSmoothsMore)
+{
+    Ewma fast(0.5), slow(0.05);
+    fast.add(0.0);
+    slow.add(0.0);
+    fast.add(10.0);
+    slow.add(10.0);
+    EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, ResetVariants)
+{
+    Ewma ewma(0.3);
+    ewma.add(4.0);
+    ewma.reset();
+    EXPECT_EQ(ewma.count(), 0u);
+    EXPECT_DOUBLE_EQ(ewma.value(), 0.0);
+
+    ewma.reset(9.0);
+    EXPECT_EQ(ewma.count(), 1u);
+    EXPECT_DOUBLE_EQ(ewma.value(), 9.0);
+    // Seeded reset behaves like having seen one sample.
+    EXPECT_DOUBLE_EQ(ewma.add(9.0), 9.0);
+}
+
+} // namespace
+} // namespace adrias::stats

@@ -1,0 +1,98 @@
+/** @file Unit tests for stats/histogram. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace adrias::stats
+{
+namespace
+{
+
+TEST(Histogram, ConstructionValidation)
+{
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::runtime_error);
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::runtime_error);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), std::runtime_error);
+}
+
+TEST(Histogram, BinsValuesCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.5);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, OutOfRangeBinAccessPanics)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.binCount(2), std::logic_error);
+    EXPECT_THROW(h.binCenter(2), std::logic_error);
+}
+
+TEST(Histogram, SketchHasOneLinePerBin)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    const std::string s = h.sketch();
+    std::size_t lines = 0;
+    for (char c : s)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 4u);
+}
+
+TEST(DistributionSummary, EmptySampleIsZeroed)
+{
+    const auto s = DistributionSummary::from({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(DistributionSummary, OrderedStatistics)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 1000; ++i)
+        v.push_back(i);
+    const auto s = DistributionSummary::from(v);
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 1000.0);
+    EXPECT_NEAR(s.median, 500.5, 1e-9);
+    EXPECT_LE(s.p25, s.median);
+    EXPECT_LE(s.median, s.p75);
+    EXPECT_LE(s.p75, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_NEAR(s.mean, 500.5, 1e-9);
+}
+
+TEST(DistributionSummary, ToStringMentionsFields)
+{
+    const auto s = DistributionSummary::from({1.0, 2.0, 3.0});
+    const std::string text = s.toString();
+    EXPECT_NE(text.find("n=3"), std::string::npos);
+    EXPECT_NE(text.find("med="), std::string::npos);
+}
+
+} // namespace
+} // namespace adrias::stats

@@ -1,0 +1,120 @@
+/** @file Unit tests for stats/percentile. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/percentile.hh"
+
+namespace adrias::stats
+{
+namespace
+{
+
+TEST(Quantile, EmptySampleIsNaN)
+{
+    EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+}
+
+TEST(Quantile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(quantile({3.0}, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantile({3.0}, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile({3.0}, 1.0), 3.0);
+}
+
+TEST(Quantile, MedianOfOddSample)
+{
+    EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints)
+{
+    // type-7: pos = q*(n-1); for {10,20}, q=0.25 -> 12.5
+    EXPECT_DOUBLE_EQ(quantile({10.0, 20.0}, 0.25), 12.5);
+}
+
+TEST(Quantile, ExtremesAreMinMax)
+{
+    std::vector<double> v{4.0, 2.0, 9.0, 7.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, RejectsOutOfRangeQ)
+{
+    EXPECT_THROW(quantile({1.0}, -0.1), std::runtime_error);
+    EXPECT_THROW(quantile({1.0}, 1.1), std::runtime_error);
+}
+
+TEST(PercentileTracker, TracksCountMeanQuantile)
+{
+    PercentileTracker t;
+    for (int i = 1; i <= 100; ++i)
+        t.add(static_cast<double>(i));
+    EXPECT_EQ(t.count(), 100u);
+    EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+    EXPECT_NEAR(t.quantile(0.99), 99.01, 1e-9);
+    t.clear();
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(ReservoirSampler, RetainsAllBelowCapacity)
+{
+    ReservoirSampler r(100);
+    for (int i = 0; i < 50; ++i)
+        r.add(i);
+    EXPECT_EQ(r.count(), 50u);
+    EXPECT_EQ(r.retained(), 50u);
+}
+
+TEST(ReservoirSampler, BoundsMemoryAboveCapacity)
+{
+    ReservoirSampler r(64);
+    for (int i = 0; i < 10000; ++i)
+        r.add(i);
+    EXPECT_EQ(r.count(), 10000u);
+    EXPECT_EQ(r.retained(), 64u);
+}
+
+TEST(ReservoirSampler, QuantileApproximatesTrueQuantile)
+{
+    Rng rng(5);
+    ReservoirSampler r(2000);
+    PercentileTracker exact;
+    for (int i = 0; i < 100000; ++i) {
+        const double v = rng.uniform(0.0, 100.0);
+        r.add(v);
+        exact.add(v);
+    }
+    EXPECT_NEAR(r.quantile(0.5), exact.quantile(0.5), 3.0);
+    EXPECT_NEAR(r.quantile(0.9), exact.quantile(0.9), 3.0);
+}
+
+TEST(ReservoirSampler, ZeroCapacityIsFatal)
+{
+    EXPECT_THROW(ReservoirSampler(0), std::runtime_error);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QuantileMonotoneTest, QuantileIsMonotoneInQ)
+{
+    Rng rng(123);
+    std::vector<double> sample;
+    for (int i = 0; i < 500; ++i)
+        sample.push_back(rng.gaussian(0.0, 10.0));
+    const double q = GetParam();
+    EXPECT_LE(quantile(sample, q), quantile(sample, std::min(1.0, q + 0.05)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotoneTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.95));
+
+} // namespace
+} // namespace adrias::stats

@@ -1,0 +1,141 @@
+/** @file Unit tests for the Watcher and trace windowing helpers. */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/watcher.hh"
+
+namespace adrias::telemetry
+{
+namespace
+{
+
+using testbed::CounterSample;
+using testbed::kNumPerfEvents;
+
+CounterSample
+constantSample(double value)
+{
+    CounterSample s{};
+    for (double &v : s)
+        v = value;
+    return s;
+}
+
+TEST(Watcher, StartsEmpty)
+{
+    Watcher watcher(10);
+    EXPECT_EQ(watcher.sampleCount(), 0u);
+    EXPECT_FALSE(watcher.hasWindow(1));
+    EXPECT_THROW(watcher.latest(), std::logic_error);
+    EXPECT_THROW(watcher.meanOverTrailing(5), std::runtime_error);
+    EXPECT_THROW(watcher.binnedWindow(5, 2), std::runtime_error);
+}
+
+TEST(Watcher, RecordsAndReportsLatest)
+{
+    Watcher watcher(10);
+    watcher.record(constantSample(1.0));
+    watcher.record(constantSample(2.0));
+    EXPECT_EQ(watcher.sampleCount(), 2u);
+    EXPECT_DOUBLE_EQ(watcher.latest()[0], 2.0);
+}
+
+TEST(Watcher, MeanOverTrailingWindow)
+{
+    Watcher watcher(10);
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        watcher.record(constantSample(v));
+    const CounterSample mean = watcher.meanOverTrailing(2);
+    EXPECT_DOUBLE_EQ(mean[0], 3.5);
+    // Window larger than history falls back to all samples.
+    const CounterSample all = watcher.meanOverTrailing(100);
+    EXPECT_DOUBLE_EQ(all[0], 2.5);
+}
+
+TEST(Watcher, BinnedWindowShape)
+{
+    Watcher watcher(200);
+    for (int i = 0; i < 120; ++i)
+        watcher.record(constantSample(i));
+    const auto seq = watcher.binnedWindow(120, 12);
+    ASSERT_EQ(seq.size(), 12u);
+    for (const auto &step : seq) {
+        EXPECT_EQ(step.rows(), 1u);
+        EXPECT_EQ(step.cols(), kNumPerfEvents);
+    }
+    // Bins are chronological: first bin averages 0..9, last 110..119.
+    EXPECT_NEAR(seq.front().at(0, 0), 4.5, 1e-9);
+    EXPECT_NEAR(seq.back().at(0, 0), 114.5, 1e-9);
+}
+
+TEST(Watcher, ColdStartPadsWithOldestSample)
+{
+    Watcher watcher(200);
+    watcher.record(constantSample(5.0));
+    watcher.record(constantSample(7.0));
+    const auto seq = watcher.binnedWindow(120, 12);
+    ASSERT_EQ(seq.size(), 12u);
+    // Early bins see only the padded oldest value.
+    EXPECT_DOUBLE_EQ(seq.front().at(0, 0), 5.0);
+    // The last bin includes the newest sample.
+    EXPECT_GT(seq.back().at(0, 0), 5.0);
+}
+
+TEST(Watcher, EvictsBeyondCapacity)
+{
+    Watcher watcher(4);
+    for (double v = 0.0; v < 10.0; ++v)
+        watcher.record(constantSample(v));
+    EXPECT_EQ(watcher.sampleCount(), 4u);
+    EXPECT_DOUBLE_EQ(watcher.meanOverTrailing(4)[0], 7.5);
+}
+
+TEST(Watcher, ClearEmptiesHistory)
+{
+    Watcher watcher(4);
+    watcher.record(constantSample(1.0));
+    watcher.clear();
+    EXPECT_EQ(watcher.sampleCount(), 0u);
+}
+
+TEST(MeanOverSpan, ComputesPerEventMeans)
+{
+    std::vector<CounterSample> trace;
+    for (double v : {2.0, 4.0, 6.0})
+        trace.push_back(constantSample(v));
+    const CounterSample mean = meanOverSpan(trace, 0, 3);
+    for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+        EXPECT_DOUBLE_EQ(mean[e], 4.0);
+    EXPECT_DOUBLE_EQ(meanOverSpan(trace, 1, 2)[0], 4.0);
+}
+
+TEST(MeanOverSpan, InvalidSpanPanics)
+{
+    std::vector<CounterSample> trace{constantSample(1.0)};
+    EXPECT_THROW(meanOverSpan(trace, 0, 0), std::logic_error);
+    EXPECT_THROW(meanOverSpan(trace, 0, 2), std::logic_error);
+}
+
+TEST(BinSpan, ShorterSpanThanBinsStillWorks)
+{
+    std::vector<CounterSample> trace;
+    for (double v : {1.0, 2.0, 3.0})
+        trace.push_back(constantSample(v));
+    const auto seq = binSpan(trace, 0, 3, 12);
+    ASSERT_EQ(seq.size(), 12u);
+    // Monotone non-decreasing (repeats allowed when bins < samples).
+    for (std::size_t i = 1; i < seq.size(); ++i)
+        EXPECT_GE(seq[i].at(0, 0), seq[i - 1].at(0, 0));
+}
+
+TEST(BinSpan, ValidatesArguments)
+{
+    std::vector<CounterSample> trace{constantSample(1.0),
+                                     constantSample(2.0)};
+    EXPECT_THROW(binSpan(trace, 1, 1, 4), std::logic_error);
+    EXPECT_THROW(binSpan(trace, 0, 5, 4), std::logic_error);
+    EXPECT_THROW(binSpan(trace, 0, 2, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace adrias::telemetry

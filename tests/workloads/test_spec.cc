@@ -1,0 +1,214 @@
+/** @file Catalog tests + calibration against the paper's Fig. 4/5. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testbed/testbed.hh"
+#include "workloads/spec.hh"
+
+namespace adrias::workloads
+{
+namespace
+{
+
+/** Isolated-run slowdown of a spec under the given placement. */
+double
+isolatedSlowdown(const WorkloadSpec &spec, MemoryMode mode)
+{
+    testbed::Testbed bed;
+    bed.setNoise(0.0);
+    return bed.tick({spec.toLoad(1, mode)}).outcomes.at(0).slowdown;
+}
+
+TEST(Catalog, SeventeenSparkBenchmarks)
+{
+    EXPECT_EQ(sparkBenchmarks().size(), 17u);
+    std::set<std::string> names;
+    for (const auto &spec : sparkBenchmarks()) {
+        EXPECT_EQ(spec.cls, WorkloadClass::BestEffort);
+        EXPECT_GT(spec.baseDurationSec, 0.0);
+        names.insert(spec.name);
+    }
+    EXPECT_EQ(names.size(), 17u);
+}
+
+TEST(Catalog, LookupByName)
+{
+    EXPECT_EQ(sparkBenchmark("nweight").name, "nweight");
+    EXPECT_THROW(sparkBenchmark("no-such-app"), std::runtime_error);
+}
+
+TEST(Catalog, LatencyCriticalSpecsAreServers)
+{
+    for (const auto &spec : latencyCriticalBenchmarks()) {
+        EXPECT_EQ(spec.cls, WorkloadClass::LatencyCritical);
+        EXPECT_GT(spec.serviceRatePerSec, 0.0);
+        EXPECT_GT(spec.totalRequests, 0.0);
+        EXPECT_GT(spec.baseLatencyMs, 0.0);
+    }
+}
+
+TEST(Catalog, IBenchKindsAreDistinct)
+{
+    std::set<std::string> names;
+    for (IBenchKind kind : {IBenchKind::Cpu, IBenchKind::L2, IBenchKind::L3,
+                            IBenchKind::MemBw}) {
+        const WorkloadSpec &spec = ibenchSpec(kind);
+        EXPECT_EQ(spec.cls, WorkloadClass::Interference);
+        names.insert(spec.name);
+        EXPECT_EQ(toString(kind),
+                  spec.name.substr(std::string("ibench-").size()));
+    }
+    EXPECT_EQ(names.size(), 4u);
+}
+
+// --- Fig. 4 calibration: remote-vs-local slowdown in isolation. --------
+
+TEST(CalibrationFig4, LocalIsolationIsNearUnimpeded)
+{
+    for (const auto &spec : sparkBenchmarks())
+        EXPECT_LT(isolatedSlowdown(spec, MemoryMode::Local), 1.05)
+            << spec.name;
+}
+
+TEST(CalibrationFig4, NweightAndLrSufferAboutTwofold)
+{
+    // Paper: "nweight and lr suffer almost a x2 slowdown on remote".
+    const double nweight = isolatedSlowdown(sparkBenchmark("nweight"),
+                                            MemoryMode::Remote) /
+                           isolatedSlowdown(sparkBenchmark("nweight"),
+                                            MemoryMode::Local);
+    const double lr = isolatedSlowdown(sparkBenchmark("lr"),
+                                       MemoryMode::Remote) /
+                      isolatedSlowdown(sparkBenchmark("lr"),
+                                       MemoryMode::Local);
+    EXPECT_GE(nweight, 1.6);
+    EXPECT_LE(nweight, 2.9);
+    EXPECT_GE(lr, 1.5);
+    EXPECT_LE(lr, 2.6);
+}
+
+TEST(CalibrationFig4, GmmAndPcaToleratesRemote)
+{
+    // Paper: gmm and pca experience <10% degradation.
+    for (const char *name : {"gmm", "pca"}) {
+        const double ratio =
+            isolatedSlowdown(sparkBenchmark(name), MemoryMode::Remote) /
+            isolatedSlowdown(sparkBenchmark(name), MemoryMode::Local);
+        EXPECT_LT(ratio, 1.10) << name;
+    }
+}
+
+TEST(CalibrationFig4, AverageRemoteDegradationNearTwentyPercent)
+{
+    double total = 0.0;
+    for (const auto &spec : sparkBenchmarks())
+        total += isolatedSlowdown(spec, MemoryMode::Remote) /
+                 isolatedSlowdown(spec, MemoryMode::Local);
+    const double mean = total / 17.0;
+    EXPECT_GE(mean, 1.10);
+    EXPECT_LE(mean, 1.40);
+}
+
+TEST(CalibrationFig4, LcAppsBarelyNoticeRemoteInIsolation)
+{
+    // Paper R4: local and remote tail-latency curves nearly identical
+    // for Redis/Memcached in isolation.
+    for (const auto &spec : latencyCriticalBenchmarks()) {
+        const double ratio =
+            isolatedSlowdown(spec, MemoryMode::Remote) /
+            isolatedSlowdown(spec, MemoryMode::Local);
+        EXPECT_LT(ratio, 1.25) << spec.name;
+    }
+}
+
+// --- Fig. 5 calibration: interference chasm. ---------------------------
+
+/** Slowdown of `app` co-located with n trashers, all in `mode`. */
+double
+contendedSlowdown(const WorkloadSpec &app, IBenchKind kind, int n,
+                  MemoryMode mode)
+{
+    testbed::Testbed bed;
+    bed.setNoise(0.0);
+    std::vector<testbed::LoadDescriptor> loads;
+    loads.push_back(app.toLoad(0, mode));
+    for (int i = 1; i <= n; ++i)
+        loads.push_back(ibenchSpec(kind).toLoad(i, mode));
+    return bed.tick(loads).outcomes.at(0).slowdown;
+}
+
+TEST(CalibrationFig5, HeavyMemBwInterferenceOpensChasm)
+{
+    // Paper R5: >=8 memBw trashers cause much higher degradation on
+    // remote than local (up to ~4x additional slowdown).
+    const WorkloadSpec &app = sparkBenchmark("sort");
+    for (int n : {8, 16}) {
+        const double local =
+            contendedSlowdown(app, IBenchKind::MemBw, n,
+                              MemoryMode::Local);
+        const double remote =
+            contendedSlowdown(app, IBenchKind::MemBw, n,
+                              MemoryMode::Remote);
+        const double ratio = remote / local;
+        // The paper places the threshold at >8 trashers, so n=8 is the
+        // onset and n=16 is fully inside the chasm.
+        EXPECT_GE(ratio, n == 8 ? 1.7 : 2.0) << "n=" << n;
+        EXPECT_LE(ratio, 8.0) << "n=" << n;
+    }
+}
+
+TEST(CalibrationFig5, LightInterferenceKeepsModesClose)
+{
+    const WorkloadSpec &app = sparkBenchmark("bayes");
+    const double local =
+        contendedSlowdown(app, IBenchKind::MemBw, 1, MemoryMode::Local);
+    const double remote =
+        contendedSlowdown(app, IBenchKind::MemBw, 1, MemoryMode::Remote);
+    EXPECT_LT(remote / local, 1.8);
+}
+
+TEST(CalibrationFig5, LlcTrashingHurtsMost)
+{
+    // Paper R6: 16 LLC trashers give the worst degradation for most
+    // Spark apps (more than the same count of cpu or l2 trashers).
+    const WorkloadSpec &app = sparkBenchmark("kmeans");
+    const double l3 =
+        contendedSlowdown(app, IBenchKind::L3, 16, MemoryMode::Local);
+    const double cpu =
+        contendedSlowdown(app, IBenchKind::Cpu, 16, MemoryMode::Local);
+    const double l2 =
+        contendedSlowdown(app, IBenchKind::L2, 16, MemoryMode::Local);
+    EXPECT_GT(l3, cpu);
+    EXPECT_GT(l3, l2);
+    EXPECT_GT(l3, 1.5);
+}
+
+TEST(CalibrationFig5, LcMoreResistantThanBe)
+{
+    // Paper R5: LC apps resist interference better than BE apps.
+    const double be = contendedSlowdown(sparkBenchmark("sort"),
+                                        IBenchKind::MemBw, 16,
+                                        MemoryMode::Remote);
+    const double lc = contendedSlowdown(redisSpec(), IBenchKind::MemBw, 16,
+                                        MemoryMode::Remote);
+    EXPECT_LT(lc, be);
+}
+
+TEST(CalibrationFig5, StackingEffectForNweight)
+{
+    // Paper R7: nweight keeps a remote-local gap even under cpu/l2
+    // interference.
+    for (IBenchKind kind : {IBenchKind::Cpu, IBenchKind::L2}) {
+        const double local = contendedSlowdown(
+            sparkBenchmark("nweight"), kind, 8, MemoryMode::Local);
+        const double remote = contendedSlowdown(
+            sparkBenchmark("nweight"), kind, 8, MemoryMode::Remote);
+        EXPECT_GT(remote / local, 1.5)
+            << "kind=" << toString(kind);
+    }
+}
+
+} // namespace
+} // namespace adrias::workloads
