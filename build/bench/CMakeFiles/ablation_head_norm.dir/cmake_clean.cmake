@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_head_norm.dir/ablation_head_norm.cc.o"
+  "CMakeFiles/ablation_head_norm.dir/ablation_head_norm.cc.o.d"
+  "ablation_head_norm"
+  "ablation_head_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_head_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

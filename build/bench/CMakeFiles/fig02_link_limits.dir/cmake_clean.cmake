@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_link_limits.dir/fig02_link_limits.cc.o"
+  "CMakeFiles/fig02_link_limits.dir/fig02_link_limits.cc.o.d"
+  "fig02_link_limits"
+  "fig02_link_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_link_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

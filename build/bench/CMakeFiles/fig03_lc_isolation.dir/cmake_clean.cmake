@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_lc_isolation.dir/fig03_lc_isolation.cc.o"
+  "CMakeFiles/fig03_lc_isolation.dir/fig03_lc_isolation.cc.o.d"
+  "fig03_lc_isolation"
+  "fig03_lc_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lc_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_be_isolation.cc" "bench/CMakeFiles/fig04_be_isolation.dir/fig04_be_isolation.cc.o" "gcc" "bench/CMakeFiles/fig04_be_isolation.dir/fig04_be_isolation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adrias_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/adrias_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/adrias_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/adrias_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/adrias_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/adrias_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/adrias_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adrias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_be_isolation.dir/fig04_be_isolation.cc.o"
+  "CMakeFiles/fig04_be_isolation.dir/fig04_be_isolation.cc.o.d"
+  "fig04_be_isolation"
+  "fig04_be_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_be_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_interference_heatmap.dir/fig05_interference_heatmap.cc.o"
+  "CMakeFiles/fig05_interference_heatmap.dir/fig05_interference_heatmap.cc.o.d"
+  "fig05_interference_heatmap"
+  "fig05_interference_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_interference_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_correlation.dir/fig06_correlation.cc.o"
+  "CMakeFiles/fig06_correlation.dir/fig06_correlation.cc.o.d"
+  "fig06_correlation"
+  "fig06_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scenario_traces.dir/fig08_scenario_traces.cc.o"
+  "CMakeFiles/fig08_scenario_traces.dir/fig08_scenario_traces.cc.o.d"
+  "fig08_scenario_traces"
+  "fig08_scenario_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scenario_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

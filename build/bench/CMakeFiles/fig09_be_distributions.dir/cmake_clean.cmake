@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_be_distributions.dir/fig09_be_distributions.cc.o"
+  "CMakeFiles/fig09_be_distributions.dir/fig09_be_distributions.cc.o.d"
+  "fig09_be_distributions"
+  "fig09_be_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_be_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lc_distributions.dir/fig10_lc_distributions.cc.o"
+  "CMakeFiles/fig10_lc_distributions.dir/fig10_lc_distributions.cc.o.d"
+  "fig10_lc_distributions"
+  "fig10_lc_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lc_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

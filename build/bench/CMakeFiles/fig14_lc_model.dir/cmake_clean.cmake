@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_lc_model.dir/fig14_lc_model.cc.o"
+  "CMakeFiles/fig14_lc_model.dir/fig14_lc_model.cc.o.d"
+  "fig14_lc_model"
+  "fig14_lc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_lc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_generalization.dir/fig15_generalization.cc.o"
+  "CMakeFiles/fig15_generalization.dir/fig15_generalization.cc.o.d"
+  "fig15_generalization"
+  "fig15_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

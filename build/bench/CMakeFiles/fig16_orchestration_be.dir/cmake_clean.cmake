@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_orchestration_be.dir/fig16_orchestration_be.cc.o"
+  "CMakeFiles/fig16_orchestration_be.dir/fig16_orchestration_be.cc.o.d"
+  "fig16_orchestration_be"
+  "fig16_orchestration_be.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_orchestration_be.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_orchestration_lc.dir/fig17_orchestration_lc.cc.o"
+  "CMakeFiles/fig17_orchestration_lc.dir/fig17_orchestration_lc.cc.o.d"
+  "fig17_orchestration_lc"
+  "fig17_orchestration_lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_orchestration_lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

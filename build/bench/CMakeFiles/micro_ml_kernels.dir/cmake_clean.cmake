@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ml_kernels.dir/micro_ml_kernels.cc.o"
+  "CMakeFiles/micro_ml_kernels.dir/micro_ml_kernels.cc.o.d"
+  "micro_ml_kernels"
+  "micro_ml_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ml_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_system_state_model.dir/table1_system_state_model.cc.o"
+  "CMakeFiles/table1_system_state_model.dir/table1_system_state_model.cc.o.d"
+  "table1_system_state_model"
+  "table1_system_state_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_system_state_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterization.dir/characterization.cc.o"
+  "CMakeFiles/characterization.dir/characterization.cc.o.d"
+  "characterization"
+  "characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

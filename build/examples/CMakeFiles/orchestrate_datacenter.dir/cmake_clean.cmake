@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestrate_datacenter.dir/orchestrate_datacenter.cc.o"
+  "CMakeFiles/orchestrate_datacenter.dir/orchestrate_datacenter.cc.o.d"
+  "orchestrate_datacenter"
+  "orchestrate_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestrate_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

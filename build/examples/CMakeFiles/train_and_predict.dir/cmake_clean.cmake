@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_predict.dir/train_and_predict.cc.o"
+  "CMakeFiles/train_and_predict.dir/train_and_predict.cc.o.d"
+  "train_and_predict"
+  "train_and_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

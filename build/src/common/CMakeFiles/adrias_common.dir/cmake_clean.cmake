@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_common.dir/csv.cc.o"
+  "CMakeFiles/adrias_common.dir/csv.cc.o.d"
+  "CMakeFiles/adrias_common.dir/logging.cc.o"
+  "CMakeFiles/adrias_common.dir/logging.cc.o.d"
+  "CMakeFiles/adrias_common.dir/rng.cc.o"
+  "CMakeFiles/adrias_common.dir/rng.cc.o.d"
+  "CMakeFiles/adrias_common.dir/table.cc.o"
+  "CMakeFiles/adrias_common.dir/table.cc.o.d"
+  "CMakeFiles/adrias_common.dir/types.cc.o"
+  "CMakeFiles/adrias_common.dir/types.cc.o.d"
+  "libadrias_common.a"
+  "libadrias_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

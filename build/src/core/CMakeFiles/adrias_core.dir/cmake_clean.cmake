@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_core.dir/adrias.cc.o"
+  "CMakeFiles/adrias_core.dir/adrias.cc.o.d"
+  "CMakeFiles/adrias_core.dir/cluster_orchestrator.cc.o"
+  "CMakeFiles/adrias_core.dir/cluster_orchestrator.cc.o.d"
+  "CMakeFiles/adrias_core.dir/orchestrator.cc.o"
+  "CMakeFiles/adrias_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/adrias_core.dir/runtime_migrator.cc.o"
+  "CMakeFiles/adrias_core.dir/runtime_migrator.cc.o.d"
+  "libadrias_core.a"
+  "libadrias_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

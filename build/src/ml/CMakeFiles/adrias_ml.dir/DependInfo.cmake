@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/activation.cc" "src/ml/CMakeFiles/adrias_ml.dir/activation.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/activation.cc.o.d"
+  "/root/repo/src/ml/batchnorm.cc" "src/ml/CMakeFiles/adrias_ml.dir/batchnorm.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/batchnorm.cc.o.d"
+  "/root/repo/src/ml/dense.cc" "src/ml/CMakeFiles/adrias_ml.dir/dense.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/dense.cc.o.d"
+  "/root/repo/src/ml/dropout.cc" "src/ml/CMakeFiles/adrias_ml.dir/dropout.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/dropout.cc.o.d"
+  "/root/repo/src/ml/layernorm.cc" "src/ml/CMakeFiles/adrias_ml.dir/layernorm.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/layernorm.cc.o.d"
+  "/root/repo/src/ml/loss.cc" "src/ml/CMakeFiles/adrias_ml.dir/loss.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/loss.cc.o.d"
+  "/root/repo/src/ml/lstm.cc" "src/ml/CMakeFiles/adrias_ml.dir/lstm.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/lstm.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/adrias_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/ml/CMakeFiles/adrias_ml.dir/optimizer.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/optimizer.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/adrias_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/sequential.cc" "src/ml/CMakeFiles/adrias_ml.dir/sequential.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/sequential.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/adrias_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/adrias_ml.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adrias_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

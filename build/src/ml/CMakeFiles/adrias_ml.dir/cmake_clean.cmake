@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_ml.dir/activation.cc.o"
+  "CMakeFiles/adrias_ml.dir/activation.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/batchnorm.cc.o"
+  "CMakeFiles/adrias_ml.dir/batchnorm.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/dense.cc.o"
+  "CMakeFiles/adrias_ml.dir/dense.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/dropout.cc.o"
+  "CMakeFiles/adrias_ml.dir/dropout.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/layernorm.cc.o"
+  "CMakeFiles/adrias_ml.dir/layernorm.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/loss.cc.o"
+  "CMakeFiles/adrias_ml.dir/loss.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/lstm.cc.o"
+  "CMakeFiles/adrias_ml.dir/lstm.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/matrix.cc.o"
+  "CMakeFiles/adrias_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/optimizer.cc.o"
+  "CMakeFiles/adrias_ml.dir/optimizer.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/scaler.cc.o"
+  "CMakeFiles/adrias_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/sequential.cc.o"
+  "CMakeFiles/adrias_ml.dir/sequential.cc.o.d"
+  "CMakeFiles/adrias_ml.dir/serialize.cc.o"
+  "CMakeFiles/adrias_ml.dir/serialize.cc.o.d"
+  "libadrias_ml.a"
+  "libadrias_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_models.dir/batching.cc.o"
+  "CMakeFiles/adrias_models.dir/batching.cc.o.d"
+  "CMakeFiles/adrias_models.dir/performance.cc.o"
+  "CMakeFiles/adrias_models.dir/performance.cc.o.d"
+  "CMakeFiles/adrias_models.dir/predictor.cc.o"
+  "CMakeFiles/adrias_models.dir/predictor.cc.o.d"
+  "CMakeFiles/adrias_models.dir/system_state.cc.o"
+  "CMakeFiles/adrias_models.dir/system_state.cc.o.d"
+  "libadrias_models.a"
+  "libadrias_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

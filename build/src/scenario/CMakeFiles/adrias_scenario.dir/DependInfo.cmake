@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenario/cluster.cc" "src/scenario/CMakeFiles/adrias_scenario.dir/cluster.cc.o" "gcc" "src/scenario/CMakeFiles/adrias_scenario.dir/cluster.cc.o.d"
+  "/root/repo/src/scenario/dataset.cc" "src/scenario/CMakeFiles/adrias_scenario.dir/dataset.cc.o" "gcc" "src/scenario/CMakeFiles/adrias_scenario.dir/dataset.cc.o.d"
+  "/root/repo/src/scenario/dataset_io.cc" "src/scenario/CMakeFiles/adrias_scenario.dir/dataset_io.cc.o" "gcc" "src/scenario/CMakeFiles/adrias_scenario.dir/dataset_io.cc.o.d"
+  "/root/repo/src/scenario/runner.cc" "src/scenario/CMakeFiles/adrias_scenario.dir/runner.cc.o" "gcc" "src/scenario/CMakeFiles/adrias_scenario.dir/runner.cc.o.d"
+  "/root/repo/src/scenario/signature.cc" "src/scenario/CMakeFiles/adrias_scenario.dir/signature.cc.o" "gcc" "src/scenario/CMakeFiles/adrias_scenario.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/adrias_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/adrias_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/adrias_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/adrias_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adrias_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_scenario.dir/cluster.cc.o"
+  "CMakeFiles/adrias_scenario.dir/cluster.cc.o.d"
+  "CMakeFiles/adrias_scenario.dir/dataset.cc.o"
+  "CMakeFiles/adrias_scenario.dir/dataset.cc.o.d"
+  "CMakeFiles/adrias_scenario.dir/dataset_io.cc.o"
+  "CMakeFiles/adrias_scenario.dir/dataset_io.cc.o.d"
+  "CMakeFiles/adrias_scenario.dir/runner.cc.o"
+  "CMakeFiles/adrias_scenario.dir/runner.cc.o.d"
+  "CMakeFiles/adrias_scenario.dir/signature.cc.o"
+  "CMakeFiles/adrias_scenario.dir/signature.cc.o.d"
+  "libadrias_scenario.a"
+  "libadrias_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

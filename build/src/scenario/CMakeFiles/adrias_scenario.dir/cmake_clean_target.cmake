@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadrias_scenario.a"
+)

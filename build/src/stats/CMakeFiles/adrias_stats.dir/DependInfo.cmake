@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/adrias_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/adrias_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/ewma.cc" "src/stats/CMakeFiles/adrias_stats.dir/ewma.cc.o" "gcc" "src/stats/CMakeFiles/adrias_stats.dir/ewma.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/adrias_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/adrias_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/online_stats.cc" "src/stats/CMakeFiles/adrias_stats.dir/online_stats.cc.o" "gcc" "src/stats/CMakeFiles/adrias_stats.dir/online_stats.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/stats/CMakeFiles/adrias_stats.dir/percentile.cc.o" "gcc" "src/stats/CMakeFiles/adrias_stats.dir/percentile.cc.o.d"
+  "/root/repo/src/stats/regression_metrics.cc" "src/stats/CMakeFiles/adrias_stats.dir/regression_metrics.cc.o" "gcc" "src/stats/CMakeFiles/adrias_stats.dir/regression_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

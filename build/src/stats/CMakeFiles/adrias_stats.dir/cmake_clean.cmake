@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_stats.dir/correlation.cc.o"
+  "CMakeFiles/adrias_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/adrias_stats.dir/ewma.cc.o"
+  "CMakeFiles/adrias_stats.dir/ewma.cc.o.d"
+  "CMakeFiles/adrias_stats.dir/histogram.cc.o"
+  "CMakeFiles/adrias_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/adrias_stats.dir/online_stats.cc.o"
+  "CMakeFiles/adrias_stats.dir/online_stats.cc.o.d"
+  "CMakeFiles/adrias_stats.dir/percentile.cc.o"
+  "CMakeFiles/adrias_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/adrias_stats.dir/regression_metrics.cc.o"
+  "CMakeFiles/adrias_stats.dir/regression_metrics.cc.o.d"
+  "libadrias_stats.a"
+  "libadrias_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

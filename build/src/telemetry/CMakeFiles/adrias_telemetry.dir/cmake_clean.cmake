@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_telemetry.dir/watcher.cc.o"
+  "CMakeFiles/adrias_telemetry.dir/watcher.cc.o.d"
+  "libadrias_telemetry.a"
+  "libadrias_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_testbed.dir/counters.cc.o"
+  "CMakeFiles/adrias_testbed.dir/counters.cc.o.d"
+  "CMakeFiles/adrias_testbed.dir/testbed.cc.o"
+  "CMakeFiles/adrias_testbed.dir/testbed.cc.o.d"
+  "libadrias_testbed.a"
+  "libadrias_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

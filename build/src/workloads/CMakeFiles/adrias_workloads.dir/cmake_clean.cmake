@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrias_workloads.dir/spec.cc.o"
+  "CMakeFiles/adrias_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/adrias_workloads.dir/workload.cc.o"
+  "CMakeFiles/adrias_workloads.dir/workload.cc.o.d"
+  "libadrias_workloads.a"
+  "libadrias_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrias_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

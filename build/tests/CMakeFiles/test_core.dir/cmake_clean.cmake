@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_cluster_orchestrator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_cluster_orchestrator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_decision_rules.cc.o"
+  "CMakeFiles/test_core.dir/core/test_decision_rules.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_orchestrator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_orchestrator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime_migrator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_runtime_migrator.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_layernorm.cc" "tests/CMakeFiles/test_ml.dir/ml/test_layernorm.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_layernorm.cc.o.d"
+  "/root/repo/tests/ml/test_layers.cc" "tests/CMakeFiles/test_ml.dir/ml/test_layers.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_layers.cc.o.d"
+  "/root/repo/tests/ml/test_lstm.cc" "tests/CMakeFiles/test_ml.dir/ml/test_lstm.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_lstm.cc.o.d"
+  "/root/repo/tests/ml/test_matrix.cc" "tests/CMakeFiles/test_ml.dir/ml/test_matrix.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_matrix.cc.o.d"
+  "/root/repo/tests/ml/test_training.cc" "tests/CMakeFiles/test_ml.dir/ml/test_training.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/adrias_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adrias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_layernorm.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_layernorm.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_layers.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_layers.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_lstm.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_lstm.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_matrix.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_matrix.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_training.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_training.cc.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

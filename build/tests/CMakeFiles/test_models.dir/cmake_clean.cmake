@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models.dir/models/test_finetune.cc.o"
+  "CMakeFiles/test_models.dir/models/test_finetune.cc.o.d"
+  "CMakeFiles/test_models.dir/models/test_models.cc.o"
+  "CMakeFiles/test_models.dir/models/test_models.cc.o.d"
+  "CMakeFiles/test_models.dir/models/test_persistence.cc.o"
+  "CMakeFiles/test_models.dir/models/test_persistence.cc.o.d"
+  "test_models"
+  "test_models.pdb"
+  "test_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenario/test_cluster.cc" "tests/CMakeFiles/test_scenario.dir/scenario/test_cluster.cc.o" "gcc" "tests/CMakeFiles/test_scenario.dir/scenario/test_cluster.cc.o.d"
+  "/root/repo/tests/scenario/test_dataset.cc" "tests/CMakeFiles/test_scenario.dir/scenario/test_dataset.cc.o" "gcc" "tests/CMakeFiles/test_scenario.dir/scenario/test_dataset.cc.o.d"
+  "/root/repo/tests/scenario/test_dataset_io.cc" "tests/CMakeFiles/test_scenario.dir/scenario/test_dataset_io.cc.o" "gcc" "tests/CMakeFiles/test_scenario.dir/scenario/test_dataset_io.cc.o.d"
+  "/root/repo/tests/scenario/test_runner.cc" "tests/CMakeFiles/test_scenario.dir/scenario/test_runner.cc.o" "gcc" "tests/CMakeFiles/test_scenario.dir/scenario/test_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/adrias_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/adrias_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/adrias_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/adrias_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/adrias_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adrias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario.dir/scenario/test_cluster.cc.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_cluster.cc.o.d"
+  "CMakeFiles/test_scenario.dir/scenario/test_dataset.cc.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_dataset.cc.o.d"
+  "CMakeFiles/test_scenario.dir/scenario/test_dataset_io.cc.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_dataset_io.cc.o.d"
+  "CMakeFiles/test_scenario.dir/scenario/test_runner.cc.o"
+  "CMakeFiles/test_scenario.dir/scenario/test_runner.cc.o.d"
+  "test_scenario"
+  "test_scenario.pdb"
+  "test_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_correlation.cc" "tests/CMakeFiles/test_stats.dir/stats/test_correlation.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_correlation.cc.o.d"
+  "/root/repo/tests/stats/test_ewma.cc" "tests/CMakeFiles/test_stats.dir/stats/test_ewma.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_ewma.cc.o.d"
+  "/root/repo/tests/stats/test_histogram.cc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cc.o.d"
+  "/root/repo/tests/stats/test_online_stats.cc" "tests/CMakeFiles/test_stats.dir/stats/test_online_stats.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_online_stats.cc.o.d"
+  "/root/repo/tests/stats/test_percentile.cc" "tests/CMakeFiles/test_stats.dir/stats/test_percentile.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_percentile.cc.o.d"
+  "/root/repo/tests/stats/test_regression_metrics.cc" "tests/CMakeFiles/test_stats.dir/stats/test_regression_metrics.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_regression_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/adrias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

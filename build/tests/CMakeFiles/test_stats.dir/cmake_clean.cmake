@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_correlation.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_correlation.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_ewma.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_ewma.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_online_stats.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_online_stats.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_percentile.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_percentile.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_regression_metrics.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_regression_metrics.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

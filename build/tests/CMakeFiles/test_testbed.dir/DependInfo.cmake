@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/testbed/test_properties.cc" "tests/CMakeFiles/test_testbed.dir/testbed/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_testbed.dir/testbed/test_properties.cc.o.d"
+  "/root/repo/tests/testbed/test_testbed.cc" "tests/CMakeFiles/test_testbed.dir/testbed/test_testbed.cc.o" "gcc" "tests/CMakeFiles/test_testbed.dir/testbed/test_testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/adrias_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/adrias_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adrias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adrias_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
