@@ -61,4 +61,78 @@ CsvWriter::close()
     out.close();
 }
 
+Result<std::vector<std::string>>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool in_quotes = false;
+    bool cell_was_quoted = false;
+
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (in_quotes) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell += '"'; // escaped quote
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell += ch;
+            }
+        } else if (ch == '"') {
+            if (!cell.empty() || cell_was_quoted)
+                return makeError(ErrorCode::BadSyntax,
+                                 "parseCsvLine: quote inside unquoted "
+                                 "cell");
+            in_quotes = true;
+            cell_was_quoted = true;
+        } else if (ch == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+            cell_was_quoted = false;
+        } else {
+            if (cell_was_quoted)
+                return makeError(ErrorCode::BadSyntax,
+                                 "parseCsvLine: payload after closing "
+                                 "quote");
+            cell += ch;
+        }
+    }
+    if (in_quotes)
+        return makeError(ErrorCode::BadSyntax,
+                         "parseCsvLine: unterminated quoted cell");
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+Result<std::vector<std::vector<std::string>>>
+readCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return makeError(ErrorCode::Io,
+                         "readCsvFile: cannot open '" + path + "'");
+    std::vector<std::vector<std::string>> rows;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        Result<std::vector<std::string>> cells = parseCsvLine(line);
+        if (!cells.ok())
+            return makeError(cells.error().code,
+                             cells.error().message + " (line " +
+                                 std::to_string(line_no) + " of '" +
+                                 path + "')");
+        rows.push_back(std::move(cells.value()));
+    }
+    return rows;
+}
+
 } // namespace adrias

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
+
 namespace adrias
 {
 
@@ -49,6 +51,27 @@ class CsvWriter
     std::ofstream out;
     std::size_t rowsWritten = 0;
 };
+
+/**
+ * Parse one CSV line into cells per RFC 4180 (the inverse of
+ * CsvWriter::escape): quoted cells may contain commas, doubled quotes
+ * decode to one quote.
+ *
+ * Malformed structure is reported as a typed error rather than
+ * guessed around: ErrorCode::BadSyntax for an unterminated quoted
+ * cell or for payload after a closing quote (`"ab"c`).
+ */
+Result<std::vector<std::string>> parseCsvLine(const std::string &line);
+
+/**
+ * Read a whole CSV file into rows of cells.
+ *
+ * @return ErrorCode::Io when the file cannot be opened, or the first
+ *         row's syntax error (message carries the 1-based line
+ *         number).  Empty lines are skipped.
+ */
+Result<std::vector<std::vector<std::string>>>
+readCsvFile(const std::string &path);
 
 } // namespace adrias
 

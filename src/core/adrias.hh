@@ -18,6 +18,9 @@
 #include "core/orchestrator.hh"
 #include "core/runtime_migrator.hh"
 #include "core/schedulers.hh"
+#include "fault/circuit_breaker.hh"
+#include "fault/fault.hh"
+#include "models/guard.hh"
 #include "models/predictor.hh"
 #include "scenario/dataset.hh"
 #include "scenario/runner.hh"

@@ -20,6 +20,15 @@ AdriasOrchestrator::AdriasOrchestrator(const models::PredictorBase &predictor_,
         fatal("AdriasOrchestrator requires a trained Predictor");
 }
 
+AdriasOrchestrator::AdriasOrchestrator(models::GuardedPredictor &guard_,
+                                       scenario::SignatureStore &signatures_,
+                                       AdriasConfig config_)
+    : AdriasOrchestrator(static_cast<const models::PredictorBase &>(guard_),
+                         signatures_, config_)
+{
+    guard = &guard_;
+}
+
 std::string
 AdriasOrchestrator::name() const
 {
@@ -37,10 +46,40 @@ AdriasOrchestrator::qosFor(const std::string &app_name) const
 }
 
 MemoryMode
+AdriasOrchestrator::fallbackPlacement(const workloads::WorkloadSpec &spec)
+{
+    ++decisionStats.fallbackPlacements;
+    return spec.cls == WorkloadClass::LatencyCritical
+               ? policy.degradedLcMode
+               : policy.degradedBeMode;
+}
+
+bool
+AdriasOrchestrator::degraded() const
+{
+    return guard != nullptr && guard->degraded();
+}
+
+OrchestratorStats
+AdriasOrchestrator::stats() const
+{
+    OrchestratorStats merged = decisionStats;
+    if (guard != nullptr) {
+        merged.breakerTrips = guard->breaker().stats().trips;
+        merged.breakerRecoveries = guard->breaker().stats().recoveries;
+    }
+    merged.samplesRepaired = lastWatcherHealth.samplesRepaired;
+    merged.samplesDropped = lastWatcherHealth.samplesDropped;
+    return merged;
+}
+
+MemoryMode
 AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
                           const telemetry::Watcher &watcher, SimTime now)
 {
-    (void)now;
+    if (guard != nullptr)
+        guard->beginDecision(now);
+    lastWatcherHealth = watcher.health();
 
     // Unknown application: bootstrap on remote memory and capture its
     // signature from this run (paper §V-C).
@@ -63,20 +102,30 @@ AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
     const auto &signature = signatures->get(spec.name);
 
     MemoryMode mode = MemoryMode::Local;
-    if (spec.cls == WorkloadClass::BestEffort) {
-        const double t_local = predictor->predictPerformance(
-            spec.cls, history, signature, MemoryMode::Local);
-        const double t_remote = predictor->predictPerformance(
-            spec.cls, history, signature, MemoryMode::Remote);
-        mode = t_local < policy.beta * t_remote ? MemoryMode::Local
-                                                : MemoryMode::Remote;
-    } else if (spec.cls == WorkloadClass::LatencyCritical) {
-        const double p99_remote = predictor->predictPerformance(
-            spec.cls, history, signature, MemoryMode::Remote);
-        mode = p99_remote <= qosFor(spec.name) ? MemoryMode::Remote
-                                               : MemoryMode::Local;
-    } else {
-        panic("AdriasOrchestrator asked to place a trasher");
+    try {
+        if (spec.cls == WorkloadClass::BestEffort) {
+            const double t_local = predictor->predictPerformance(
+                spec.cls, history, signature, MemoryMode::Local);
+            const double t_remote = predictor->predictPerformance(
+                spec.cls, history, signature, MemoryMode::Remote);
+            mode = t_local < policy.beta * t_remote ? MemoryMode::Local
+                                                    : MemoryMode::Remote;
+        } else if (spec.cls == WorkloadClass::LatencyCritical) {
+            const double p99_remote = predictor->predictPerformance(
+                spec.cls, history, signature, MemoryMode::Remote);
+            mode = p99_remote <= qosFor(spec.name) ? MemoryMode::Remote
+                                                   : MemoryMode::Local;
+        } else {
+            panic("AdriasOrchestrator asked to place a trasher");
+        }
+    } catch (const models::PredictionUnavailable &err) {
+        // Degraded mode: the prediction path is sick (breaker open,
+        // deadline blown, crash window, invalid inputs).  Keep placing
+        // with the heuristic instead of taking the placement loop down.
+        ++decisionStats.predictionFailures;
+        logWarn(std::string("AdriasOrchestrator degraded: ") +
+                err.what());
+        mode = fallbackPlacement(spec);
     }
 
     if (mode == MemoryMode::Remote)

@@ -17,9 +17,11 @@
 #include <map>
 #include <string>
 
+#include "models/guard.hh"
 #include "models/predictor.hh"
 #include "scenario/placement.hh"
 #include "scenario/signature.hh"
+#include "telemetry/watcher.hh"
 
 namespace adrias::core
 {
@@ -38,6 +40,14 @@ struct AdriasConfig
 
     /** Fallback QoS when an LC app has no explicit entry. */
     double defaultQosP99Ms = 1.0;
+
+    /**
+     * Degraded-mode placement when the prediction path is
+     * unavailable.  BE apps take the paper's bootstrap default
+     * (remote); LC apps take the QoS-conservative choice (local).
+     */
+    MemoryMode degradedBeMode = MemoryMode::Remote;
+    MemoryMode degradedLcMode = MemoryMode::Local;
 };
 
 /** Per-run decision statistics. */
@@ -46,6 +56,20 @@ struct OrchestratorStats
     std::size_t localPlacements = 0;
     std::size_t remotePlacements = 0;
     std::size_t bootstrapPlacements = 0; ///< unknown-app remote runs
+
+    /** Decisions served by the heuristic fallback (degraded mode). */
+    std::size_t fallbackPlacements = 0;
+
+    /** Prediction attempts that raised PredictionUnavailable. */
+    std::size_t predictionFailures = 0;
+
+    /** Merged from the guard's breaker (0 without a guard). */
+    std::size_t breakerTrips = 0;
+    std::size_t breakerRecoveries = 0;
+
+    /** Merged from the Watcher seen at the last decision. */
+    std::size_t samplesRepaired = 0;
+    std::size_t samplesDropped = 0;
 };
 
 /** Interference-aware memory orchestrator. */
@@ -62,6 +86,15 @@ class AdriasOrchestrator : public scenario::PlacementPolicy
                        scenario::SignatureStore &signatures,
                        AdriasConfig config = {});
 
+    /**
+     * Guarded variant: decisions flow through the guard's breaker and
+     * deadline, and prediction failures fall back to the heuristic
+     * degraded-mode policy instead of crashing the placement loop.
+     */
+    AdriasOrchestrator(models::GuardedPredictor &guard,
+                       scenario::SignatureStore &signatures,
+                       AdriasConfig config = {});
+
     std::string name() const override;
 
     MemoryMode place(const workloads::WorkloadSpec &spec,
@@ -70,17 +103,29 @@ class AdriasOrchestrator : public scenario::PlacementPolicy
 
     void onCompletion(const scenario::DeploymentRecord &record) override;
 
-    const OrchestratorStats &stats() const { return decisionStats; }
+    /** Decision tallies, with breaker and telemetry-repair counters
+     *  merged in when a guard is attached. */
+    OrchestratorStats stats() const;
+
     const AdriasConfig &config() const { return policy; }
+
+    /** @return true while the prediction path is degraded (guarded
+     *  variant only; false without a guard). */
+    bool degraded() const;
 
     /** QoS threshold applied to one LC application. */
     double qosFor(const std::string &name) const;
 
   private:
     const models::PredictorBase *predictor;
+    models::GuardedPredictor *guard = nullptr;
     scenario::SignatureStore *signatures;
     AdriasConfig policy;
     OrchestratorStats decisionStats;
+    telemetry::WatcherHealth lastWatcherHealth;
+
+    /** Heuristic placement used when predictions are unavailable. */
+    MemoryMode fallbackPlacement(const workloads::WorkloadSpec &spec);
 };
 
 } // namespace adrias::core

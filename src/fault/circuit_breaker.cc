@@ -1,0 +1,124 @@
+#include "fault/circuit_breaker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adrias::fault
+{
+
+std::string
+toString(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed:
+        return "closed";
+      case BreakerState::Open:
+        return "open";
+      case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    panic("unknown BreakerState");
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : knobs(config), backoffSec(config.backoffStartSec)
+{
+    if (knobs.failureThreshold == 0)
+        fatal("CircuitBreaker: failureThreshold must be positive");
+    if (knobs.backoffStartSec <= 0 || knobs.backoffMaxSec <
+                                          knobs.backoffStartSec)
+        fatal("CircuitBreaker: invalid backoff range");
+    if (knobs.backoffMultiplier < 1.0)
+        fatal("CircuitBreaker: backoff multiplier must be >= 1");
+    if (knobs.halfOpenSuccesses == 0)
+        fatal("CircuitBreaker: halfOpenSuccesses must be positive");
+}
+
+void
+CircuitBreaker::trip(SimTime now)
+{
+    current = BreakerState::Open;
+    openedAt = now;
+    consecutiveFailures = 0;
+    probeSuccesses = 0;
+    ++tallies.trips;
+}
+
+bool
+CircuitBreaker::allowRequest(SimTime now)
+{
+    switch (current) {
+      case BreakerState::Closed:
+      case BreakerState::HalfOpen:
+        return true;
+      case BreakerState::Open:
+        if (now - openedAt >= backoffSec) {
+            current = BreakerState::HalfOpen;
+            probeSuccesses = 0;
+            return true;
+        }
+        ++tallies.rejected;
+        return false;
+    }
+    panic("unknown BreakerState");
+}
+
+void
+CircuitBreaker::recordSuccess(SimTime now)
+{
+    (void)now;
+    ++tallies.successes;
+    switch (current) {
+      case BreakerState::Closed:
+        consecutiveFailures = 0;
+        break;
+      case BreakerState::HalfOpen:
+        if (++probeSuccesses >= knobs.halfOpenSuccesses) {
+            current = BreakerState::Closed;
+            consecutiveFailures = 0;
+            backoffSec = knobs.backoffStartSec;
+            ++tallies.recoveries;
+        }
+        break;
+      case BreakerState::Open:
+        // A success while Open can only come from a caller ignoring
+        // allowRequest(); tolerate it without state change.
+        break;
+    }
+}
+
+void
+CircuitBreaker::recordFailure(SimTime now)
+{
+    ++tallies.failures;
+    switch (current) {
+      case BreakerState::Closed:
+        if (++consecutiveFailures >= knobs.failureThreshold)
+            trip(now);
+        break;
+      case BreakerState::HalfOpen:
+        // Failed probe: reopen with an exponentially longer backoff.
+        backoffSec = std::min(
+            knobs.backoffMaxSec,
+            static_cast<SimTime>(static_cast<double>(backoffSec) *
+                                 knobs.backoffMultiplier));
+        trip(now);
+        break;
+      case BreakerState::Open:
+        break;
+    }
+}
+
+void
+CircuitBreaker::reset()
+{
+    current = BreakerState::Closed;
+    tallies = BreakerStats{};
+    consecutiveFailures = 0;
+    probeSuccesses = 0;
+    openedAt = 0;
+    backoffSec = knobs.backoffStartSec;
+}
+
+} // namespace adrias::fault

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Circuit breaker protecting callers from a misbehaving dependency
+ * (here: the Predictor's inference path).
+ *
+ * Classic three-state machine:
+ *
+ *   Closed ──(K consecutive failures)──▶ Open
+ *   Open ──(backoff elapsed)──▶ HalfOpen
+ *   HalfOpen ──(M probe successes)──▶ Closed   [recovery]
+ *   HalfOpen ──(any failure)──▶ Open           [backoff doubles]
+ *
+ * Time is simulation time (whole seconds), supplied by the caller, so
+ * breaker behaviour is deterministic and testable.
+ */
+
+#ifndef ADRIAS_FAULT_CIRCUIT_BREAKER_HH
+#define ADRIAS_FAULT_CIRCUIT_BREAKER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace adrias::fault
+{
+
+/** Breaker tuning knobs. */
+struct CircuitBreakerConfig
+{
+    /** Consecutive failures in Closed state that trip the breaker. */
+    std::size_t failureThreshold = 3;
+
+    /** Backoff before the first half-open probe, seconds. */
+    SimTime backoffStartSec = 8;
+
+    /** Backoff growth factor after each failed probe. */
+    double backoffMultiplier = 2.0;
+
+    /** Backoff ceiling, seconds. */
+    SimTime backoffMaxSec = 120;
+
+    /** Probe successes required to close again from HalfOpen. */
+    std::size_t halfOpenSuccesses = 2;
+};
+
+/** Breaker state (see file header for the transition diagram). */
+enum class BreakerState : std::uint8_t
+{
+    Closed,   ///< healthy: requests flow
+    Open,     ///< tripped: requests rejected until backoff elapses
+    HalfOpen, ///< probing: limited requests test recovery
+};
+
+/** @return human-readable state name. */
+std::string toString(BreakerState state);
+
+/** Lifetime tallies of one breaker. */
+struct BreakerStats
+{
+    std::size_t successes = 0;
+    std::size_t failures = 0;
+    std::size_t trips = 0;      ///< transitions into Open
+    std::size_t recoveries = 0; ///< transitions HalfOpen -> Closed
+    std::size_t rejected = 0;   ///< requests refused while Open
+};
+
+/** Deterministic, sim-time-driven circuit breaker. */
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+    /**
+     * Gate one request at time `now`.
+     *
+     * Transitions Open → HalfOpen when the backoff has elapsed.
+     *
+     * @return true when the caller may attempt the protected call.
+     */
+    bool allowRequest(SimTime now);
+
+    /** Report a successful protected call. */
+    void recordSuccess(SimTime now);
+
+    /** Report a failed protected call. */
+    void recordFailure(SimTime now);
+
+    BreakerState state() const { return current; }
+    const BreakerStats &stats() const { return tallies; }
+    const CircuitBreakerConfig &config() const { return knobs; }
+
+    /** Current backoff (doubles on repeated trips), seconds. */
+    SimTime currentBackoffSec() const { return backoffSec; }
+
+    /** Forget all state and tallies. */
+    void reset();
+
+  private:
+    CircuitBreakerConfig knobs;
+    BreakerState current = BreakerState::Closed;
+    BreakerStats tallies;
+
+    std::size_t consecutiveFailures = 0;
+    std::size_t probeSuccesses = 0;
+    SimTime openedAt = 0;
+    SimTime backoffSec = 0;
+
+    void trip(SimTime now);
+};
+
+} // namespace adrias::fault
+
+#endif // ADRIAS_FAULT_CIRCUIT_BREAKER_HH

@@ -11,6 +11,30 @@
 namespace adrias::ml
 {
 
+namespace
+{
+
+/** Sanity cap on the column count declared by an untrusted scaler
+ *  header: real scalers are kNumPerfEvents wide; anything beyond this
+ *  is corruption, and trusting it would allocate the declared size. */
+constexpr std::size_t kMaxScalerWidth = 1 << 16;
+
+/** Read one whitespace-delimited double, with a typed diagnosis:
+ *  eof ⇒ Truncated, non-numeric token ⇒ BadNumber. */
+Result<void>
+readValue(std::istream &in, double &value, const std::string &context)
+{
+    if (in >> value)
+        return {};
+    if (in.eof())
+        return makeError(ErrorCode::Truncated,
+                         context + ": truncated data");
+    return makeError(ErrorCode::BadNumber,
+                     context + ": malformed numeric value");
+}
+
+} // namespace
+
 void
 saveParams(std::ostream &out, const std::vector<Param *> &params)
 {
@@ -25,32 +49,49 @@ saveParams(std::ostream &out, const std::vector<Param *> &params)
     }
 }
 
-void
-loadParams(std::istream &in, const std::vector<Param *> &params)
+Result<void>
+tryLoadParams(std::istream &in, const std::vector<Param *> &params)
 {
     std::string magic, version;
     in >> magic >> version;
     if (magic != "adrias-params" || version != "v1")
-        fatal("loadParams: unrecognized parameter file header");
+        return makeError(ErrorCode::BadHeader,
+                         "loadParams: unrecognized parameter file "
+                         "header");
     std::size_t count = 0;
-    in >> count;
+    if (!(in >> count))
+        return makeError(ErrorCode::Truncated,
+                         "loadParams: truncated file");
     if (count != params.size())
-        fatal("loadParams: parameter count mismatch");
+        return makeError(ErrorCode::Geometry,
+                         "loadParams: parameter count mismatch (file " +
+                             std::to_string(count) + ", model " +
+                             std::to_string(params.size()) + ")");
     for (Param *p : params) {
         std::string name;
         std::size_t rows = 0, cols = 0;
         in >> name >> rows >> cols;
         if (!in)
-            fatal("loadParams: truncated file");
-        if (rows != p->value.rows() || cols != p->value.cols()) {
-            fatal("loadParams: shape mismatch for '" + name + "'");
-        }
+            return makeError(ErrorCode::Truncated,
+                             "loadParams: truncated file");
+        if (rows != p->value.rows() || cols != p->value.cols())
+            return makeError(ErrorCode::Geometry,
+                             "loadParams: shape mismatch for '" + name +
+                                 "'");
         for (double &v : p->value.raw()) {
-            in >> v;
-            if (!in)
-                fatal("loadParams: truncated tensor data");
+            if (Result<void> read = readValue(
+                    in, v, "loadParams: tensor '" + name + "'");
+                !read.ok())
+                return read;
         }
     }
+    return {};
+}
+
+void
+loadParams(std::istream &in, const std::vector<Param *> &params)
+{
+    tryLoadParams(in, params).expect();
 }
 
 void
@@ -68,23 +109,41 @@ saveScaler(std::ostream &out, const StandardScaler &scaler)
     out << "\n";
 }
 
-void
-loadScaler(std::istream &in, StandardScaler &scaler)
+Result<void>
+tryLoadScaler(std::istream &in, StandardScaler &scaler)
 {
     std::string magic, version;
     in >> magic >> version;
     if (magic != "adrias-scaler" || version != "v1")
-        fatal("loadScaler: unrecognized scaler header");
+        return makeError(ErrorCode::BadHeader,
+                         "loadScaler: unrecognized scaler header");
     std::size_t width = 0;
-    in >> width;
+    if (!(in >> width))
+        return makeError(ErrorCode::Truncated,
+                         "loadScaler: truncated scaler header");
+    if (width == 0 || width > kMaxScalerWidth)
+        return makeError(ErrorCode::Geometry,
+                         "loadScaler: implausible width " +
+                             std::to_string(width));
     std::vector<double> means(width), stds(width);
-    for (double &m : means)
-        in >> m;
-    for (double &s : stds)
-        in >> s;
-    if (!in)
-        fatal("loadScaler: truncated scaler data");
+    for (double &m : means) {
+        if (Result<void> read = readValue(in, m, "loadScaler: means");
+            !read.ok())
+            return read;
+    }
+    for (double &s : stds) {
+        if (Result<void> read = readValue(in, s, "loadScaler: stddevs");
+            !read.ok())
+            return read;
+    }
     scaler.restore(std::move(means), std::move(stds));
+    return {};
+}
+
+void
+loadScaler(std::istream &in, StandardScaler &scaler)
+{
+    tryLoadScaler(in, scaler).expect();
 }
 
 void
@@ -100,28 +159,46 @@ saveStateTensors(std::ostream &out, const std::vector<Matrix *> &tensors)
     }
 }
 
-void
-loadStateTensors(std::istream &in, const std::vector<Matrix *> &tensors)
+Result<void>
+tryLoadStateTensors(std::istream &in,
+                    const std::vector<Matrix *> &tensors)
 {
     std::string magic, version;
     in >> magic >> version;
     if (magic != "adrias-state" || version != "v1")
-        fatal("loadStateTensors: unrecognized state header");
+        return makeError(ErrorCode::BadHeader,
+                         "loadStateTensors: unrecognized state header");
     std::size_t count = 0;
-    in >> count;
+    if (!(in >> count))
+        return makeError(ErrorCode::Truncated,
+                         "loadStateTensors: truncated file");
     if (count != tensors.size())
-        fatal("loadStateTensors: state tensor count mismatch");
+        return makeError(ErrorCode::Geometry,
+                         "loadStateTensors: state tensor count "
+                         "mismatch");
     for (Matrix *m : tensors) {
         std::size_t rows = 0, cols = 0;
-        in >> rows >> cols;
+        if (!(in >> rows >> cols))
+            return makeError(ErrorCode::Truncated,
+                             "loadStateTensors: truncated file");
         if (rows != m->rows() || cols != m->cols())
-            fatal("loadStateTensors: state tensor shape mismatch");
+            return makeError(ErrorCode::Geometry,
+                             "loadStateTensors: state tensor shape "
+                             "mismatch");
         for (double &v : m->raw()) {
-            in >> v;
-            if (!in)
-                fatal("loadStateTensors: truncated state data");
+            if (Result<void> read =
+                    readValue(in, v, "loadStateTensors: tensor");
+                !read.ok())
+                return read;
         }
     }
+    return {};
+}
+
+void
+loadStateTensors(std::istream &in, const std::vector<Matrix *> &tensors)
+{
+    tryLoadStateTensors(in, tensors).expect();
 }
 
 void

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "ml/layer.hh"
 
 namespace adrias::ml
@@ -19,6 +20,16 @@ namespace adrias::ml
 
 /** Write all parameter tensors to a text stream (shape + values). */
 void saveParams(std::ostream &out, const std::vector<Param *> &params);
+
+/**
+ * Read parameter tensors back; shapes must match what was saved.
+ *
+ * Typed-error variant: BadHeader (magic/version), Geometry (count or
+ * shape mismatch), Truncated / BadNumber (malformed tensor payload).
+ * Params may be partially overwritten when an error is returned.
+ */
+Result<void> tryLoadParams(std::istream &in,
+                           const std::vector<Param *> &params);
 
 /**
  * Read parameter tensors back; shapes must match what was saved.
@@ -40,12 +51,23 @@ class StandardScaler;
 /** Write a fitted scaler's statistics (mean/std per column). */
 void saveScaler(std::ostream &out, const StandardScaler &scaler);
 
+/**
+ * Typed-error variant of loadScaler.  The declared width of an
+ * untrusted file is sanity-capped (Geometry error) before any
+ * allocation, so a corrupt header cannot trigger a huge allocation.
+ */
+Result<void> tryLoadScaler(std::istream &in, StandardScaler &scaler);
+
 /** Restore a scaler saved with saveScaler. */
 void loadScaler(std::istream &in, StandardScaler &scaler);
 
 /** Write non-trainable state tensors (shapes must match on load). */
 void saveStateTensors(std::ostream &out,
                       const std::vector<Matrix *> &tensors);
+
+/** Typed-error variant of loadStateTensors. */
+Result<void> tryLoadStateTensors(std::istream &in,
+                                 const std::vector<Matrix *> &tensors);
 
 /** Restore state tensors saved with saveStateTensors. */
 void loadStateTensors(std::istream &in,

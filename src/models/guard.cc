@@ -1,0 +1,138 @@
+#include "models/guard.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adrias::models
+{
+
+namespace
+{
+
+/** @return true when every entry of the sequence is finite. */
+bool
+sequenceFinite(const std::vector<ml::Matrix> &sequence)
+{
+    for (const ml::Matrix &step : sequence)
+        for (double v : step.raw())
+            if (!std::isfinite(v))
+                return false;
+    return true;
+}
+
+} // namespace
+
+GuardedPredictor::GuardedPredictor(const PredictorBase &inner,
+                                   PredictorGuardConfig config,
+                                   fault::FaultInjector *injector)
+    : wrapped(&inner), knobs(config), faults(injector),
+      breakerGate(config.breaker)
+{
+    if (knobs.deadlineMs <= 0.0)
+        fatal("GuardedPredictor: deadline must be positive");
+    if (knobs.baseLatencyMs < 0.0)
+        fatal("GuardedPredictor: base latency must be non-negative");
+}
+
+void
+GuardedPredictor::fail(const std::string &reason,
+                       bool breaker_failure) const
+{
+    if (breaker_failure) {
+        ++tallies.failures;
+        breakerGate.recordFailure(decisionTime);
+    }
+    throw PredictionUnavailable("GuardedPredictor: " + reason);
+}
+
+void
+GuardedPredictor::admitCall(std::uint64_t salt) const
+{
+    ++tallies.calls;
+
+    if (!breakerGate.allowRequest(decisionTime)) {
+        ++tallies.rejectedByBreaker;
+        throw PredictionUnavailable(
+            "GuardedPredictor: circuit breaker open (backoff " +
+            std::to_string(breakerGate.currentBackoffSec()) + " s)");
+    }
+
+    // Injected crash window: the inference call dies outright.
+    if (faults && faults->predictorCrashAt(decisionTime, salt)) {
+        ++tallies.injectedCrashes;
+        fail("inference crashed", true);
+    }
+
+    // Per-call deadline against the modelled (possibly spiked) latency.
+    double latency_ms = knobs.baseLatencyMs;
+    if (faults)
+        latency_ms = faults->predictorLatencyMsAt(decisionTime, salt,
+                                                  latency_ms);
+    if (latency_ms > knobs.deadlineMs) {
+        ++tallies.deadlineExceeded;
+        fail("inference deadline exceeded (" +
+                 std::to_string(latency_ms) + " ms)",
+             true);
+    }
+}
+
+ml::Matrix
+GuardedPredictor::predictSystemState(
+    const telemetry::Watcher &watcher) const
+{
+    const std::uint64_t salt = callCounter++;
+    admitCall(salt);
+    if (watcher.sampleCount() == 0) {
+        ++tallies.invalidInputs;
+        throw PredictionUnavailable(
+            "GuardedPredictor: no telemetry to predict from");
+    }
+    ml::Matrix forecast;
+    try {
+        forecast = wrapped->predictSystemState(watcher);
+    } catch (const std::exception &err) {
+        fail(std::string("system-state model threw: ") + err.what(),
+             true);
+    }
+    for (double v : forecast.raw())
+        if (!std::isfinite(v))
+            fail("system-state forecast is not finite", true);
+    ++tallies.served;
+    breakerGate.recordSuccess(decisionTime);
+    return forecast;
+}
+
+double
+GuardedPredictor::predictPerformance(
+    WorkloadClass cls, const std::vector<ml::Matrix> &history,
+    const std::vector<ml::Matrix> &signature, MemoryMode mode) const
+{
+    const std::uint64_t salt = callCounter++;
+    admitCall(salt);
+
+    // Input validation is not a model failure: reject without charging
+    // the breaker.
+    if (history.empty() || signature.empty() ||
+        !sequenceFinite(history) || !sequenceFinite(signature)) {
+        ++tallies.invalidInputs;
+        throw PredictionUnavailable(
+            "GuardedPredictor: invalid model inputs");
+    }
+
+    double prediction = 0.0;
+    try {
+        prediction =
+            wrapped->predictPerformance(cls, history, signature, mode);
+    } catch (const std::exception &err) {
+        fail(std::string("performance model threw: ") + err.what(),
+             true);
+    }
+    if (!std::isfinite(prediction) || prediction < 0.0)
+        fail("performance prediction is not finite", true);
+    ++tallies.served;
+    breakerGate.recordSuccess(decisionTime);
+    return prediction;
+}
+
+} // namespace adrias::models

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Resilience guard around the Predictor (the "Predictor gets sick"
+ * half of the failure model).
+ *
+ * GuardedPredictor wraps any PredictorBase with:
+ *  - input validation (histories/signatures must be finite),
+ *  - a per-call inference deadline against a modelled latency (which
+ *    the FaultInjector can spike),
+ *  - a circuit breaker: after K consecutive failures the prediction
+ *    path is declared unhealthy and calls are rejected immediately,
+ *    with exponential backoff and half-open probing before recovery.
+ *
+ * When a prediction cannot be served the guard throws
+ * PredictionUnavailable; the Orchestrator catches it and falls back to
+ * its heuristic (degraded-mode) placement policy.
+ */
+
+#ifndef ADRIAS_MODELS_GUARD_HH
+#define ADRIAS_MODELS_GUARD_HH
+
+#include <stdexcept>
+
+#include "fault/circuit_breaker.hh"
+#include "fault/fault.hh"
+#include "models/predictor.hh"
+
+namespace adrias::models
+{
+
+/** Raised when the guarded prediction path cannot serve a decision. */
+class PredictionUnavailable : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Guard tuning knobs. */
+struct PredictorGuardConfig
+{
+    /** Per-call inference budget, ms. */
+    double deadlineMs = 25.0;
+
+    /** Modelled healthy inference latency, ms. */
+    double baseLatencyMs = 2.0;
+
+    /** Breaker tuning. */
+    fault::CircuitBreakerConfig breaker{};
+};
+
+/** Guard tallies (breaker tallies live in the breaker itself). */
+struct PredictorGuardStats
+{
+    std::size_t calls = 0;
+    std::size_t served = 0;
+    std::size_t failures = 0;          ///< crashes + deadline + bad output
+    std::size_t deadlineExceeded = 0;
+    std::size_t invalidInputs = 0;
+    std::size_t rejectedByBreaker = 0;
+    std::size_t injectedCrashes = 0;
+};
+
+/**
+ * PredictorBase decorator adding validation, deadline and breaker.
+ *
+ * The decision clock is simulation time: the Orchestrator calls
+ * beginDecision(now) before querying, so backoff and recovery follow
+ * scenario time deterministically.
+ */
+class GuardedPredictor : public PredictorBase
+{
+  public:
+    /**
+     * @param inner the real prediction stack (borrowed).
+     * @param config guard tuning.
+     * @param injector optional fault source for crash/latency windows
+     *        (borrowed; may be nullptr for a pure defensive guard).
+     */
+    explicit GuardedPredictor(const PredictorBase &inner,
+                              PredictorGuardConfig config = {},
+                              fault::FaultInjector *injector = nullptr);
+
+    /** Set the decision time used by deadline/breaker bookkeeping. */
+    void beginDecision(SimTime now) { decisionTime = now; }
+
+    ml::Matrix
+    predictSystemState(const telemetry::Watcher &watcher) const override;
+
+    double
+    predictPerformance(WorkloadClass cls,
+                       const std::vector<ml::Matrix> &history,
+                       const std::vector<ml::Matrix> &signature,
+                       MemoryMode mode) const override;
+
+    bool trained() const override { return wrapped->trained(); }
+
+    /** @return true while the breaker is not Closed. */
+    bool
+    degraded() const
+    {
+        return breakerGate.state() != fault::BreakerState::Closed;
+    }
+
+    const fault::CircuitBreaker &breaker() const { return breakerGate; }
+    const PredictorGuardStats &stats() const { return tallies; }
+    const PredictorGuardConfig &config() const { return knobs; }
+
+  private:
+    const PredictorBase *wrapped;
+    PredictorGuardConfig knobs;
+    fault::FaultInjector *faults;
+
+    // The PredictorBase interface is const; the guard's bookkeeping is
+    // logically observational state.
+    mutable fault::CircuitBreaker breakerGate;
+    mutable PredictorGuardStats tallies;
+    mutable std::uint64_t callCounter = 0;
+    SimTime decisionTime = 0;
+
+    /** Common gate for both prediction entry points. */
+    void admitCall(std::uint64_t salt) const;
+
+    [[noreturn]] void fail(const std::string &reason,
+                           bool breaker_failure) const;
+};
+
+} // namespace adrias::models
+
+#endif // ADRIAS_MODELS_GUARD_HH

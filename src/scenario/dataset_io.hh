@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "scenario/dataset.hh"
 
 namespace adrias::scenario
@@ -25,6 +26,15 @@ namespace adrias::scenario
 /** Write system-state samples to a CSV file (with header row). */
 void saveSystemStateCsv(const std::string &path,
                         const std::vector<SystemStateSample> &samples);
+
+/**
+ * Read system-state samples written by saveSystemStateCsv, reporting
+ * malformed/truncated input as a typed error: Io (unopenable),
+ * BadHeader, Geometry (bins/events mismatch), Truncated (short row),
+ * BadNumber (strict parsing — "12abc" is rejected) or TrailingData.
+ */
+Result<std::vector<SystemStateSample>>
+tryLoadSystemStateCsv(const std::string &path);
 
 /**
  * Read system-state samples written by saveSystemStateCsv.
@@ -37,6 +47,12 @@ loadSystemStateCsv(const std::string &path);
 /** Write performance samples to a CSV file (with header row). */
 void savePerformanceCsv(const std::string &path,
                         const std::vector<PerformanceSample> &samples);
+
+/** Typed-error variant of loadPerformanceCsv (see
+ *  tryLoadSystemStateCsv for the error taxonomy; adds BadToken for
+ *  unknown class/mode tokens). */
+Result<std::vector<PerformanceSample>>
+tryLoadPerformanceCsv(const std::string &path);
 
 /** Read performance samples written by savePerformanceCsv. */
 std::vector<PerformanceSample>

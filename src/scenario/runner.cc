@@ -57,6 +57,7 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
     testbed::Testbed bed(testbedParams, rng.nextU64());
     bed.setNoise(config.counterNoise);
     telemetry::Watcher watcher(kWindowSec * 4);
+    fault::FaultInjector injector(config.faults);
 
     ScenarioResult result;
     result.trace.reserve(static_cast<std::size_t>(config.durationSec));
@@ -111,14 +112,30 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
         }
 
         // --- one second of contention ----------------------------------
+        // Injected link faults derate the channel before the tick
+        // resolves contention.
+        const fault::LinkState link = injector.linkStateAt(now);
+        bed.setChannelFault(link.bwScale, link.latencyScale);
+
         std::vector<testbed::LoadDescriptor> loads;
         loads.reserve(running.size());
         for (const auto &instance : running)
             loads.push_back(instance->load());
         const testbed::TickResult tick = bed.tick(loads);
 
-        watcher.record(tick.counters);
-        result.trace.push_back(tick.counters);
+        // --- telemetry, through the fault injector ---------------------
+        // The Watcher sees what a real deployment would: dropped,
+        // stale or corrupted samples; it repairs what it can and the
+        // trace records its observed (post-repair) view.
+        testbed::CounterSample observed = tick.counters;
+        const fault::CounterAction action = injector.applyCounterFaults(
+            observed,
+            result.trace.empty() ? nullptr : &result.trace.back(), now);
+        if (action == fault::CounterAction::Drop)
+            watcher.recordDropped();
+        else
+            watcher.record(observed);
+        result.trace.push_back(watcher.latest());
         result.concurrency.push_back(static_cast<int>(running.size()));
         result.totalRemoteTrafficGB += tick.remoteTrafficGBps;
 
@@ -166,6 +183,8 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
                           static_cast<std::ptrdiff_t>(i));
         }
     }
+    result.faultSummary = injector.stats();
+    result.watcherHealth = watcher.health();
     return result;
 }
 

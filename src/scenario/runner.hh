@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "fault/fault.hh"
 #include "scenario/placement.hh"
 #include "scenario/runtime.hh"
 #include "testbed/testbed.hh"
@@ -45,6 +46,14 @@ struct ScenarioConfig
 
     /** Relative measurement noise of the counters. */
     double counterNoise = 0.01;
+
+    /**
+     * Deterministic fault schedule executed alongside the scenario
+     * (empty by default).  Link faults derate the testbed's channel;
+     * counter faults corrupt the Watcher's input; predictor faults are
+     * picked up by a GuardedPredictor built over the same schedule.
+     */
+    fault::FaultSchedule faults{};
 };
 
 /** Everything a finished scenario produced. */
@@ -61,6 +70,12 @@ struct ScenarioResult
 
     /** Total ThymesisFlow traffic over the scenario, GB. */
     double totalRemoteTrafficGB = 0.0;
+
+    /** What the fault injector actually did during the run. */
+    fault::FaultStats faultSummary{};
+
+    /** Watcher self-repair tallies at scenario end. */
+    telemetry::WatcherHealth watcherHealth{};
 
     /** Records of one class, excluding trashers unless asked. */
     std::vector<const DeploymentRecord *>

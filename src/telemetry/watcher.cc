@@ -1,6 +1,7 @@
 #include "telemetry/watcher.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -17,7 +18,35 @@ Watcher::Watcher(std::size_t capacity_seconds) : history(capacity_seconds)
 void
 Watcher::record(const CounterSample &sample)
 {
-    history.push(sample);
+    CounterSample accepted = sample;
+    std::size_t repaired = 0;
+    for (std::size_t e = 0; e < kNumPerfEvents; ++e) {
+        if (std::isfinite(accepted[e]) && accepted[e] >= 0.0) {
+            lastGood[e] = accepted[e];
+            continue;
+        }
+        accepted[e] = lastGood[e]; // zero before any good value
+        ++repaired;
+    }
+    if (repaired > 0) {
+        ++state.samplesRepaired;
+        state.eventsRepaired += repaired;
+    }
+    haveGood = true;
+    ++state.samplesAccepted;
+    state.stalenessSec = 0;
+    history.push(accepted);
+}
+
+void
+Watcher::recordDropped()
+{
+    ++state.samplesDropped;
+    ++state.stalenessSec;
+    state.maxStalenessSec =
+        std::max(state.maxStalenessSec, state.stalenessSec);
+    // Hold the last value so window indexing stays one-per-second.
+    history.push(haveGood ? lastGood : CounterSample{});
 }
 
 bool

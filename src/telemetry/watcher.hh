@@ -18,12 +18,38 @@
 namespace adrias::telemetry
 {
 
+/** Self-repair and staleness tallies of one Watcher. */
+struct WatcherHealth
+{
+    /** Samples accepted into the history (repaired ones included). */
+    std::size_t samplesAccepted = 0;
+
+    /** Samples that needed at least one event substituted. */
+    std::size_t samplesRepaired = 0;
+
+    /** Individual events substituted with the last good value. */
+    std::size_t eventsRepaired = 0;
+
+    /** Ticks on which no fresh sample arrived (telemetry dropout). */
+    std::size_t samplesDropped = 0;
+
+    /** Consecutive ticks since the last fresh sample. */
+    std::size_t stalenessSec = 0;
+
+    /** Worst dropout streak seen, seconds. */
+    std::size_t maxStalenessSec = 0;
+};
+
 /**
  * Rolling view of the monitored performance events.
  *
  * Keeps the last `capacity` one-second samples; exposes the paper's two
  * model inputs: the binned history sequence S (an r-second window
  * aggregated into fixed-length bins) and mean-over-window targets.
+ *
+ * The Watcher defends itself against corrupt telemetry: NaN, infinite
+ * or negative events are replaced by the last good value of that event
+ * (zero before any good value exists) and counted in health().
  */
 class Watcher
 {
@@ -31,8 +57,21 @@ class Watcher
     /** @param capacity_seconds history retention (>= window length). */
     explicit Watcher(std::size_t capacity_seconds = 600);
 
-    /** Record one tick's counter sample. */
+    /**
+     * Record one tick's counter sample, repairing invalid events
+     * (NaN/Inf/negative) with the last good value per event.
+     */
     void record(const testbed::CounterSample &sample);
+
+    /**
+     * Record a telemetry dropout: no sample arrived this tick.  The
+     * history is padded with the last known sample (zeros on a cold
+     * start) so time stays aligned, and staleness counters advance.
+     */
+    void recordDropped();
+
+    /** @return repair/dropout tallies since construction or clear(). */
+    const WatcherHealth &health() const { return state; }
 
     /** @return number of samples currently retained. */
     std::size_t sampleCount() const { return history.size(); }
@@ -61,11 +100,23 @@ class Watcher
     /** Most recent sample. @pre sampleCount() > 0. */
     const testbed::CounterSample &latest() const;
 
-    /** Drop all history. */
-    void clear() { history.clear(); }
+    /** Drop all history and health tallies. */
+    void
+    clear()
+    {
+        history.clear();
+        state = WatcherHealth{};
+        lastGood = testbed::CounterSample{};
+        haveGood = false;
+    }
 
   private:
     RingBuffer<testbed::CounterSample> history;
+    WatcherHealth state;
+
+    /** Last good value seen per event (repair source). */
+    testbed::CounterSample lastGood{};
+    bool haveGood = false;
 };
 
 /**

@@ -49,6 +49,17 @@ Testbed::Testbed(TestbedParams params, std::uint64_t seed)
         fatal("Testbed: LLC capacity must be positive");
 }
 
+void
+Testbed::setChannelFault(double bw_scale, double latency_scale)
+{
+    if (bw_scale <= 0.0 || bw_scale > 1.0)
+        fatal("Testbed::setChannelFault: bw scale must be in (0, 1]");
+    if (latency_scale < 1.0)
+        fatal("Testbed::setChannelFault: latency scale must be >= 1");
+    channelBwScale = bw_scale;
+    channelLatencyScale = latency_scale;
+}
+
 double
 Testbed::noisy(double value)
 {
@@ -106,14 +117,18 @@ Testbed::tick(const std::vector<LoadDescriptor> &loads)
         return load.memDemandGBps * throttle;
     };
 
-    // Offered (base-latency) remote demand -> channel pressure.
+    // Offered (base-latency) remote demand -> channel pressure.  An
+    // injected channel fault shrinks the effective capacity and
+    // inflates the back-pressure latency.
+    const double remote_bw = parameters.remoteBwGBps * channelBwScale;
     double offered_remote = 0.0;
     for (const LoadDescriptor &load : loads)
         if (load.mode == MemoryMode::Remote)
             offered_remote += remote_demand_at(load, 1.0);
-    result.channelPressure = offered_remote / parameters.remoteBwGBps;
+    result.channelPressure = offered_remote / remote_bw;
     result.channelLatencyCycles =
-        channelLatencyCycles(parameters, result.channelPressure);
+        channelLatencyCycles(parameters, result.channelPressure) *
+        channelLatencyScale;
     const double channel_lat_scale =
         result.channelLatencyCycles / parameters.channelLatencyBaseCycles;
     const double remote_latency_ns =
@@ -134,9 +149,7 @@ Testbed::tick(const std::vector<LoadDescriptor> &loads)
             local_demand += demand[i];
     }
     const double remote_share =
-        remote_demand <= parameters.remoteBwGBps
-            ? 1.0
-            : parameters.remoteBwGBps / remote_demand;
+        remote_demand <= remote_bw ? 1.0 : remote_bw / remote_demand;
     const double remote_achieved_total = remote_demand * remote_share;
 
     // Remote traffic terminates in the borrower's memory controllers

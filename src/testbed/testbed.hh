@@ -96,10 +96,29 @@ class Testbed
      */
     void setNoise(double relative_sigma) { noiseSigma = relative_sigma; }
 
+    /**
+     * Degrade the remote channel (fault injection): scale its
+     * effective bandwidth by `bw_scale` in (0, 1] and its back-pressure
+     * latency by `latency_scale` >= 1.  Persists until changed.
+     */
+    void setChannelFault(double bw_scale, double latency_scale);
+
+    /** Restore the healthy channel. */
+    void clearChannelFault() { setChannelFault(1.0, 1.0); }
+
+    /** @return true while a channel fault is applied. */
+    bool
+    channelFaulted() const
+    {
+        return channelBwScale < 1.0 || channelLatencyScale > 1.0;
+    }
+
   private:
     TestbedParams parameters;
     Rng rng;
     double noiseSigma = 0.01;
+    double channelBwScale = 1.0;
+    double channelLatencyScale = 1.0;
 
     /** Apply multiplicative measurement noise to a counter value. */
     double noisy(double value);

@@ -68,5 +68,86 @@ TEST(CsvWriterErrors, UnwritablePathIsFatal)
     EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
 }
 
+TEST(ParseCsvLine, SplitsPlainCells)
+{
+    const auto cells = parseCsvLine("a,b,,c");
+    ASSERT_TRUE(cells.ok());
+    EXPECT_EQ(cells.value(),
+              (std::vector<std::string>{"a", "b", "", "c"}));
+}
+
+TEST(ParseCsvLine, SingleCellAndEmptyLine)
+{
+    ASSERT_TRUE(parseCsvLine("solo").ok());
+    EXPECT_EQ(parseCsvLine("solo").value().size(), 1u);
+    // An empty line is one empty cell (RFC 4180 has no zero-cell row).
+    EXPECT_EQ(parseCsvLine("").value(),
+              std::vector<std::string>{""});
+}
+
+TEST(ParseCsvLine, RoundTripsEscapedCells)
+{
+    for (const std::string &original :
+         {std::string("a,b"), std::string("say \"hi\""),
+          std::string("plain"), std::string("trailing,")}) {
+        const auto cells =
+            parseCsvLine(CsvWriter::escape(original) + ",x");
+        ASSERT_TRUE(cells.ok()) << original;
+        ASSERT_EQ(cells.value().size(), 2u);
+        EXPECT_EQ(cells.value()[0], original);
+        EXPECT_EQ(cells.value()[1], "x");
+    }
+}
+
+TEST(ParseCsvLine, RejectsMalformedQuoting)
+{
+    const auto unterminated = parseCsvLine("a,\"open");
+    ASSERT_FALSE(unterminated.ok());
+    EXPECT_EQ(unterminated.error().code, ErrorCode::BadSyntax);
+
+    const auto trailing = parseCsvLine("\"ab\"c,d");
+    ASSERT_FALSE(trailing.ok());
+    EXPECT_EQ(trailing.error().code, ErrorCode::BadSyntax);
+
+    const auto midcell = parseCsvLine("ab\"cd\"");
+    ASSERT_FALSE(midcell.ok());
+    EXPECT_EQ(midcell.error().code, ErrorCode::BadSyntax);
+}
+
+TEST_F(CsvTest, ReadCsvFileRoundTripsWriter)
+{
+    {
+        CsvWriter w(path);
+        w.writeRow({"a,b", "say \"hi\""});
+        w.writeRow({"1", "2"});
+        w.close();
+    }
+    const auto rows = readCsvFile(path);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows.value().size(), 2u);
+    EXPECT_EQ(rows.value()[0],
+              (std::vector<std::string>{"a,b", "say \"hi\""}));
+    EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(CsvTest, ReadCsvFileReportsLineOfSyntaxError)
+{
+    {
+        std::ofstream out(path);
+        out << "fine,row\n\"unterminated\n";
+    }
+    const auto rows = readCsvFile(path);
+    ASSERT_FALSE(rows.ok());
+    EXPECT_EQ(rows.error().code, ErrorCode::BadSyntax);
+    EXPECT_NE(rows.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ReadCsvFile, MissingFileIsIoError)
+{
+    const auto rows = readCsvFile("/no/such/file.csv");
+    ASSERT_FALSE(rows.ok());
+    EXPECT_EQ(rows.error().code, ErrorCode::Io);
+}
+
 } // namespace
 } // namespace adrias

@@ -92,6 +92,64 @@ TEST(RingBuffer, ToVectorMatchesChronology)
     EXPECT_EQ(v[2], "d");
 }
 
+TEST(RingBuffer, AccessorsOnEmptyPanic)
+{
+    RingBuffer<int> buf(3);
+    EXPECT_THROW(buf.newest(), std::logic_error);
+    EXPECT_THROW(buf.oldest(), std::logic_error);
+    EXPECT_THROW(buf.at(0), std::logic_error);
+    EXPECT_TRUE(buf.toVector().empty());
+}
+
+TEST(RingBuffer, SingleElement)
+{
+    RingBuffer<int> buf(5);
+    buf.push(42);
+    EXPECT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf.newest(), 42);
+    EXPECT_EQ(buf.oldest(), 42);
+    EXPECT_EQ(buf.toVector(), std::vector<int>{42});
+}
+
+TEST(RingBuffer, WrapBoundaryExactlyAtCapacity)
+{
+    // The interesting off-by-one: capacity pushes (no eviction yet)
+    // versus capacity + 1 (first eviction).
+    RingBuffer<int> buf(4);
+    for (int v = 1; v <= 4; ++v)
+        buf.push(v);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.oldest(), 1);
+
+    buf.push(5); // first wrap
+    EXPECT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf.oldest(), 2);
+    EXPECT_EQ(buf.newest(), 5);
+    EXPECT_EQ(buf.toVector(), (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(RingBuffer, AllEqualElementsSurviveWrap)
+{
+    RingBuffer<int> buf(3);
+    for (int i = 0; i < 10; ++i)
+        buf.push(7);
+    EXPECT_TRUE(buf.full());
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        EXPECT_EQ(buf.at(i), 7);
+}
+
+TEST(RingBuffer, ClearAfterWrapThenRefill)
+{
+    RingBuffer<int> buf(3);
+    for (int v = 0; v < 7; ++v)
+        buf.push(v);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    buf.push(100);
+    buf.push(101);
+    EXPECT_EQ(buf.toVector(), (std::vector<int>{100, 101}));
+}
+
 TEST(RingBuffer, CapacityOneAlwaysKeepsNewest)
 {
     RingBuffer<int> buf(1);

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Chaos suite: full scenarios under fault schedules, exercising every
+ * graceful-degradation path of the Watcher → Predictor → Orchestrator
+ * pipeline end to end.
+ *
+ * Uses a deterministic stub prediction stack (the decision rules and
+ * the degradation machinery are under test, not model accuracy), so
+ * full 3600 s scenarios run in milliseconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/orchestrator.hh"
+#include "fault/fault.hh"
+#include "models/guard.hh"
+#include "scenario/runner.hh"
+#include "scenario/signature.hh"
+#include "stats/percentile.hh"
+
+namespace adrias::core
+{
+namespace
+{
+
+using fault::FaultKind;
+using fault::FaultSchedule;
+using scenario::ScenarioConfig;
+using scenario::ScenarioResult;
+using scenario::ScenarioRunner;
+using testbed::kNumPerfEvents;
+
+/**
+ * Deterministic interference-aware stand-in for the trained stack:
+ * predictions derive from the channel-latency event of the history
+ * window, so placements react to congestion without any training.
+ */
+class StubPredictor : public models::PredictorBase
+{
+  public:
+    ml::Matrix
+    predictSystemState(const telemetry::Watcher &watcher) const override
+    {
+        const auto mean = watcher.meanOverTrailing(
+            ScenarioRunner::kWindowSec);
+        ml::Matrix forecast(1, kNumPerfEvents);
+        for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+            forecast.at(0, e) = mean[e];
+        return forecast;
+    }
+
+    double
+    predictPerformance(WorkloadClass cls,
+                       const std::vector<ml::Matrix> &history,
+                       const std::vector<ml::Matrix> &,
+                       MemoryMode mode) const override
+    {
+        const double chan_lat = history.back().at(
+            0, static_cast<std::size_t>(testbed::PerfEvent::ChannelLat));
+        const double congestion = chan_lat / 350.0;
+        if (cls == WorkloadClass::BestEffort)
+            return mode == MemoryMode::Remote ? 120.0 * congestion
+                                              : 95.0;
+        return mode == MemoryMode::Remote ? 0.8 * congestion : 0.5;
+    }
+
+    bool trained() const override { return true; }
+};
+
+/** A stack that always throws, to drive the breaker directly. */
+class CrashingPredictor : public StubPredictor
+{
+  public:
+    double
+    predictPerformance(WorkloadClass, const std::vector<ml::Matrix> &,
+                       const std::vector<ml::Matrix> &,
+                       MemoryMode) const override
+    {
+        throw std::runtime_error("inference backend down");
+    }
+};
+
+/** Signatures are expensive to profile; share one registry. */
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        signatures = new scenario::SignatureStore;
+        scenario::collectAllSignatures(*signatures);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete signatures;
+        signatures = nullptr;
+    }
+
+    /** The ISSUE's acceptance scenario: link flap + counter dropout +
+     *  predictor crash windows inside one 3600 s run. */
+    static FaultSchedule
+    chaosSchedule(std::uint64_t seed)
+    {
+        FaultSchedule schedule;
+        schedule.seed = seed;
+        schedule.add({FaultKind::CounterStale, 400, 500, 1.0, 0.5});
+        schedule.add({FaultKind::LinkFlap, 600, 900, 1.0, 0.5});
+        schedule.add({FaultKind::CounterDrop, 1000, 1300, 1.0, 0.5});
+        schedule.add({FaultKind::LinkDegrade, 1200, 1800, 0.3, 1.0});
+        schedule.add({FaultKind::CounterCorrupt, 1500, 1800, 1.0, 0.3});
+        schedule.add({FaultKind::PredictorCrash, 2000, 2300, 1.0, 1.0});
+        schedule.add(
+            {FaultKind::PredictorLatency, 2400, 2500, 500.0, 1.0});
+        return schedule;
+    }
+
+    static ScenarioConfig
+    chaosConfig(bool with_faults)
+    {
+        ScenarioConfig config;
+        config.durationSec = 3600;
+        config.spawnMinSec = 5;
+        config.spawnMaxSec = 25;
+        config.seed = 4242;
+        if (with_faults)
+            config.faults = chaosSchedule(1717);
+        return config;
+    }
+
+    struct ChaosRun
+    {
+        ScenarioResult result;
+        OrchestratorStats stats;
+        fault::BreakerStats breaker;
+        fault::BreakerState finalState;
+    };
+
+    static ChaosRun
+    runChaos(const StubPredictor &stub, bool with_faults)
+    {
+        const ScenarioConfig config = chaosConfig(with_faults);
+        fault::FaultInjector predictor_faults(config.faults);
+        models::GuardedPredictor guard(stub, {}, &predictor_faults);
+        AdriasOrchestrator orchestrator(guard, *signatures, {});
+        ScenarioRunner runner(config);
+        ChaosRun run{runner.run(orchestrator), orchestrator.stats(),
+                     guard.breaker().stats(), guard.breaker().state()};
+        return run;
+    }
+
+    static double
+    medianBeTime(const ScenarioResult &result)
+    {
+        std::vector<double> times;
+        for (const auto &record : result.records)
+            if (record.cls == WorkloadClass::BestEffort)
+                times.push_back(record.execTimeSec);
+        return stats::quantile(times, 0.5);
+    }
+
+    static scenario::SignatureStore *signatures;
+};
+
+scenario::SignatureStore *ChaosTest::signatures = nullptr;
+
+TEST_F(ChaosTest, GuardTripsOnCrashesAndRecovers)
+{
+    CrashingPredictor crashing;
+    models::GuardedPredictor guard(crashing, {});
+    AdriasOrchestrator orchestrator(guard, *signatures, {});
+
+    telemetry::Watcher watcher(200);
+    testbed::Testbed bed;
+    bed.setNoise(0.0);
+    for (int i = 0; i < 150; ++i)
+        watcher.record(bed.tick({}).counters);
+
+    const auto &spec = workloads::sparkBenchmark("sort");
+    ASSERT_TRUE(signatures->has(spec.name));
+
+    // Every decision falls back; after K failures the breaker is open
+    // and the stub is no longer even called.
+    for (SimTime t = 0; t < 6; ++t)
+        EXPECT_NO_THROW(orchestrator.place(spec, watcher, t));
+    EXPECT_EQ(guard.breaker().state(), fault::BreakerState::Open);
+    EXPECT_GE(orchestrator.stats().breakerTrips, 1u);
+    EXPECT_EQ(orchestrator.stats().fallbackPlacements, 6u);
+    EXPECT_GT(guard.stats().rejectedByBreaker, 0u);
+    EXPECT_TRUE(orchestrator.degraded());
+}
+
+TEST_F(ChaosTest, GuardEnforcesDeadline)
+{
+    StubPredictor stub;
+    FaultSchedule schedule;
+    schedule.add({FaultKind::PredictorLatency, 0, 10, 500.0, 1.0});
+    fault::FaultInjector injector(schedule);
+    models::GuardedPredictor guard(stub, {}, &injector);
+
+    guard.beginDecision(5);
+    std::vector<ml::Matrix> sequence(
+        ScenarioRunner::kWindowBins, ml::Matrix(1, kNumPerfEvents));
+    for (auto &step : sequence)
+        for (double &v : step.raw())
+            v = 1.0;
+    EXPECT_THROW(guard.predictPerformance(WorkloadClass::BestEffort,
+                                          sequence, sequence,
+                                          MemoryMode::Local),
+                 models::PredictionUnavailable);
+    EXPECT_EQ(guard.stats().deadlineExceeded, 1u);
+
+    // Outside the spike window the same call succeeds.
+    guard.beginDecision(50);
+    EXPECT_NO_THROW(guard.predictPerformance(WorkloadClass::BestEffort,
+                                             sequence, sequence,
+                                             MemoryMode::Local));
+}
+
+TEST_F(ChaosTest, GuardRejectsInvalidInputsWithoutChargingBreaker)
+{
+    StubPredictor stub;
+    models::GuardedPredictor guard(stub, {});
+    guard.beginDecision(0);
+
+    std::vector<ml::Matrix> poisoned(
+        ScenarioRunner::kWindowBins, ml::Matrix(1, kNumPerfEvents));
+    poisoned[3].at(0, 2) = std::nan("");
+    std::vector<ml::Matrix> clean(
+        ScenarioRunner::kWindowBins, ml::Matrix(1, kNumPerfEvents));
+
+    for (int i = 0; i < 10; ++i)
+        EXPECT_THROW(guard.predictPerformance(
+                         WorkloadClass::BestEffort, poisoned, clean,
+                         MemoryMode::Local),
+                     models::PredictionUnavailable);
+    EXPECT_EQ(guard.stats().invalidInputs, 10u);
+    EXPECT_EQ(guard.breaker().state(), fault::BreakerState::Closed);
+}
+
+TEST_F(ChaosTest, FullChaosScenarioSurvivesAndRecovers)
+{
+    StubPredictor stub;
+    const ChaosRun chaos = runChaos(stub, true);
+
+    // The scenario ran to completion and work kept finishing.
+    EXPECT_EQ(chaos.result.trace.size(), 3600u);
+    ASSERT_GT(chaos.result.records.size(), 50u);
+
+    // Arrivals kept being placed straight through every fault window,
+    // including the predictor-crash window [2000, 2300).
+    bool placed_during_crash_window = false;
+    bool placed_after_faults = false;
+    for (const auto &record : chaos.result.records) {
+        if (record.cls == WorkloadClass::Interference)
+            continue;
+        if (record.arrival >= 2000 && record.arrival < 2300)
+            placed_during_crash_window = true;
+        if (record.arrival >= 2500)
+            placed_after_faults = true;
+    }
+    EXPECT_TRUE(placed_during_crash_window);
+    EXPECT_TRUE(placed_after_faults);
+
+    // Degraded-mode decisions actually happened...
+    EXPECT_GT(chaos.stats.fallbackPlacements, 0u);
+    EXPECT_GT(chaos.stats.predictionFailures, 0u);
+
+    // ...the breaker tripped and then closed again once faults ended.
+    EXPECT_GE(chaos.breaker.trips, 1u);
+    EXPECT_GE(chaos.breaker.recoveries, 1u);
+    EXPECT_EQ(chaos.finalState, fault::BreakerState::Closed);
+
+    // The telemetry path saw and repaired real damage.
+    EXPECT_GT(chaos.result.faultSummary.samplesDropped, 0u);
+    EXPECT_GT(chaos.result.faultSummary.samplesCorrupted, 0u);
+    EXPECT_GT(chaos.result.faultSummary.linkFaultTicks, 0u);
+    EXPECT_GT(chaos.result.watcherHealth.samplesRepaired, 0u);
+    EXPECT_EQ(chaos.result.watcherHealth.samplesDropped,
+              chaos.result.faultSummary.samplesDropped);
+
+    // Every sample the Watcher served downstream was finite.
+    for (const auto &sample : chaos.result.trace)
+        for (double v : sample)
+            EXPECT_TRUE(std::isfinite(v) && v >= 0.0);
+}
+
+TEST_F(ChaosTest, DegradationIsBoundedVersusFaultFreeRun)
+{
+    StubPredictor stub;
+    const ChaosRun clean = runChaos(stub, false);
+    const ChaosRun chaos = runChaos(stub, true);
+
+    EXPECT_EQ(clean.stats.fallbackPlacements, 0u);
+    EXPECT_EQ(clean.breaker.trips, 0u);
+
+    // Faults must hurt at most boundedly: the BE median may not
+    // explode, and throughput (completions) must stay comparable.
+    const double clean_median = medianBeTime(clean.result);
+    const double chaos_median = medianBeTime(chaos.result);
+    ASSERT_GT(clean_median, 0.0);
+    EXPECT_LT(chaos_median, clean_median * 2.5);
+    EXPECT_GT(static_cast<double>(chaos.result.records.size()),
+              0.6 * static_cast<double>(clean.result.records.size()));
+}
+
+TEST_F(ChaosTest, SameSeedGivesIdenticalRunsAndStats)
+{
+    StubPredictor stub;
+    const ChaosRun first = runChaos(stub, true);
+    const ChaosRun second = runChaos(stub, true);
+
+    EXPECT_EQ(first.stats.localPlacements, second.stats.localPlacements);
+    EXPECT_EQ(first.stats.remotePlacements,
+              second.stats.remotePlacements);
+    EXPECT_EQ(first.stats.bootstrapPlacements,
+              second.stats.bootstrapPlacements);
+    EXPECT_EQ(first.stats.fallbackPlacements,
+              second.stats.fallbackPlacements);
+    EXPECT_EQ(first.stats.predictionFailures,
+              second.stats.predictionFailures);
+    EXPECT_EQ(first.stats.breakerTrips, second.stats.breakerTrips);
+    EXPECT_EQ(first.stats.breakerRecoveries,
+              second.stats.breakerRecoveries);
+    EXPECT_EQ(first.stats.samplesRepaired,
+              second.stats.samplesRepaired);
+    EXPECT_EQ(first.stats.samplesDropped, second.stats.samplesDropped);
+
+    EXPECT_EQ(first.result.records.size(),
+              second.result.records.size());
+    EXPECT_DOUBLE_EQ(first.result.totalRemoteTrafficGB,
+                     second.result.totalRemoteTrafficGB);
+    EXPECT_EQ(first.result.faultSummary.total(),
+              second.result.faultSummary.total());
+}
+
+TEST_F(ChaosTest, DifferentFaultSeedChangesInjectionPattern)
+{
+    ScenarioConfig config = chaosConfig(true);
+    config.faults.seed = 999;
+    StubPredictor stub;
+    fault::FaultInjector predictor_faults(config.faults);
+    models::GuardedPredictor guard(stub, {}, &predictor_faults);
+    AdriasOrchestrator orchestrator(guard, *signatures, {});
+    ScenarioRunner runner(config);
+    const auto reseeded = runner.run(orchestrator);
+
+    const ChaosRun baseline = runChaos(stub, true);
+    EXPECT_NE(reseeded.faultSummary.samplesDropped,
+              baseline.result.faultSummary.samplesDropped);
+}
+
+} // namespace
+} // namespace adrias::core

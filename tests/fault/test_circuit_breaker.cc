@@ -1,0 +1,160 @@
+/** @file Circuit-breaker state machine tests. */
+
+#include <gtest/gtest.h>
+
+#include "fault/circuit_breaker.hh"
+
+namespace adrias::fault
+{
+namespace
+{
+
+CircuitBreakerConfig
+testConfig()
+{
+    CircuitBreakerConfig config;
+    config.failureThreshold = 3;
+    config.backoffStartSec = 10;
+    config.backoffMultiplier = 2.0;
+    config.backoffMaxSec = 40;
+    config.halfOpenSuccesses = 2;
+    return config;
+}
+
+TEST(CircuitBreaker, StaysClosedUnderSuccess)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 100; ++t) {
+        EXPECT_TRUE(breaker.allowRequest(t));
+        breaker.recordSuccess(t);
+    }
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_EQ(breaker.stats().trips, 0u);
+}
+
+TEST(CircuitBreaker, NonConsecutiveFailuresDoNotTrip)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 30; ++t) {
+        ASSERT_TRUE(breaker.allowRequest(t));
+        if (t % 3 == 2)
+            breaker.recordFailure(t);
+        else
+            breaker.recordSuccess(t);
+    }
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, TripsAfterThresholdAndRejectsWhileOpen)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 3; ++t) {
+        ASSERT_TRUE(breaker.allowRequest(t));
+        breaker.recordFailure(t);
+    }
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.stats().trips, 1u);
+
+    // Backoff has not elapsed: rejected.
+    EXPECT_FALSE(breaker.allowRequest(5));
+    EXPECT_FALSE(breaker.allowRequest(11));
+    EXPECT_EQ(breaker.stats().rejected, 2u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesAfterEnoughSuccesses)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 3; ++t) {
+        breaker.allowRequest(t);
+        breaker.recordFailure(t);
+    }
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+
+    // Backoff (10 s from the trip at t=2) elapsed at t=12.
+    EXPECT_TRUE(breaker.allowRequest(12));
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    breaker.recordSuccess(12);
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen); // 1 of 2 probes
+    EXPECT_TRUE(breaker.allowRequest(13));
+    breaker.recordSuccess(13);
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_EQ(breaker.stats().recoveries, 1u);
+    // Recovery resets the backoff.
+    EXPECT_EQ(breaker.currentBackoffSec(), 10);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithDoubledBackoff)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 3; ++t) {
+        breaker.allowRequest(t);
+        breaker.recordFailure(t);
+    }
+    EXPECT_TRUE(breaker.allowRequest(12)); // half-open probe
+    breaker.recordFailure(12);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.stats().trips, 2u);
+    EXPECT_EQ(breaker.currentBackoffSec(), 20);
+
+    // Rejected until the doubled backoff elapses (t = 12 + 20).
+    EXPECT_FALSE(breaker.allowRequest(25));
+    EXPECT_TRUE(breaker.allowRequest(32));
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+}
+
+TEST(CircuitBreaker, BackoffIsCapped)
+{
+    CircuitBreaker breaker(testConfig());
+    SimTime t = 0;
+    // Trip, then fail every probe; backoff 10 -> 20 -> 40 -> 40 (cap).
+    for (int probes = 0; probes < 5; ++probes) {
+        while (breaker.state() != BreakerState::Open) {
+            breaker.allowRequest(t);
+            breaker.recordFailure(t);
+            ++t;
+        }
+        t += breaker.currentBackoffSec();
+        ASSERT_TRUE(breaker.allowRequest(t));
+        breaker.recordFailure(t);
+    }
+    EXPECT_EQ(breaker.currentBackoffSec(), 40);
+}
+
+TEST(CircuitBreaker, RejectsInvalidConfig)
+{
+    CircuitBreakerConfig bad = testConfig();
+    bad.failureThreshold = 0;
+    EXPECT_THROW(CircuitBreaker{bad}, std::runtime_error);
+
+    bad = testConfig();
+    bad.backoffMaxSec = 1;
+    EXPECT_THROW(CircuitBreaker{bad}, std::runtime_error);
+
+    bad = testConfig();
+    bad.backoffMultiplier = 0.5;
+    EXPECT_THROW(CircuitBreaker{bad}, std::runtime_error);
+}
+
+TEST(CircuitBreaker, ResetRestoresPristineState)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 3; ++t) {
+        breaker.allowRequest(t);
+        breaker.recordFailure(t);
+    }
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+    breaker.reset();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_EQ(breaker.stats().trips, 0u);
+    EXPECT_TRUE(breaker.allowRequest(0));
+}
+
+TEST(CircuitBreaker, StateNames)
+{
+    EXPECT_EQ(toString(BreakerState::Closed), "closed");
+    EXPECT_EQ(toString(BreakerState::Open), "open");
+    EXPECT_EQ(toString(BreakerState::HalfOpen), "half-open");
+}
+
+} // namespace
+} // namespace adrias::fault

@@ -1,0 +1,203 @@
+/** @file Negative-path tests for checkpoint (de)serialization. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/scaler.hh"
+#include "ml/serialize.hh"
+
+namespace adrias::ml
+{
+namespace
+{
+
+std::vector<Param>
+makeParams()
+{
+    std::vector<Param> params;
+    Matrix w(2, 3);
+    for (std::size_t i = 0; i < w.raw().size(); ++i)
+        w.raw()[i] = 0.5 * static_cast<double>(i);
+    params.emplace_back("w", w);
+    params.emplace_back("b", Matrix(1, 3));
+    return params;
+}
+
+std::vector<Param *>
+pointersTo(std::vector<Param> &params)
+{
+    std::vector<Param *> ptrs;
+    for (Param &p : params)
+        ptrs.push_back(&p);
+    return ptrs;
+}
+
+std::string
+savedParamsText()
+{
+    std::vector<Param> params = makeParams();
+    std::ostringstream out;
+    saveParams(out, pointersTo(params));
+    return out.str();
+}
+
+TEST(TryLoadParams, RoundTripsHappyPath)
+{
+    std::istringstream in(savedParamsText());
+    std::vector<Param> fresh = makeParams();
+    for (Param &p : fresh)
+        p.value.setZero();
+    const auto ptrs = pointersTo(fresh);
+    const Result<void> loaded = tryLoadParams(in, ptrs);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_DOUBLE_EQ(fresh[0].value.at(1, 2), 2.5);
+}
+
+TEST(TryLoadParams, BadMagicIsBadHeader)
+{
+    std::istringstream in("not-a-checkpoint v1\n");
+    std::vector<Param> params = makeParams();
+    const auto ptrs = pointersTo(params);
+    const Result<void> loaded = tryLoadParams(in, ptrs);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::BadHeader);
+}
+
+TEST(TryLoadParams, CountMismatchIsGeometry)
+{
+    std::istringstream in(savedParamsText());
+    std::vector<Param> params = makeParams();
+    params.pop_back();
+    const auto ptrs = pointersTo(params);
+    const Result<void> loaded = tryLoadParams(in, ptrs);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Geometry);
+}
+
+TEST(TryLoadParams, ShapeMismatchIsGeometry)
+{
+    std::istringstream in(savedParamsText());
+    std::vector<Param> params;
+    params.emplace_back("w", Matrix(3, 3)); // saved as 2x3
+    params.emplace_back("b", Matrix(1, 3));
+    const auto ptrs = pointersTo(params);
+    const Result<void> loaded = tryLoadParams(in, ptrs);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Geometry);
+}
+
+TEST(TryLoadParams, TruncatedPayloadIsTruncated)
+{
+    const std::string text = savedParamsText();
+    std::istringstream in(text.substr(0, text.size() * 2 / 3));
+    std::vector<Param> params = makeParams();
+    const auto ptrs = pointersTo(params);
+    const Result<void> loaded = tryLoadParams(in, ptrs);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Truncated);
+}
+
+TEST(TryLoadParams, GarbageTensorValueIsBadNumber)
+{
+    std::string text = savedParamsText();
+    text.replace(text.find("0.5"), 3, "x.y");
+    std::istringstream in(text);
+    std::vector<Param> params = makeParams();
+    const auto ptrs = pointersTo(params);
+    const Result<void> loaded = tryLoadParams(in, ptrs);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::BadNumber);
+}
+
+TEST(LegacyLoadParams, StillThrowsOnMalformedInput)
+{
+    std::istringstream in("junk\n");
+    std::vector<Param> params = makeParams();
+    const auto ptrs = pointersTo(params);
+    EXPECT_THROW(loadParams(in, ptrs), std::runtime_error);
+}
+
+TEST(TryLoadScaler, RoundTripsHappyPath)
+{
+    StandardScaler scaler;
+    scaler.restore({1.0, 2.0}, {0.5, 0.25});
+    std::ostringstream out;
+    saveScaler(out, scaler);
+
+    StandardScaler restored;
+    std::istringstream in(out.str());
+    ASSERT_TRUE(tryLoadScaler(in, restored).ok());
+    EXPECT_EQ(restored.mean(), scaler.mean());
+    EXPECT_EQ(restored.stddev(), scaler.stddev());
+}
+
+TEST(TryLoadScaler, ImplausibleWidthIsGeometryNotBadAlloc)
+{
+    // A corrupt header must not be trusted as an allocation size.
+    std::istringstream in("adrias-scaler v1\n18446744073709551615\n");
+    StandardScaler scaler;
+    const Result<void> loaded = tryLoadScaler(in, scaler);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Geometry);
+    EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(TryLoadScaler, TruncatedStatsIsTruncated)
+{
+    std::istringstream in("adrias-scaler v1\n4\n1.0 2.0\n");
+    StandardScaler scaler;
+    const Result<void> loaded = tryLoadScaler(in, scaler);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Truncated);
+    EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(TryLoadScaler, BadMagicIsBadHeader)
+{
+    std::istringstream in("adrias-params v1\n2\n");
+    StandardScaler scaler;
+    const Result<void> loaded = tryLoadScaler(in, scaler);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::BadHeader);
+}
+
+TEST(TryLoadStateTensors, DiagnosesHeaderShapeAndTruncation)
+{
+    Matrix m(2, 2);
+    m.raw() = {1.0, 2.0, 3.0, 4.0};
+    std::ostringstream out;
+    saveStateTensors(out, {&m});
+    const std::string text = out.str();
+
+    {
+        Matrix fresh(2, 2);
+        std::istringstream in(text);
+        ASSERT_TRUE(tryLoadStateTensors(in, {&fresh}).ok());
+        EXPECT_DOUBLE_EQ(fresh.at(1, 1), 4.0);
+    }
+    {
+        Matrix wrong(3, 2);
+        std::istringstream in(text);
+        const Result<void> loaded = tryLoadStateTensors(in, {&wrong});
+        ASSERT_FALSE(loaded.ok());
+        EXPECT_EQ(loaded.error().code, ErrorCode::Geometry);
+    }
+    {
+        Matrix fresh(2, 2);
+        std::istringstream in(text.substr(0, text.size() - 6));
+        const Result<void> loaded = tryLoadStateTensors(in, {&fresh});
+        ASSERT_FALSE(loaded.ok());
+        EXPECT_EQ(loaded.error().code, ErrorCode::Truncated);
+    }
+    {
+        Matrix fresh(2, 2);
+        std::istringstream in("wrong v1\n1\n");
+        const Result<void> loaded = tryLoadStateTensors(in, {&fresh});
+        ASSERT_FALSE(loaded.ok());
+        EXPECT_EQ(loaded.error().code, ErrorCode::BadHeader);
+    }
+}
+
+} // namespace
+} // namespace adrias::ml

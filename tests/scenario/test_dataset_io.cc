@@ -83,6 +83,123 @@ TEST(SystemStateCsv, RejectsMissingAndMalformed)
     std::remove(path.c_str());
 }
 
+TEST(SystemStateCsv, TypedErrorsDiagnoseCorruption)
+{
+    // Build one valid file, then corrupt it in targeted ways and check
+    // the typed diagnosis of each corruption.
+    Rng rng(3);
+    SystemStateSample sample;
+    sample.history = randomSequence(rng);
+    sample.target = randomVector(rng);
+    const std::string good = ::testing::TempDir() + "adrias_ss_good.csv";
+    saveSystemStateCsv(good, {sample});
+    std::ifstream in(good);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    in.close();
+
+    const std::string bad = ::testing::TempDir() + "adrias_ss_bad.csv";
+    auto write_and_load = [&](const std::string &content) {
+        std::ofstream out(bad);
+        out << content;
+        out.close();
+        return tryLoadSystemStateCsv(bad);
+    };
+
+    auto missing = tryLoadSystemStateCsv("/no/such/file.csv");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, ErrorCode::Io);
+
+    auto bad_header = write_and_load("not-a-dataset\n" + row + "\n");
+    ASSERT_FALSE(bad_header.ok());
+    EXPECT_EQ(bad_header.error().code, ErrorCode::BadHeader);
+
+    auto geometry = write_and_load("# adrias-system-state-v1,3,7\n" +
+                                   row + "\n");
+    ASSERT_FALSE(geometry.ok());
+    EXPECT_EQ(geometry.error().code, ErrorCode::Geometry);
+
+    auto truncated = write_and_load(
+        header + "\n" + row.substr(0, row.size() / 2) + "\n");
+    ASSERT_FALSE(truncated.ok());
+    EXPECT_TRUE(truncated.error().code == ErrorCode::Truncated ||
+                truncated.error().code == ErrorCode::BadNumber);
+
+    auto junk_number = write_and_load(
+        header + "\n" + "12abc" + row.substr(row.find(',')) + "\n");
+    ASSERT_FALSE(junk_number.ok());
+    EXPECT_EQ(junk_number.error().code, ErrorCode::BadNumber);
+
+    auto trailing = write_and_load(header + "\n" + row + ",999\n");
+    ASSERT_FALSE(trailing.ok());
+    EXPECT_EQ(trailing.error().code, ErrorCode::TrailingData);
+
+    // The pristine file still loads through the typed API.
+    auto ok = tryLoadSystemStateCsv(good);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value().size(), 1u);
+
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+}
+
+TEST(PerformanceCsv, TypedErrorsDiagnoseCorruption)
+{
+    Rng rng(4);
+    PerformanceSample sample;
+    sample.name = "sort";
+    sample.cls = WorkloadClass::BestEffort;
+    sample.mode = MemoryMode::Remote;
+    sample.history = randomSequence(rng);
+    sample.signature = randomSequence(rng);
+    sample.futureWindow = randomVector(rng);
+    sample.futureExec = randomVector(rng);
+    sample.target = 120.0;
+    const std::string good =
+        ::testing::TempDir() + "adrias_perf_good.csv";
+    savePerformanceCsv(good, {sample});
+    std::ifstream in(good);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    in.close();
+
+    const std::string bad = ::testing::TempDir() + "adrias_perf_bad.csv";
+    auto write_and_load = [&](std::string mutated_row) {
+        std::ofstream out(bad);
+        out << header << "\n" << mutated_row << "\n";
+        out.close();
+        return tryLoadPerformanceCsv(bad);
+    };
+
+    // Row starts "sort,be,remote,<target>,...".
+    auto bad_class = write_and_load("sort,xx" + row.substr(7));
+    ASSERT_FALSE(bad_class.ok());
+    EXPECT_EQ(bad_class.error().code, ErrorCode::BadToken);
+
+    auto bad_mode = write_and_load("sort,be,martian" + row.substr(14));
+    ASSERT_FALSE(bad_mode.ok());
+    EXPECT_EQ(bad_mode.error().code, ErrorCode::BadToken);
+
+    auto short_row = write_and_load("sort,be,remote");
+    ASSERT_FALSE(short_row.ok());
+    EXPECT_EQ(short_row.error().code, ErrorCode::Truncated);
+
+    auto bad_target = write_and_load("sort,be,remote,NOPE" +
+                                     row.substr(row.find(',', 15)));
+    ASSERT_FALSE(bad_target.ok());
+    EXPECT_EQ(bad_target.error().code, ErrorCode::BadNumber);
+
+    auto ok = tryLoadPerformanceCsv(good);
+    ASSERT_TRUE(ok.ok());
+    ASSERT_EQ(ok.value().size(), 1u);
+    EXPECT_EQ(ok.value()[0].name, "sort");
+
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+}
+
 TEST(PerformanceCsv, RoundTrip)
 {
     Rng rng(2);

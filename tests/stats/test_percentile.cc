@@ -24,6 +24,63 @@ TEST(Quantile, SingleElement)
     EXPECT_DOUBLE_EQ(quantile({3.0}, 1.0), 3.0);
 }
 
+TEST(Quantile, AllEqualSampleIsFlatAcrossQ)
+{
+    const std::vector<double> flat(17, 4.25);
+    for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(quantile(flat, q), 4.25) << "q=" << q;
+}
+
+TEST(PercentileTracker, EmptyTrackerQuantileIsNaN)
+{
+    const PercentileTracker t;
+    EXPECT_TRUE(std::isnan(t.quantile(0.5)));
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(PercentileTracker, SingleObservation)
+{
+    PercentileTracker t;
+    t.add(12.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.0), 12.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.99), 12.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 12.0);
+}
+
+TEST(PercentileTracker, AllEqualObservations)
+{
+    PercentileTracker t;
+    for (int i = 0; i < 50; ++i)
+        t.add(3.5);
+    EXPECT_DOUBLE_EQ(t.quantile(0.5), 3.5);
+    EXPECT_DOUBLE_EQ(t.quantile(0.999), 3.5);
+    EXPECT_DOUBLE_EQ(t.mean(), 3.5);
+}
+
+TEST(ReservoirSampler, EmptyReservoirQuantileIsNaN)
+{
+    const ReservoirSampler r(8);
+    EXPECT_TRUE(std::isnan(r.quantile(0.5)));
+}
+
+TEST(ReservoirSampler, SingleObservation)
+{
+    ReservoirSampler r(8);
+    r.add(9.0);
+    EXPECT_DOUBLE_EQ(r.quantile(0.0), 9.0);
+    EXPECT_DOUBLE_EQ(r.quantile(1.0), 9.0);
+}
+
+TEST(ReservoirSampler, AllEqualEvenPastCapacity)
+{
+    ReservoirSampler r(16);
+    for (int i = 0; i < 1000; ++i)
+        r.add(2.5);
+    EXPECT_EQ(r.retained(), 16u);
+    EXPECT_DOUBLE_EQ(r.quantile(0.5), 2.5);
+    EXPECT_DOUBLE_EQ(r.quantile(0.99), 2.5);
+}
+
 TEST(Quantile, MedianOfOddSample)
 {
     EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.5), 3.0);

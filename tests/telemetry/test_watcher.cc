@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "telemetry/watcher.hh"
 
 namespace adrias::telemetry
@@ -96,6 +99,79 @@ TEST(Watcher, ClearEmptiesHistory)
     watcher.record(constantSample(1.0));
     watcher.clear();
     EXPECT_EQ(watcher.sampleCount(), 0u);
+}
+
+TEST(Watcher, RepairsInvalidEventsWithLastGoodValue)
+{
+    Watcher watcher(10);
+    watcher.record(constantSample(3.0));
+
+    CounterSample poisoned = constantSample(8.0);
+    poisoned[1] = std::nan("");
+    poisoned[4] = -2.0;
+    watcher.record(poisoned);
+
+    const CounterSample &seen = watcher.latest();
+    EXPECT_DOUBLE_EQ(seen[0], 8.0);
+    EXPECT_DOUBLE_EQ(seen[1], 3.0); // last good
+    EXPECT_DOUBLE_EQ(seen[4], 3.0);
+
+    const WatcherHealth &health = watcher.health();
+    EXPECT_EQ(health.samplesAccepted, 2u);
+    EXPECT_EQ(health.samplesRepaired, 1u);
+    EXPECT_EQ(health.eventsRepaired, 2u);
+}
+
+TEST(Watcher, RepairsWithZeroBeforeFirstGoodValue)
+{
+    Watcher watcher(10);
+    CounterSample poisoned = constantSample(1.0);
+    poisoned[2] = std::numeric_limits<double>::infinity();
+    watcher.record(poisoned);
+    EXPECT_DOUBLE_EQ(watcher.latest()[2], 0.0);
+    EXPECT_EQ(watcher.health().eventsRepaired, 1u);
+}
+
+TEST(Watcher, DroppedTicksPadWithLastSampleAndTrackStaleness)
+{
+    Watcher watcher(10);
+    watcher.record(constantSample(6.0));
+    watcher.recordDropped();
+    watcher.recordDropped();
+
+    EXPECT_EQ(watcher.sampleCount(), 3u); // time stays aligned
+    EXPECT_DOUBLE_EQ(watcher.latest()[0], 6.0);
+
+    const WatcherHealth &health = watcher.health();
+    EXPECT_EQ(health.samplesDropped, 2u);
+    EXPECT_EQ(health.stalenessSec, 2u);
+    EXPECT_EQ(health.maxStalenessSec, 2u);
+
+    // A fresh sample resets staleness but not the historical maximum.
+    watcher.record(constantSample(7.0));
+    EXPECT_EQ(watcher.health().stalenessSec, 0u);
+    EXPECT_EQ(watcher.health().maxStalenessSec, 2u);
+}
+
+TEST(Watcher, ColdStartDropoutPadsWithZeros)
+{
+    Watcher watcher(10);
+    watcher.recordDropped();
+    EXPECT_EQ(watcher.sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(watcher.latest()[0], 0.0);
+}
+
+TEST(Watcher, ClearResetsHealth)
+{
+    Watcher watcher(10);
+    watcher.recordDropped();
+    CounterSample poisoned = constantSample(1.0);
+    poisoned[0] = std::nan("");
+    watcher.record(poisoned);
+    watcher.clear();
+    EXPECT_EQ(watcher.health().samplesDropped, 0u);
+    EXPECT_EQ(watcher.health().samplesRepaired, 0u);
+    EXPECT_EQ(watcher.health().maxStalenessSec, 0u);
 }
 
 TEST(MeanOverSpan, ComputesPerEventMeans)
