@@ -3,19 +3,21 @@
  * Shared plumbing for the experiment benches: every bench regenerates
  * one table or figure of the paper and prints paper-vs-measured rows.
  *
- * Scale knobs come from the environment so the default `for b in
- * build/bench/*` run finishes in minutes while still reproducing every
+ * Scale knobs come from the environment so a default run over every
+ * bench binary finishes in minutes while still reproducing every
  * shape:
  *   ADRIAS_BENCH_SCENARIOS  data-collection scenarios (default 4)
  *   ADRIAS_BENCH_DURATION   seconds per scenario (default 1800)
  *   ADRIAS_BENCH_EPOCHS     training epochs (default 30)
  *   ADRIAS_BENCH_SEED       base seed (default 100)
+ *   ADRIAS_BENCH_OUTDIR     artifact directory (default out/)
  */
 
 #ifndef ADRIAS_BENCH_COMMON_HH
 #define ADRIAS_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -25,6 +27,21 @@
 
 namespace adrias::bench
 {
+
+/**
+ * Path for a bench artifact (CSV, model dump): keeps generated files
+ * out of the repo root.  Defaults to out/ under the current directory;
+ * override with ADRIAS_BENCH_OUTDIR.  The directory is created on
+ * first use.
+ */
+inline std::string
+outputPath(const std::string &filename)
+{
+    const char *env = std::getenv("ADRIAS_BENCH_OUTDIR");
+    const std::filesystem::path dir = env && *env ? env : "out";
+    std::filesystem::create_directories(dir);
+    return (dir / filename).string();
+}
 
 /** Integer environment knob with default. */
 inline long

@@ -59,7 +59,8 @@ traceScenario(SimTime spawn_max, const std::string &label)
     }
     std::cout << table.toString();
 
-    CsvWriter csv("fig08_trace_5_" + std::to_string(spawn_max) + ".csv");
+    CsvWriter csv(bench::outputPath("fig08_trace_5_" +
+                                    std::to_string(spawn_max) + ".csv"));
     std::vector<std::string> header{"t", "apps"};
     for (auto event : testbed::allPerfEvents())
         header.push_back(perfEventName(event));
@@ -85,6 +86,6 @@ main()
     traceScenario(40, "moderate");
     traceScenario(60, "relaxed");
     std::cout << "\nFull per-second series written to "
-                 "fig08_trace_5_{20,40,60}.csv\n";
+              << bench::outputPath("fig08_trace_5_{20,40,60}.csv") << "\n";
     return 0;
 }

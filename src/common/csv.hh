@@ -61,7 +61,8 @@ class CsvWriter
  * guessed around: ErrorCode::BadSyntax for an unterminated quoted
  * cell or for payload after a closing quote (`"ab"c`).
  */
-Result<std::vector<std::string>> parseCsvLine(const std::string &line);
+[[nodiscard]] Result<std::vector<std::string>>
+parseCsvLine(const std::string &line);
 
 /**
  * Read a whole CSV file into rows of cells.
@@ -70,7 +71,7 @@ Result<std::vector<std::string>> parseCsvLine(const std::string &line);
  *         row's syntax error (message carries the 1-based line
  *         number).  Empty lines are skipped.
  */
-Result<std::vector<std::vector<std::string>>>
+[[nodiscard]] Result<std::vector<std::vector<std::string>>>
 readCsvFile(const std::string &path);
 
 } // namespace adrias

@@ -40,7 +40,7 @@ enum class ErrorCode
 };
 
 /** Stable lower-case name of an ErrorCode ("bad-number", ...). */
-std::string errorCodeName(ErrorCode code);
+[[nodiscard]] std::string errorCodeName(ErrorCode code);
 
 /** A typed failure: code for dispatch, message for humans. */
 struct Error
@@ -49,7 +49,7 @@ struct Error
     std::string message;
 
     /** "[bad-number] loadScaler: ..." */
-    std::string
+    [[nodiscard]] std::string
     toString() const
     {
         return "[" + errorCodeName(code) + "] " + message;
@@ -57,7 +57,7 @@ struct Error
 };
 
 /** Shorthand failure constructor. */
-inline Error
+[[nodiscard]] inline Error
 makeError(ErrorCode code, std::string message)
 {
     return Error{code, std::move(message)};
@@ -81,10 +81,10 @@ class [[nodiscard]] Result
     Result(T value) : state(std::move(value)) {}
     Result(Error error) : state(std::move(error)) {}
 
-    bool ok() const { return std::holds_alternative<T>(state); }
+    [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state); }
     explicit operator bool() const { return ok(); }
 
-    const T &
+    [[nodiscard]] const T &
     value() const
     {
         if (!ok())
@@ -92,7 +92,7 @@ class [[nodiscard]] Result
         return std::get<T>(state);
     }
 
-    T &
+    [[nodiscard]] T &
     value()
     {
         if (!ok())
@@ -100,7 +100,7 @@ class [[nodiscard]] Result
         return std::get<T>(state);
     }
 
-    const Error &
+    [[nodiscard]] const Error &
     error() const
     {
         if (ok())
@@ -109,7 +109,7 @@ class [[nodiscard]] Result
     }
 
     /** Value, or `fallback` when this holds an error. */
-    T
+    [[nodiscard]] T
     valueOr(T fallback) const
     {
         return ok() ? std::get<T>(state) : std::move(fallback);
@@ -119,7 +119,7 @@ class [[nodiscard]] Result
      * Bridge to the throwing convention: the value, or fatal() with
      * the error's message (std::runtime_error).
      */
-    const T &
+    [[nodiscard]] const T &
     expect() const
     {
         if (!ok())
@@ -139,10 +139,10 @@ class [[nodiscard]] Result<void>
     Result() = default;
     Result(Error error) : failure(std::move(error)) {}
 
-    bool ok() const { return !failure.has_value(); }
+    [[nodiscard]] bool ok() const { return !failure.has_value(); }
     explicit operator bool() const { return ok(); }
 
-    const Error &
+    [[nodiscard]] const Error &
     error() const
     {
         if (ok())
@@ -167,10 +167,10 @@ class [[nodiscard]] Result<void>
  * floating-point literal (leading/trailing junk and empty input are
  * errors — unlike std::stod, which accepts "12abc").
  */
-Result<double> parseDouble(std::string_view text);
+[[nodiscard]] Result<double> parseDouble(std::string_view text);
 
 /** Strict non-negative integer parser with overflow detection. */
-Result<std::size_t> parseSize(std::string_view text);
+[[nodiscard]] Result<std::size_t> parseSize(std::string_view text);
 
 } // namespace adrias
 

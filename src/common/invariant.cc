@@ -1,0 +1,57 @@
+#include "common/invariant.hh"
+
+#include <atomic>
+
+#include "common/logging.hh"
+
+namespace adrias::invariant
+{
+
+namespace
+{
+
+void
+defaultHandler(const Violation &violation)
+{
+    panic(violation.toString());
+}
+
+std::atomic<Handler> currentHandler{&defaultHandler};
+
+} // namespace
+
+std::string
+Violation::toString() const
+{
+    std::string text = "invariant violated: ";
+    text += condition;
+    if (!message.empty()) {
+        text += " (";
+        text += message;
+        text += ")";
+    }
+    text += " at ";
+    text += file;
+    text += ":";
+    text += std::to_string(line);
+    return text;
+}
+
+Handler
+setHandler(Handler handler)
+{
+    return currentHandler.exchange(handler ? handler : &defaultHandler);
+}
+
+void
+fail(const char *condition, const char *file, int line, std::string message)
+{
+    Violation violation;
+    violation.condition = condition;
+    violation.file = file;
+    violation.line = line;
+    violation.message = std::move(message);
+    currentHandler.load()(violation);
+}
+
+} // namespace adrias::invariant

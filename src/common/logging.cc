@@ -1,7 +1,6 @@
 #include "common/logging.hh"
 
 #include <iostream>
-#include <mutex>
 #include <stdexcept>
 
 namespace adrias
@@ -28,8 +27,6 @@ levelName(LogLevel level)
     return "?";
 }
 
-std::mutex logMutex;
-
 } // namespace
 
 Logger &
@@ -42,9 +39,9 @@ Logger::instance()
 void
 Logger::log(LogLevel level, const std::string &message)
 {
+    MutexLock lock(mu);
     if (static_cast<int>(level) < static_cast<int>(minLevel))
         return;
-    std::lock_guard<std::mutex> lock(logMutex);
     std::cerr << "[adrias:" << levelName(level) << "] " << message << "\n";
 }
 

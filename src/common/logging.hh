@@ -13,6 +13,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
 namespace adrias
 {
 
@@ -29,8 +32,9 @@ enum class LogLevel : int
 /**
  * Process-wide log sink with a level filter.
  *
- * Thread-compatible: concurrent logging from multiple threads interleaves
- * whole lines only.
+ * Thread-safe: the level filter and the output stream are guarded by
+ * one mutex, so concurrent logging from multiple threads interleaves
+ * whole lines only and level changes are never torn.
  */
 class Logger
 {
@@ -39,10 +43,20 @@ class Logger
     static Logger &instance();
 
     /** Set the minimum severity that is emitted. */
-    void setLevel(LogLevel level) { minLevel = level; }
+    void
+    setLevel(LogLevel level)
+    {
+        MutexLock lock(mu);
+        minLevel = level;
+    }
 
     /** @return the current minimum severity. */
-    LogLevel level() const { return minLevel; }
+    LogLevel
+    level() const
+    {
+        MutexLock lock(mu);
+        return minLevel;
+    }
 
     /** Emit one line at the given severity (no trailing newline needed). */
     void log(LogLevel level, const std::string &message);
@@ -50,7 +64,10 @@ class Logger
   private:
     Logger() = default;
 
-    LogLevel minLevel = LogLevel::Warn;
+    /** Guards the level filter and serializes stderr lines. */
+    mutable Mutex mu;
+
+    LogLevel minLevel ADRIAS_GUARDED_BY(mu) = LogLevel::Warn;
 };
 
 /** Emit a debug-level message. */

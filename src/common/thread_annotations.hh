@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute shim.
+ *
+ * The macros expand to Clang's `-Wthread-safety` attributes when the
+ * compiler supports them and to nothing elsewhere (GCC, MSVC), so
+ * annotated code stays portable.  Annotate shared-state classes with
+ * ADRIAS_GUARDED_BY / ADRIAS_REQUIRES and wrap locks in the annotated
+ * adrias::Mutex (common/mutex.hh) so a Clang build statically proves
+ * lock discipline ahead of the parallel scenario runner.
+ *
+ * Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+ */
+
+#ifndef ADRIAS_COMMON_THREAD_ANNOTATIONS_HH
+#define ADRIAS_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ADRIAS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ADRIAS_THREAD_ANNOTATION
+#define ADRIAS_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/** Marks a class as a lockable capability (e.g. a mutex wrapper). */
+#define ADRIAS_CAPABILITY(x) ADRIAS_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires a capability for its lifetime. */
+#define ADRIAS_SCOPED_CAPABILITY ADRIAS_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define ADRIAS_GUARDED_BY(x) ADRIAS_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee guarded by `x` (the pointer itself is unguarded). */
+#define ADRIAS_PT_GUARDED_BY(x) ADRIAS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function acquires the given capabilities and holds them on return. */
+#define ADRIAS_ACQUIRE(...) \
+    ADRIAS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the given capabilities. */
+#define ADRIAS_RELEASE(...) \
+    ADRIAS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability when returning `cond`. */
+#define ADRIAS_TRY_ACQUIRE(cond, ...) \
+    ADRIAS_THREAD_ANNOTATION(try_acquire_capability(cond, __VA_ARGS__))
+
+/** Caller must already hold the given capabilities. */
+#define ADRIAS_REQUIRES(...) \
+    ADRIAS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the given capabilities (deadlock guard). */
+#define ADRIAS_EXCLUDES(...) \
+    ADRIAS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define ADRIAS_RETURN_CAPABILITY(x) \
+    ADRIAS_THREAD_ANNOTATION(lock_returned(x))
+
+/** Opt a function out of the analysis (e.g. lock-free init paths). */
+#define ADRIAS_NO_THREAD_SAFETY_ANALYSIS \
+    ADRIAS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // ADRIAS_COMMON_THREAD_ANNOTATIONS_HH

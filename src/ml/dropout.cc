@@ -14,7 +14,7 @@ Dropout::Dropout(double probability, Rng &rng_) : p(probability), rng(&rng_)
 Matrix
 Dropout::forward(const Matrix &input)
 {
-    if (!isTraining || p == 0.0) {
+    if (!isTraining || p <= 0.0) {
         lastMask = Matrix();
         return input;
     }

@@ -82,6 +82,8 @@ Matrix::matmul(const Matrix &other) const
     for (std::size_t i = 0; i < nRows; ++i) {
         for (std::size_t k = 0; k < nCols; ++k) {
             const double lhs = data[i * nCols + k];
+            // Exact-zero sparsity skip; a tolerance would change
+            // results.  NOLINTNEXTLINE(float-equal)
             if (lhs == 0.0)
                 continue;
             const double *rhs_row = &other.data[k * other.nCols];
@@ -107,6 +109,7 @@ Matrix::transposedMatmul(const Matrix &other) const
         const double *rhs_row = &other.data[k * other.nCols];
         for (std::size_t i = 0; i < nCols; ++i) {
             const double lhs = lhs_row[i];
+            // Exact-zero sparsity skip.  NOLINTNEXTLINE(float-equal)
             if (lhs == 0.0)
                 continue;
             double *out_row = &out.data[i * other.nCols];

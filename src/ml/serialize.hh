@@ -28,7 +28,7 @@ void saveParams(std::ostream &out, const std::vector<Param *> &params);
  * shape mismatch), Truncated / BadNumber (malformed tensor payload).
  * Params may be partially overwritten when an error is returned.
  */
-Result<void> tryLoadParams(std::istream &in,
+[[nodiscard]] Result<void> tryLoadParams(std::istream &in,
                            const std::vector<Param *> &params);
 
 /**
@@ -56,7 +56,8 @@ void saveScaler(std::ostream &out, const StandardScaler &scaler);
  * untrusted file is sanity-capped (Geometry error) before any
  * allocation, so a corrupt header cannot trigger a huge allocation.
  */
-Result<void> tryLoadScaler(std::istream &in, StandardScaler &scaler);
+[[nodiscard]] Result<void>
+tryLoadScaler(std::istream &in, StandardScaler &scaler);
 
 /** Restore a scaler saved with saveScaler. */
 void loadScaler(std::istream &in, StandardScaler &scaler);
@@ -66,7 +67,7 @@ void saveStateTensors(std::ostream &out,
                       const std::vector<Matrix *> &tensors);
 
 /** Typed-error variant of loadStateTensors. */
-Result<void> tryLoadStateTensors(std::istream &in,
+[[nodiscard]] Result<void> tryLoadStateTensors(std::istream &in,
                                  const std::vector<Matrix *> &tensors);
 
 /** Restore state tensors saved with saveStateTensors. */

@@ -123,7 +123,7 @@ ClusterScenarioRunner::run(ClusterPolicy &policy)
                 loads.push_back(instance->load());
             const testbed::TickResult tick = node.bed->tick(loads);
 
-            node.watcher->record(tick.counters);
+            node.watcher->record(tick.counters, now);
             node_result.trace.push_back(tick.counters);
             node_result.concurrency.push_back(
                 static_cast<int>(node.running.size()));

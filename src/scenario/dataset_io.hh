@@ -33,7 +33,7 @@ void saveSystemStateCsv(const std::string &path,
  * BadHeader, Geometry (bins/events mismatch), Truncated (short row),
  * BadNumber (strict parsing — "12abc" is rejected) or TrailingData.
  */
-Result<std::vector<SystemStateSample>>
+[[nodiscard]] Result<std::vector<SystemStateSample>>
 tryLoadSystemStateCsv(const std::string &path);
 
 /**
@@ -51,7 +51,7 @@ void savePerformanceCsv(const std::string &path,
 /** Typed-error variant of loadPerformanceCsv (see
  *  tryLoadSystemStateCsv for the error taxonomy; adds BadToken for
  *  unknown class/mode tokens). */
-Result<std::vector<PerformanceSample>>
+[[nodiscard]] Result<std::vector<PerformanceSample>>
 tryLoadPerformanceCsv(const std::string &path);
 
 /** Read performance samples written by savePerformanceCsv. */

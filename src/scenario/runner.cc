@@ -132,9 +132,9 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
             observed,
             result.trace.empty() ? nullptr : &result.trace.back(), now);
         if (action == fault::CounterAction::Drop)
-            watcher.recordDropped();
+            watcher.recordDropped(now);
         else
-            watcher.record(observed);
+            watcher.record(observed, now);
         result.trace.push_back(watcher.latest());
         result.concurrency.push_back(static_cast<int>(running.size()));
         result.totalRemoteTrafficGB += tick.remoteTrafficGBps;

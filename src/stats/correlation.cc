@@ -34,7 +34,7 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
         var_x += dx * dx;
         var_y += dy * dy;
     }
-    if (var_x == 0.0 || var_y == 0.0)
+    if (var_x <= 0.0 || var_y <= 0.0)
         return 0.0;
     return cov / std::sqrt(var_x * var_y);
 }

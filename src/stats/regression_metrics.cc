@@ -40,8 +40,8 @@ r2Score(const std::vector<double> &actual,
         ss_res += res * res;
         ss_tot += dev * dev;
     }
-    if (ss_tot == 0.0)
-        return ss_res == 0.0 ? 1.0 : 0.0;
+    if (ss_tot <= 0.0)
+        return ss_res <= 0.0 ? 1.0 : 0.0;
     return 1.0 - ss_res / ss_tot;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 
 namespace adrias::telemetry
@@ -16,7 +17,16 @@ Watcher::Watcher(std::size_t capacity_seconds) : history(capacity_seconds)
 }
 
 void
-Watcher::record(const CounterSample &sample)
+Watcher::advanceStampLocked(SimTime now)
+{
+    ADRIAS_INVARIANT(now > lastStamp,
+                     "watcher sample at t=" + std::to_string(now) +
+                         " not after t=" + std::to_string(lastStamp));
+    lastStamp = now;
+}
+
+void
+Watcher::recordLocked(const CounterSample &sample)
 {
     CounterSample accepted = sample;
     std::size_t repaired = 0;
@@ -39,7 +49,22 @@ Watcher::record(const CounterSample &sample)
 }
 
 void
-Watcher::recordDropped()
+Watcher::record(const CounterSample &sample)
+{
+    MutexLock lock(mu);
+    recordLocked(sample);
+}
+
+void
+Watcher::record(const CounterSample &sample, SimTime now)
+{
+    MutexLock lock(mu);
+    advanceStampLocked(now);
+    recordLocked(sample);
+}
+
+void
+Watcher::recordDroppedLocked()
 {
     ++state.samplesDropped;
     ++state.stalenessSec;
@@ -49,10 +74,51 @@ Watcher::recordDropped()
     history.push(haveGood ? lastGood : CounterSample{});
 }
 
+void
+Watcher::recordDropped()
+{
+    MutexLock lock(mu);
+    recordDroppedLocked();
+}
+
+void
+Watcher::recordDropped(SimTime now)
+{
+    MutexLock lock(mu);
+    advanceStampLocked(now);
+    recordDroppedLocked();
+}
+
+WatcherHealth
+Watcher::health() const
+{
+    MutexLock lock(mu);
+    return state;
+}
+
+std::size_t
+Watcher::sampleCount() const
+{
+    MutexLock lock(mu);
+    return history.size();
+}
+
 bool
 Watcher::hasWindow(std::size_t window_seconds) const
 {
+    MutexLock lock(mu);
     return history.size() >= window_seconds;
+}
+
+void
+Watcher::clear()
+{
+    MutexLock lock(mu);
+    history.clear();
+    state = WatcherHealth{};
+    lastGood = CounterSample{};
+    haveGood = false;
+    lastStamp = kNoStamp;
 }
 
 std::vector<ml::Matrix>
@@ -60,6 +126,8 @@ Watcher::binnedWindow(std::size_t window_seconds, std::size_t bins) const
 {
     if (bins == 0 || window_seconds == 0)
         fatal("Watcher::binnedWindow needs positive window and bins");
+
+    MutexLock lock(mu);
     if (history.empty())
         fatal("Watcher::binnedWindow with no samples recorded");
 
@@ -79,6 +147,7 @@ Watcher::binnedWindow(std::size_t window_seconds, std::size_t bins) const
 CounterSample
 Watcher::meanOverTrailing(std::size_t window_seconds) const
 {
+    MutexLock lock(mu);
     if (history.empty())
         fatal("Watcher::meanOverTrailing with no samples");
     const std::size_t have = std::min(history.size(), window_seconds);
@@ -93,9 +162,10 @@ Watcher::meanOverTrailing(std::size_t window_seconds) const
     return mean;
 }
 
-const CounterSample &
+CounterSample
 Watcher::latest() const
 {
+    MutexLock lock(mu);
     if (history.empty())
         panic("Watcher::latest with no samples");
     return history.newest();

@@ -10,7 +10,9 @@
 
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/ring_buffer.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "ml/matrix.hh"
 #include "testbed/counters.hh"
@@ -49,7 +51,14 @@ struct WatcherHealth
  *
  * The Watcher defends itself against corrupt telemetry: NaN, infinite
  * or negative events are replaced by the last good value of that event
- * (zero before any good value exists) and counted in health().
+ * (zero before any good value exists) and counted in health().  When
+ * samples carry a simulation timestamp, ADRIAS_INVARIANT enforces that
+ * time moves strictly forward.
+ *
+ * Thread-safe: history and tallies are guarded by an internal mutex so
+ * a sampling thread and a predictor thread can share one Watcher (the
+ * planned parallel scenario runner relies on this).  Accessors return
+ * snapshots by value.
  */
 class Watcher
 {
@@ -61,23 +70,34 @@ class Watcher
      * Record one tick's counter sample, repairing invalid events
      * (NaN/Inf/negative) with the last good value per event.
      */
-    void record(const testbed::CounterSample &sample);
+    void record(const testbed::CounterSample &sample) ADRIAS_EXCLUDES(mu);
+
+    /**
+     * Timestamped variant: additionally asserts (ADRIAS_INVARIANT)
+     * that `now` is strictly greater than the previous stamp — the
+     * trace is one sample per second, never reordered or duplicated.
+     */
+    void record(const testbed::CounterSample &sample, SimTime now)
+        ADRIAS_EXCLUDES(mu);
 
     /**
      * Record a telemetry dropout: no sample arrived this tick.  The
      * history is padded with the last known sample (zeros on a cold
      * start) so time stays aligned, and staleness counters advance.
      */
-    void recordDropped();
+    void recordDropped() ADRIAS_EXCLUDES(mu);
+
+    /** Timestamped dropout (same monotonicity invariant as record). */
+    void recordDropped(SimTime now) ADRIAS_EXCLUDES(mu);
 
     /** @return repair/dropout tallies since construction or clear(). */
-    const WatcherHealth &health() const { return state; }
+    WatcherHealth health() const ADRIAS_EXCLUDES(mu);
 
     /** @return number of samples currently retained. */
-    std::size_t sampleCount() const { return history.size(); }
+    std::size_t sampleCount() const ADRIAS_EXCLUDES(mu);
 
     /** @return true once at least `window` seconds are retained. */
-    bool hasWindow(std::size_t window_seconds) const;
+    bool hasWindow(std::size_t window_seconds) const ADRIAS_EXCLUDES(mu);
 
     /**
      * Binned history sequence over the trailing window — the model
@@ -91,32 +111,39 @@ class Watcher
      *         sample (cold-start behaviour).
      */
     std::vector<ml::Matrix> binnedWindow(std::size_t window_seconds,
-                                         std::size_t bins) const;
+                                         std::size_t bins) const
+        ADRIAS_EXCLUDES(mu);
 
     /** Mean of each event over the trailing `window_seconds`. */
     testbed::CounterSample
-    meanOverTrailing(std::size_t window_seconds) const;
+    meanOverTrailing(std::size_t window_seconds) const ADRIAS_EXCLUDES(mu);
 
-    /** Most recent sample. @pre sampleCount() > 0. */
-    const testbed::CounterSample &latest() const;
+    /** Most recent sample (snapshot). @pre sampleCount() > 0. */
+    testbed::CounterSample latest() const ADRIAS_EXCLUDES(mu);
 
-    /** Drop all history and health tallies. */
-    void
-    clear()
-    {
-        history.clear();
-        state = WatcherHealth{};
-        lastGood = testbed::CounterSample{};
-        haveGood = false;
-    }
+    /** Drop all history, health tallies and the timestamp watermark. */
+    void clear() ADRIAS_EXCLUDES(mu);
 
   private:
-    RingBuffer<testbed::CounterSample> history;
-    WatcherHealth state;
+    /** Guards every member below. */
+    mutable Mutex mu;
+
+    RingBuffer<testbed::CounterSample> history ADRIAS_GUARDED_BY(mu);
+    WatcherHealth state ADRIAS_GUARDED_BY(mu);
 
     /** Last good value seen per event (repair source). */
-    testbed::CounterSample lastGood{};
-    bool haveGood = false;
+    testbed::CounterSample lastGood ADRIAS_GUARDED_BY(mu) {};
+    bool haveGood ADRIAS_GUARDED_BY(mu) = false;
+
+    /** Stamp of the newest sample; samples must arrive in order. */
+    SimTime lastStamp ADRIAS_GUARDED_BY(mu) = kNoStamp;
+
+    static constexpr SimTime kNoStamp = -1;
+
+    void recordLocked(const testbed::CounterSample &sample)
+        ADRIAS_REQUIRES(mu);
+    void recordDroppedLocked() ADRIAS_REQUIRES(mu);
+    void advanceStampLocked(SimTime now) ADRIAS_REQUIRES(mu);
 };
 
 /**

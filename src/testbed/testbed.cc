@@ -2,11 +2,84 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 
 namespace adrias::testbed
 {
+
+void
+checkTickInvariants(const std::vector<LoadDescriptor> &loads,
+                    const TickResult &result, const TestbedParams &params,
+                    double channel_bw_scale)
+{
+    // Resolved shares can land exactly on a cap; allow rounding slack.
+    constexpr double kRelTol = 1.0 + 1e-9;
+    constexpr double kAbsTol = 1e-9;
+
+    ADRIAS_INVARIANT(result.outcomes.size() == loads.size(),
+                     "outcomes=" + std::to_string(result.outcomes.size()) +
+                         " loads=" + std::to_string(loads.size()));
+
+    double remote_achieved = 0.0;
+    double resident_llc_mb = 0.0;
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+        const LoadOutcome &outcome = result.outcomes[i];
+        const LoadDescriptor &load = loads[i];
+        ADRIAS_INVARIANT_FINITE(outcome.achievedGBps);
+        ADRIAS_INVARIANT_GE(outcome.achievedGBps, 0.0);
+        ADRIAS_INVARIANT_FINITE(outcome.latencyNs);
+        ADRIAS_INVARIANT_GE(outcome.latencyNs, 0.0);
+        ADRIAS_INVARIANT_FINITE(outcome.slowdown);
+        ADRIAS_INVARIANT_GE(outcome.slowdown, 1.0);
+        ADRIAS_INVARIANT_GE(outcome.hitRate, 0.0);
+        ADRIAS_INVARIANT_LE(outcome.hitRate,
+                            load.baseHitRate * kRelTol + kAbsTol);
+        if (load.mode == MemoryMode::Remote)
+            remote_achieved += outcome.achievedGBps;
+        // h = base * residentFraction under the proportional-occupancy
+        // model, so h/base recovers this app's resident share.
+        if (load.baseHitRate > 0.0) {
+            resident_llc_mb += load.cacheFootprintMb * outcome.hitRate /
+                               load.baseHitRate;
+        }
+    }
+
+    // Achieved remote throughput within the (fault-derated) channel cap.
+    ADRIAS_INVARIANT_LE(remote_achieved, params.remoteBwGBps *
+                                                 channel_bw_scale *
+                                                 kRelTol +
+                                             kAbsTol);
+    ADRIAS_INVARIANT_LE(result.remoteTrafficGBps,
+                        params.remoteBwGBps * channel_bw_scale * kRelTol +
+                            kAbsTol);
+
+    // Achieved local traffic (remote terminates locally too, R3)
+    // within the local pool cap.
+    ADRIAS_INVARIANT_GE(result.localTrafficGBps, 0.0);
+    ADRIAS_INVARIANT_LE(result.localTrafficGBps,
+                        params.localBwGBps * kRelTol + kAbsTol);
+
+    // Resident LLC occupancy shares sum to at most one capacity.
+    ADRIAS_INVARIANT_LE(resident_llc_mb,
+                        params.llcCapacityMb * kRelTol + kAbsTol);
+
+    // Channel state: pressure non-negative, back-pressure latency
+    // never below its unloaded base.
+    ADRIAS_INVARIANT_FINITE(result.channelPressure);
+    ADRIAS_INVARIANT_GE(result.channelPressure, 0.0);
+    ADRIAS_INVARIANT_FINITE(result.channelLatencyCycles);
+    ADRIAS_INVARIANT_GE(result.channelLatencyCycles * kRelTol,
+                        params.channelLatencyBaseCycles);
+
+    // Counters the Watcher will sample: finite and non-negative.
+    for (double value : result.counters) {
+        ADRIAS_INVARIANT_FINITE(value);
+        ADRIAS_INVARIANT_GE(value, 0.0);
+    }
+}
 
 double
 llcEffectiveHitRate(double base_hit_rate, double footprint_mb,
@@ -235,6 +308,11 @@ Testbed::tick(const std::vector<LoadDescriptor> &loads)
         noisy(flits_m * 0.55);
     counters[static_cast<std::size_t>(PerfEvent::ChannelLat)] =
         noisy(result.channelLatencyCycles);
+
+    // Conservation laws hold for every resolved tick (compiled out of
+    // Release builds; the constant-false branch folds away).
+    if (invariant::kEnabled)
+        checkTickInvariants(loads, result, parameters, channelBwScale);
     return result;
 }
 

@@ -69,6 +69,34 @@ double llcEffectiveHitRate(double base_hit_rate, double footprint_mb,
  */
 double channelLatencyCycles(const TestbedParams &params, double pressure);
 
+/**
+ * Assert the physical conservation laws of one resolved tick
+ * (ADRIAS_INVARIANT; see common/invariant.hh):
+ *
+ *  - per-app achieved bandwidth, latency and counters are finite and
+ *    non-negative; slowdowns are >= 1; hit rates stay within
+ *    [0, baseHitRate];
+ *  - total achieved remote throughput does not exceed the (possibly
+ *    fault-derated) channel capacity;
+ *  - total achieved local traffic does not exceed the local pool cap;
+ *  - resident LLC occupancy shares sum to at most the LLC capacity;
+ *  - channel pressure is non-negative and the back-pressure latency
+ *    never drops below its base value.
+ *
+ * Called automatically at the end of Testbed::tick() in builds with
+ * ADRIAS_INVARIANTS=ON; exposed so tests can feed it deliberately
+ * corrupted results and prove each check fires.
+ *
+ * @param loads the tick's input deployments.
+ * @param result the resolved tick under test.
+ * @param params hardware calibration in use.
+ * @param channel_bw_scale fault derating applied to the channel.
+ */
+void checkTickInvariants(const std::vector<LoadDescriptor> &loads,
+                         const TickResult &result,
+                         const TestbedParams &params,
+                         double channel_bw_scale = 1.0);
+
 /** The simulated machine. */
 class Testbed
 {

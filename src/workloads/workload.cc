@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 
 namespace adrias::workloads
@@ -11,16 +13,61 @@ namespace adrias::workloads
 WorkloadInstance::WorkloadInstance(DeploymentId id, const WorkloadSpec &spec,
                                    MemoryMode mode, SimTime arrival_,
                                    std::uint64_t seed, double load_factor)
-    : deploymentId(id), specification(&spec), memoryMode(mode),
-      arrival(arrival_), rng(seed), loadFactor(load_factor)
+    : deploymentId(id), specification(&spec), arrival(arrival_),
+      loadFactor(load_factor), memoryMode(mode), rng(seed)
 {
     if (load_factor <= 0.0)
         fatal("WorkloadInstance: load factor must be positive");
 }
 
+WorkloadInstance::WorkloadInstance(WorkloadInstance &&other) noexcept
+    : deploymentId(other.deploymentId),
+      specification(other.specification), arrival(other.arrival),
+      loadFactor(other.loadFactor), memoryMode(other.memoryMode),
+      rng(other.rng), done(other.done), completion(other.completion),
+      progressSec(other.progressSec), elapsedSec(other.elapsedSec),
+      requestsServed(other.requestsServed),
+      latencies(std::move(other.latencies)),
+      slowdownSum(other.slowdownSum), ticks(other.ticks),
+      remoteGb(other.remoteGb),
+      migrationRemaining(other.migrationRemaining),
+      migrationPauseTotal(other.migrationPauseTotal),
+      migrationTarget(other.migrationTarget),
+      migrationsDone(other.migrationsDone)
+{
+}
+
+WorkloadInstance &
+WorkloadInstance::operator=(WorkloadInstance &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    deploymentId = other.deploymentId;
+    specification = other.specification;
+    arrival = other.arrival;
+    loadFactor = other.loadFactor;
+    memoryMode = other.memoryMode;
+    rng = other.rng;
+    done = other.done;
+    completion = other.completion;
+    progressSec = other.progressSec;
+    elapsedSec = other.elapsedSec;
+    requestsServed = other.requestsServed;
+    latencies = std::move(other.latencies);
+    slowdownSum = other.slowdownSum;
+    ticks = other.ticks;
+    remoteGb = other.remoteGb;
+    migrationRemaining = other.migrationRemaining;
+    migrationPauseTotal = other.migrationPauseTotal;
+    migrationTarget = other.migrationTarget;
+    migrationsDone = other.migrationsDone;
+    return *this;
+}
+
 testbed::LoadDescriptor
 WorkloadInstance::load() const
 {
+    MutexLock lock(mu);
     testbed::LoadDescriptor descriptor =
         specification->toLoad(deploymentId, memoryMode);
     if (specification->cls == WorkloadClass::LatencyCritical) {
@@ -35,6 +82,7 @@ WorkloadInstance::load() const
 void
 WorkloadInstance::advance(const testbed::LoadOutcome &outcome, SimTime now)
 {
+    MutexLock lock(mu);
     if (done)
         panic("WorkloadInstance::advance after completion");
     if (outcome.id != deploymentId)
@@ -100,9 +148,17 @@ WorkloadInstance::advanceLatencyCritical(const testbed::LoadOutcome &outcome)
     const double queue_mult =
         (1.0 - kBaseUtilization) / (1.0 - utilization);
 
+    // Queueing sanity: a stable server (utilization < 1) implies a
+    // finite, non-negative queue depth and latency inflation.
+    ADRIAS_INVARIANT_GE(utilization, 0.0);
+    ADRIAS_INVARIANT(utilization < 1.0,
+                     "utilization=" + std::to_string(utilization));
+    ADRIAS_INVARIANT_GE(queue_mult, 0.0);
+
     // Requests drained this one-second tick.
     requestsServed +=
         specification->serviceRatePerSec * loadFactor / slowdown;
+    ADRIAS_INVARIANT_GE(requestsServed, 0.0);
 
     const double sigma = specification->latencySigma;
     for (int i = 0; i < kSamplesPerTick; ++i) {
@@ -110,6 +166,8 @@ WorkloadInstance::advanceLatencyCritical(const testbed::LoadOutcome &outcome)
             std::exp(sigma * rng.gaussian() - 0.5 * sigma * sigma);
         const double latency_ms = specification->baseLatencyMs * slowdown *
                                   queue_mult * noise;
+        ADRIAS_INVARIANT_FINITE(latency_ms);
+        ADRIAS_INVARIANT_GE(latency_ms, 0.0);
         latencies.add(latency_ms);
     }
 }
@@ -117,6 +175,7 @@ WorkloadInstance::advanceLatencyCritical(const testbed::LoadOutcome &outcome)
 double
 WorkloadInstance::executionTimeSec() const
 {
+    MutexLock lock(mu);
     if (!done)
         return elapsedSec;
     return static_cast<double>(completion - arrival);
@@ -125,30 +184,34 @@ WorkloadInstance::executionTimeSec() const
 double
 WorkloadInstance::tailLatencyMs(double q) const
 {
+    MutexLock lock(mu);
     return latencies.quantile(q);
 }
 
 double
 WorkloadInstance::meanLatencyMs() const
 {
+    MutexLock lock(mu);
     return latencies.mean();
 }
 
 double
 WorkloadInstance::meanSlowdown() const
 {
+    MutexLock lock(mu);
     return ticks == 0 ? 1.0 : slowdownSum / static_cast<double>(ticks);
 }
 
 bool
 WorkloadInstance::requestMigration(MemoryMode target, double pause_sec)
 {
-    if (done)
-        panic("WorkloadInstance::requestMigration after completion");
     if (pause_sec <= 0.0)
         fatal("WorkloadInstance::requestMigration: pause must be "
               "positive");
-    if (memoryMode == target || migrating())
+    MutexLock lock(mu);
+    if (done)
+        panic("WorkloadInstance::requestMigration after completion");
+    if (memoryMode == target || migratingLocked())
         return false;
     migrationTarget = target;
     migrationRemaining = pause_sec;
@@ -159,6 +222,7 @@ WorkloadInstance::requestMigration(MemoryMode target, double pause_sec)
 double
 WorkloadInstance::progressFraction() const
 {
+    MutexLock lock(mu);
     switch (specification->cls) {
       case WorkloadClass::BestEffort:
         return std::min(1.0, progressSec / specification->baseDurationSec);

@@ -14,7 +14,9 @@
 
 #include <optional>
 
+#include "common/mutex.hh"
 #include "common/rng.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "stats/percentile.hh"
 #include "testbed/load.hh"
@@ -23,7 +25,15 @@
 namespace adrias::workloads
 {
 
-/** A deployed, running (or finished) workload. */
+/**
+ * A deployed, running (or finished) workload.
+ *
+ * Thread-safe: the mutable client/progress state (request latencies,
+ * progress, migration state) is guarded by an internal mutex so a
+ * runtime-management thread can read metrics while the scenario loop
+ * advances the instance.  Identity (id, spec, arrival) is immutable
+ * and unguarded.
+ */
 class WorkloadInstance
 {
   public:
@@ -40,8 +50,21 @@ class WorkloadInstance
                      MemoryMode mode, SimTime arrival,
                      std::uint64_t seed, double load_factor = 1.0);
 
+    /**
+     * Moves transfer the run state into a fresh lock.  Not
+     * concurrency-safe: only move an instance no other thread is
+     * observing.
+     */
+    WorkloadInstance(WorkloadInstance &&other) noexcept
+        ADRIAS_NO_THREAD_SAFETY_ANALYSIS;
+    WorkloadInstance &operator=(WorkloadInstance &&other) noexcept
+        ADRIAS_NO_THREAD_SAFETY_ANALYSIS;
+
+    WorkloadInstance(const WorkloadInstance &) = delete;
+    WorkloadInstance &operator=(const WorkloadInstance &) = delete;
+
     /** @return the load this instance presents to the testbed now. */
-    testbed::LoadDescriptor load() const;
+    testbed::LoadDescriptor load() const ADRIAS_EXCLUDES(mu);
 
     /**
      * Consume one tick's contention outcome.
@@ -49,33 +72,52 @@ class WorkloadInstance
      * @param outcome the testbed's verdict for this instance.
      * @param now current simulation time (end of the tick).
      */
-    void advance(const testbed::LoadOutcome &outcome, SimTime now);
+    void advance(const testbed::LoadOutcome &outcome, SimTime now)
+        ADRIAS_EXCLUDES(mu);
 
     /** @return true once the instance's run model has completed. */
-    bool finished() const { return done; }
+    bool
+    finished() const ADRIAS_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return done;
+    }
 
     DeploymentId id() const { return deploymentId; }
     const WorkloadSpec &spec() const { return *specification; }
-    MemoryMode mode() const { return memoryMode; }
+
+    /** @return current placement (changes when a migration lands). */
+    MemoryMode
+    mode() const ADRIAS_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return memoryMode;
+    }
+
     SimTime arrivalTime() const { return arrival; }
 
     /** Wall-clock execution time; only meaningful once finished. */
-    double executionTimeSec() const;
+    double executionTimeSec() const ADRIAS_EXCLUDES(mu);
 
     /** LC: tail latency of all sampled requests so far, ms. */
-    double tailLatencyMs(double q) const;
+    double tailLatencyMs(double q) const ADRIAS_EXCLUDES(mu);
 
     /** LC: mean request latency, ms. */
-    double meanLatencyMs() const;
+    double meanLatencyMs() const ADRIAS_EXCLUDES(mu);
 
     /** Mean slowdown observed across ticks so far. */
-    double meanSlowdown() const;
+    double meanSlowdown() const ADRIAS_EXCLUDES(mu);
 
     /** Total bytes moved over the ThymesisFlow channel, GB. */
-    double remoteTrafficGB() const { return remoteGb; }
+    double
+    remoteTrafficGB() const ADRIAS_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return remoteGb;
+    }
 
     /** Progress in [0, 1] for BE jobs; request fraction for LC. */
-    double progressFraction() const;
+    double progressFraction() const ADRIAS_EXCLUDES(mu);
 
     /**
      * Request an L2 migration to the other memory pool (paper §II's
@@ -88,43 +130,68 @@ class WorkloadInstance
      *
      * @return true if a migration was started.
      */
-    bool requestMigration(MemoryMode target, double pause_sec);
+    bool requestMigration(MemoryMode target, double pause_sec)
+        ADRIAS_EXCLUDES(mu);
 
     /** @return true while a migration pause is in effect. */
-    bool migrating() const { return migrationRemaining > 0.0; }
+    bool
+    migrating() const ADRIAS_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return migratingLocked();
+    }
 
     /** @return number of completed migrations. */
-    std::size_t migrationCount() const { return migrationsDone; }
+    std::size_t
+    migrationCount() const ADRIAS_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return migrationsDone;
+    }
 
   private:
+    // Immutable identity (set at construction, never guarded).
     DeploymentId deploymentId;
     const WorkloadSpec *specification;
-    MemoryMode memoryMode;
     SimTime arrival;
-    Rng rng;
     double loadFactor;
 
-    bool done = false;
-    SimTime completion = -1;
+    /** Guards every mutable member below. */
+    mutable Mutex mu;
+
+    MemoryMode memoryMode ADRIAS_GUARDED_BY(mu);
+    Rng rng ADRIAS_GUARDED_BY(mu);
+
+    bool done ADRIAS_GUARDED_BY(mu) = false;
+    SimTime completion ADRIAS_GUARDED_BY(mu) = -1;
 
     // BE / interference progress
-    double progressSec = 0.0;   ///< unimpeded-equivalent seconds done
-    double elapsedSec = 0.0;    ///< wall-clock seconds so far
+    /** Unimpeded-equivalent seconds done. */
+    double progressSec ADRIAS_GUARDED_BY(mu) = 0.0;
+    /** Wall-clock seconds so far. */
+    double elapsedSec ADRIAS_GUARDED_BY(mu) = 0.0;
 
-    // LC request accounting
-    double requestsServed = 0.0;
-    stats::PercentileTracker latencies;
+    // LC request accounting (the memtier-style client state)
+    double requestsServed ADRIAS_GUARDED_BY(mu) = 0.0;
+    stats::PercentileTracker latencies ADRIAS_GUARDED_BY(mu);
 
     // aggregates
-    double slowdownSum = 0.0;
-    std::size_t ticks = 0;
-    double remoteGb = 0.0;
+    double slowdownSum ADRIAS_GUARDED_BY(mu) = 0.0;
+    std::size_t ticks ADRIAS_GUARDED_BY(mu) = 0;
+    double remoteGb ADRIAS_GUARDED_BY(mu) = 0.0;
 
     // L2 migration state
-    double migrationRemaining = 0.0; ///< pause seconds left
-    double migrationPauseTotal = 1.0;
-    MemoryMode migrationTarget = MemoryMode::Local;
-    std::size_t migrationsDone = 0;
+    /** Pause seconds left. */
+    double migrationRemaining ADRIAS_GUARDED_BY(mu) = 0.0;
+    double migrationPauseTotal ADRIAS_GUARDED_BY(mu) = 1.0;
+    MemoryMode migrationTarget ADRIAS_GUARDED_BY(mu) = MemoryMode::Local;
+    std::size_t migrationsDone ADRIAS_GUARDED_BY(mu) = 0;
+
+    bool
+    migratingLocked() const ADRIAS_REQUIRES(mu)
+    {
+        return migrationRemaining > 0.0;
+    }
 
     /** Base server utilization at nominal load (queueing model). */
     static constexpr double kBaseUtilization = 0.6;
@@ -132,7 +199,8 @@ class WorkloadInstance
     /** Request-latency samples drawn per tick for the tail estimate. */
     static constexpr int kSamplesPerTick = 24;
 
-    void advanceLatencyCritical(const testbed::LoadOutcome &outcome);
+    void advanceLatencyCritical(const testbed::LoadOutcome &outcome)
+        ADRIAS_REQUIRES(mu);
 };
 
 } // namespace adrias::workloads

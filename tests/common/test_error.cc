@@ -35,10 +35,10 @@ TEST(ResultOfValue, HoldsValueOrError)
     ASSERT_FALSE(bad.ok());
     EXPECT_EQ(bad.error().code, ErrorCode::Truncated);
     EXPECT_EQ(bad.valueOr(-1), -1);
-    EXPECT_THROW(bad.expect(), std::runtime_error);
+    EXPECT_THROW((void)bad.expect(), std::runtime_error);
     // Accessing the wrong side is a programming error.
-    EXPECT_THROW(bad.value(), std::logic_error);
-    EXPECT_THROW(good.error(), std::logic_error);
+    EXPECT_THROW((void)bad.value(), std::logic_error);
+    EXPECT_THROW((void)good.error(), std::logic_error);
 }
 
 TEST(ResultOfVoid, SuccessAndFailure)
@@ -46,12 +46,12 @@ TEST(ResultOfVoid, SuccessAndFailure)
     const Result<void> good;
     EXPECT_TRUE(good.ok());
     EXPECT_NO_THROW(good.expect());
-    EXPECT_THROW(good.error(), std::logic_error);
+    EXPECT_THROW((void)good.error(), std::logic_error);
 
     const Result<void> bad = makeError(ErrorCode::Io, "nope");
     EXPECT_FALSE(bad.ok());
     EXPECT_EQ(bad.error().code, ErrorCode::Io);
-    EXPECT_THROW(bad.expect(), std::runtime_error);
+    EXPECT_THROW((void)bad.expect(), std::runtime_error);
 }
 
 TEST(ParseDouble, AcceptsExactNumbers)

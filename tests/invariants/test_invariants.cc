@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Proof that every ADRIAS_INVARIANT conservation law actually fires.
+ *
+ * Strategy: run a healthy tick through the real testbed (no
+ * violations), then corrupt one field at a time and feed the corrupted
+ * TickResult to checkTickInvariants() with a recording handler
+ * installed.  Each corruption must produce at least one violation whose
+ * text names the corrupted quantity.  The watcher's timestamp
+ * monotonicity check is exercised the same way.
+ *
+ * In builds with -DADRIAS_INVARIANTS=OFF (plain Release) the checks
+ * compile out; the firing tests GTEST_SKIP there, and a dedicated test
+ * verifies the compiled-out macro never evaluates its operands.
+ */
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/invariant.hh"
+#include "telemetry/watcher.hh"
+#include "testbed/testbed.hh"
+
+namespace
+{
+
+using adrias::invariant::kEnabled;
+using adrias::invariant::setHandler;
+using adrias::invariant::Violation;
+using adrias::testbed::LoadDescriptor;
+using adrias::testbed::TestbedParams;
+using adrias::testbed::TickResult;
+
+/** Violations captured by the recording handler (plain function ptr). */
+std::vector<std::string> &
+captured()
+{
+    static std::vector<std::string> log;
+    return log;
+}
+
+void
+recordViolation(const Violation &violation)
+{
+    captured().push_back(violation.toString());
+}
+
+/** Installs the recording handler for one test, restores on exit. */
+class RecordingHandler
+{
+  public:
+    RecordingHandler()
+    {
+        captured().clear();
+        previous = setHandler(&recordViolation);
+    }
+    ~RecordingHandler() { setHandler(previous); }
+
+    std::size_t count() const { return captured().size(); }
+
+    bool
+    anyMentions(const std::string &needle) const
+    {
+        for (const auto &text : captured()) {
+            if (text.find(needle) != std::string::npos)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    adrias::invariant::Handler previous;
+};
+
+/** A small healthy mixed local/remote tick. */
+std::vector<LoadDescriptor>
+healthyLoads()
+{
+    using adrias::MemoryMode;
+    LoadDescriptor local;
+    local.id = 1;
+    local.mode = MemoryMode::Local;
+    local.memDemandGBps = 2.0;
+    local.cacheFootprintMb = 4.0;
+
+    LoadDescriptor remote;
+    remote.id = 2;
+    remote.mode = MemoryMode::Remote;
+    remote.memDemandGBps = 0.5;
+    remote.cacheFootprintMb = 3.0;
+
+    return {local, remote};
+}
+
+/** Resolve the healthy tick with noise disabled. */
+TickResult
+healthyTick(const std::vector<LoadDescriptor> &loads)
+{
+    adrias::testbed::Testbed testbed;
+    testbed.setNoise(0.0);
+    return testbed.tick(loads);
+}
+
+class TickInvariantTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!kEnabled)
+            GTEST_SKIP() << "invariants compiled out (ADRIAS_INVARIANTS"
+                            "=OFF)";
+        loads = healthyLoads();
+        result = healthyTick(loads);
+    }
+
+    std::vector<LoadDescriptor> loads;
+    TickResult result;
+    TestbedParams params;
+};
+
+TEST_F(TickInvariantTest, HealthyTickIsViolationFree)
+{
+    RecordingHandler handler;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_EQ(handler.count(), 0u);
+
+    // A faulted channel derates the cap; the scaled check must still
+    // accept the testbed's own (re-resolved) output.
+    adrias::testbed::Testbed faulted;
+    faulted.setNoise(0.0);
+    faulted.setChannelFault(0.5, 2.0);
+    const TickResult derated = faulted.tick(loads);
+    adrias::testbed::checkTickInvariants(loads, derated, params, 0.5);
+    EXPECT_EQ(handler.count(), 0u);
+}
+
+TEST_F(TickInvariantTest, OutcomeCountMismatchFires)
+{
+    RecordingHandler handler;
+    result.outcomes.pop_back();
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("outcomes"));
+}
+
+TEST_F(TickInvariantTest, NegativeAchievedBandwidthFires)
+{
+    RecordingHandler handler;
+    result.outcomes[0].achievedGBps = -1.0;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("achievedGBps"));
+}
+
+TEST_F(TickInvariantTest, NonFiniteLatencyFires)
+{
+    RecordingHandler handler;
+    result.outcomes[0].latencyNs = std::nan("");
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("latencyNs"));
+}
+
+TEST_F(TickInvariantTest, SubUnitySlowdownFires)
+{
+    RecordingHandler handler;
+    result.outcomes[0].slowdown = 0.5;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("slowdown"));
+}
+
+TEST_F(TickInvariantTest, HitRateAboveBaseFires)
+{
+    RecordingHandler handler;
+    result.outcomes[0].hitRate = loads[0].baseHitRate * 2.0;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("hitRate"));
+}
+
+TEST_F(TickInvariantTest, RemoteThroughputAboveChannelCapFires)
+{
+    RecordingHandler handler;
+    result.remoteTrafficGBps = params.remoteBwGBps * 2.0;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("remoteTrafficGBps"));
+}
+
+TEST_F(TickInvariantTest, PerAppRemoteSumAboveDeratedCapFires)
+{
+    RecordingHandler handler;
+    // Healthy against the full cap, violating once derated to 10%.
+    adrias::testbed::checkTickInvariants(loads, result, params, 0.1);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("remote"));
+}
+
+TEST_F(TickInvariantTest, LocalTrafficAbovePoolCapFires)
+{
+    RecordingHandler handler;
+    result.localTrafficGBps = params.localBwGBps * 2.0;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("localTrafficGBps"));
+}
+
+TEST_F(TickInvariantTest, LlcOccupancyAboveCapacityFires)
+{
+    RecordingHandler handler;
+    // Full residency of a working set far beyond the LLC: the
+    // proportional-occupancy model could never produce this.
+    loads[0].cacheFootprintMb = params.llcCapacityMb * 10.0;
+    result.outcomes[0].hitRate = loads[0].baseHitRate;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("resident_llc_mb"));
+}
+
+TEST_F(TickInvariantTest, NegativeChannelPressureFires)
+{
+    RecordingHandler handler;
+    result.channelPressure = -0.1;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("channelPressure"));
+}
+
+TEST_F(TickInvariantTest, ChannelLatencyBelowBaseFires)
+{
+    RecordingHandler handler;
+    result.channelLatencyCycles = params.channelLatencyBaseCycles / 2.0;
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("channelLatencyCycles"));
+}
+
+TEST_F(TickInvariantTest, NonFiniteCounterFires)
+{
+    RecordingHandler handler;
+    result.counters[0] = std::nan("");
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("value"));
+}
+
+TEST(WatcherInvariantTest, NonMonotonicTimestampFires)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "invariants compiled out";
+    RecordingHandler handler;
+    adrias::telemetry::Watcher watcher(16);
+    adrias::testbed::CounterSample sample{};
+    watcher.record(sample, 5);
+    watcher.record(sample, 6);
+    EXPECT_EQ(handler.count(), 0u);
+
+    watcher.record(sample, 6); // duplicate tick
+    EXPECT_EQ(handler.count(), 1u);
+    watcher.record(sample, 4); // reordered tick
+    EXPECT_EQ(handler.count(), 2u);
+    EXPECT_TRUE(handler.anyMentions("watcher sample"));
+
+    // Dropouts share the same watermark.
+    watcher.recordDropped(7);
+    EXPECT_EQ(handler.count(), 2u);
+    watcher.recordDropped(7);
+    EXPECT_EQ(handler.count(), 3u);
+
+    // clear() resets the watermark: old stamps become valid again.
+    watcher.clear();
+    watcher.record(sample, 1);
+    EXPECT_EQ(handler.count(), 3u);
+}
+
+TEST(InvariantMacroTest, ConditionEvaluatedOnlyWhenEnabled)
+{
+    int calls = 0;
+    auto probe = [&calls]() {
+        ++calls;
+        return true;
+    };
+    ADRIAS_INVARIANT(probe());
+    EXPECT_EQ(calls, kEnabled ? 1 : 0);
+}
+
+TEST(InvariantMacroTest, PassingCheckNeverReportsWhenEnabled)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "invariants compiled out";
+    RecordingHandler handler;
+    ADRIAS_INVARIANT(1 + 1 == 2);
+    ADRIAS_INVARIANT_LE(1.0, 2.0);
+    ADRIAS_INVARIANT_GE(2.0, 1.0);
+    ADRIAS_INVARIANT_FINITE(0.5);
+    EXPECT_EQ(handler.count(), 0u);
+}
+
+TEST(InvariantMacroTest, ConvenienceFormsReportBothOperands)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "invariants compiled out";
+    RecordingHandler handler;
+    const double lhs = 3.0;
+    const double rhs = 2.0;
+    ADRIAS_INVARIANT_LE(lhs, rhs);
+    ASSERT_EQ(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("lhs=3.0"));
+    EXPECT_TRUE(handler.anyMentions("rhs=2.0"));
+
+    ADRIAS_INVARIANT_GE(rhs, lhs);
+    EXPECT_EQ(handler.count(), 2u);
+
+    const double bad = std::nan("");
+    ADRIAS_INVARIANT_FINITE(bad);
+    EXPECT_EQ(handler.count(), 3u);
+}
+
+TEST(InvariantMacroTest, MessageArgumentIsCarried)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "invariants compiled out";
+    RecordingHandler handler;
+    ADRIAS_INVARIANT(false, std::string("context 42"));
+    ASSERT_EQ(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("context 42"));
+    EXPECT_TRUE(handler.anyMentions("false"));
+}
+
+TEST(InvariantMacroTest, DefaultHandlerPanics)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "invariants compiled out";
+    // No RecordingHandler: the default handler must throw.
+    EXPECT_THROW(ADRIAS_INVARIANT(false), std::logic_error);
+}
+
+TEST(InvariantMacroTest, SetHandlerReturnsPreviousAndNullRestores)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "invariants compiled out";
+    auto previous = setHandler(&recordViolation);
+    auto mine = setHandler(nullptr); // restore default
+    EXPECT_EQ(mine, &recordViolation);
+    EXPECT_THROW(ADRIAS_INVARIANT(false), std::logic_error);
+    setHandler(previous);
+}
+
+TEST(InvariantMacroTest, ViolationToStringNamesLocation)
+{
+    Violation violation;
+    violation.condition = "x > 0";
+    violation.file = "src/foo.cc";
+    violation.line = 42;
+    violation.message = "x=-1";
+    const std::string text = violation.toString();
+    EXPECT_NE(text.find("x > 0"), std::string::npos);
+    EXPECT_NE(text.find("src/foo.cc:42"), std::string::npos);
+    EXPECT_NE(text.find("x=-1"), std::string::npos);
+}
+
+} // namespace

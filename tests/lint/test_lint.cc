@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Self-tests for the project lint (tools/lint): every rule is proven
+ * against a deliberately violating fixture, the NOLINT escapes and
+ * scope boundaries are exercised, and the real tree must scan clean.
+ *
+ * All violating code lives in string literals or under
+ * tools/lint/fixtures/ — the scanner strips string literals before
+ * matching, so this file itself stays lint-clean.
+ */
+
+#include "lint/lint.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using adrias::lint::Finding;
+using adrias::lint::lintContent;
+using adrias::lint::lintFile;
+using adrias::lint::lintTree;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(ADRIAS_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<std::size_t>
+linesOf(const std::vector<Finding> &findings, const std::string &rule)
+{
+    std::vector<std::size_t> lines;
+    for (const auto &f : findings) {
+        if (f.rule == rule)
+            lines.push_back(f.line);
+    }
+    return lines;
+}
+
+TEST(LintRules, EveryRuleHasMetadata)
+{
+    const auto &rules = adrias::lint::rules();
+    ASSERT_EQ(rules.size(), 6u);
+    std::vector<std::string> ids;
+    for (const auto &rule : rules) {
+        EXPECT_FALSE(rule.description.empty()) << rule.id;
+        ids.push_back(rule.id);
+    }
+    for (const char *expected :
+         {"raw-rand", "wall-clock", "unordered-container",
+          "nodiscard-result", "float-equal", "iostream-include"}) {
+        EXPECT_NE(std::find(ids.begin(), ids.end(), expected),
+                  ids.end())
+            << expected;
+    }
+}
+
+TEST(LintRules, RawRandFixture)
+{
+    const auto findings =
+        lintFile(fixture("bad_rand.cc"), "src/core/bad_rand.cc");
+    EXPECT_EQ(linesOf(findings, "raw-rand"),
+              (std::vector<std::size_t>{3, 8, 9, 10}));
+    // The NOLINT(raw-rand) on fixture line 21 must suppress it.
+    for (const auto &f : findings)
+        EXPECT_NE(f.line, 21u);
+}
+
+TEST(LintRules, WallClockFixture)
+{
+    const auto findings = lintFile(fixture("bad_wallclock.cc"),
+                                   "src/telemetry/bad_wallclock.cc");
+    EXPECT_EQ(linesOf(findings, "wall-clock"),
+              (std::vector<std::size_t>{8, 10}));
+}
+
+TEST(LintRules, UnorderedFixture)
+{
+    const auto findings = lintFile(fixture("bad_unordered.cc"),
+                                   "src/testbed/bad_unordered.cc");
+    EXPECT_EQ(linesOf(findings, "unordered-container"),
+              (std::vector<std::size_t>{4, 5, 10}));
+}
+
+TEST(LintRules, NodiscardFixture)
+{
+    const auto findings = lintFile(fixture("bad_nodiscard.hh"),
+                                   "src/common/bad_nodiscard.hh");
+    EXPECT_EQ(linesOf(findings, "nodiscard-result"),
+              (std::vector<std::size_t>{10, 12}));
+}
+
+TEST(LintRules, FloatEqualFixture)
+{
+    const auto findings = lintFile(fixture("bad_float_eq.cc"),
+                                   "src/stats/bad_float_eq.cc");
+    EXPECT_EQ(linesOf(findings, "float-equal"),
+              (std::vector<std::size_t>{7, 8, 9}));
+}
+
+TEST(LintRules, IostreamFixture)
+{
+    const auto findings = lintFile(fixture("bad_iostream.cc"),
+                                   "src/core/bad_iostream.cc");
+    EXPECT_EQ(linesOf(findings, "iostream-include"),
+              (std::vector<std::size_t>{3}));
+}
+
+TEST(LintRules, CleanFixtureHasNoFindings)
+{
+    const auto findings =
+        lintFile(fixture("clean.cc"), "src/core/clean.cc");
+    for (const auto &f : findings)
+        ADD_FAILURE() << adrias::lint::formatFinding(f);
+}
+
+TEST(LintEscapes, BlanketNolintSuppresses)
+{
+    const std::string code = "int x = std::" + std::string("rand") +
+                             "(); // NOLINT\n";
+    EXPECT_TRUE(lintContent("src/core/x.cc", code).empty());
+}
+
+TEST(LintEscapes, NolintForOtherRuleDoesNotSuppress)
+{
+    const std::string code = "int x = std::" + std::string("rand") +
+                             "(); // NOLINT(float-equal)\n";
+    EXPECT_EQ(lintContent("src/core/x.cc", code).size(), 1u);
+}
+
+TEST(LintScopes, WallClockNotEnforcedInBench)
+{
+    const auto findings = lintFile(fixture("bad_wallclock.cc"),
+                                   "bench/bad_wallclock.cc");
+    EXPECT_TRUE(linesOf(findings, "wall-clock").empty());
+}
+
+TEST(LintScopes, RngImplementationIsExempt)
+{
+    const auto findings =
+        lintFile(fixture("bad_rand.cc"), "src/common/rng.cc");
+    EXPECT_TRUE(linesOf(findings, "raw-rand").empty());
+}
+
+TEST(LintScopes, LoggerBackendMayIncludeIostream)
+{
+    const std::string code = "#include <iostream>\n";
+    EXPECT_TRUE(lintContent("src/common/logging.cc", code).empty());
+    EXPECT_EQ(lintContent("src/core/adrias.cc", code).size(), 1u);
+}
+
+TEST(LintScopes, UnorderedAllowedOutsideSimCore)
+{
+    const auto findings =
+        lintFile(fixture("bad_unordered.cc"), "src/ml/cache.cc");
+    EXPECT_TRUE(linesOf(findings, "unordered-container").empty());
+}
+
+TEST(LintStripper, CommentsAndStringsNeverMatch)
+{
+    const std::string code =
+        "// " + std::string("rand") + "() lives here\n" +
+        "/* std::" + std::string("mt19937") + " too */\n" +
+        "const char *s = \"" + std::string("time") + "(0)\";\n";
+    EXPECT_TRUE(lintContent("src/core/x.cc", code).empty());
+}
+
+TEST(LintStripper, MultiLineBlockComment)
+{
+    const std::string code = "/*\n std::" + std::string("rand") +
+                             "()\n*/\nint x = 0;\n";
+    EXPECT_TRUE(lintContent("src/core/x.cc", code).empty());
+}
+
+TEST(LintIo, MissingFileReportsIoFinding)
+{
+    const auto findings =
+        lintFile(fixture("does_not_exist.cc"), "src/core/missing.cc");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "io");
+}
+
+TEST(LintFormat, FindingRendersAsGccStyleDiagnostic)
+{
+    const Finding f{"src/a.cc", 12, "raw-rand", "detail text"};
+    EXPECT_EQ(adrias::lint::formatFinding(f),
+              "src/a.cc:12: [raw-rand] detail text");
+}
+
+/** The guarantee the `lint` CTest target enforces: the tree is clean. */
+TEST(LintTree, RepositoryScansClean)
+{
+    const auto findings = lintTree(ADRIAS_LINT_REPO_ROOT);
+    for (const auto &f : findings)
+        ADD_FAILURE() << adrias::lint::formatFinding(f);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Determinism regression: one seed must reproduce a scenario exactly.
+ *
+ * The whole offline phase rests on this — traces are collected once,
+ * persisted and reused, so any hidden nondeterminism (wall-clock reads,
+ * unordered-container iteration, uninitialized state) would silently
+ * fork the datasets.  Two runs with the same ScenarioConfig must agree
+ * bit-for-bit: every counter of every tick, every completion record,
+ * and the serialized CSV artifacts byte-for-byte.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/dataset.hh"
+#include "scenario/dataset_io.hh"
+#include "scenario/runner.hh"
+
+namespace
+{
+
+using namespace adrias;
+
+scenario::ScenarioConfig
+config()
+{
+    scenario::ScenarioConfig cfg;
+    cfg.durationSec = 600;
+    cfg.spawnMinSec = 5;
+    cfg.spawnMaxSec = 25;
+    cfg.seed = 4242;
+    return cfg;
+}
+
+scenario::ScenarioResult
+runOnce()
+{
+    scenario::ScenarioRunner runner(config());
+    scenario::RandomPlacement policy(777);
+    return runner.run(policy);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(DeterminismTest, SameSeedReproducesTraceBitForBit)
+{
+    const auto first = runOnce();
+    const auto second = runOnce();
+
+    ASSERT_EQ(first.trace.size(), second.trace.size());
+    for (std::size_t t = 0; t < first.trace.size(); ++t) {
+        for (std::size_t e = 0; e < testbed::kNumPerfEvents; ++e) {
+            ASSERT_EQ(first.trace[t][e], second.trace[t][e])
+                << "tick " << t << " event " << e;
+        }
+    }
+    ASSERT_EQ(first.concurrency, second.concurrency);
+    EXPECT_EQ(first.totalRemoteTrafficGB, second.totalRemoteTrafficGB);
+
+    ASSERT_EQ(first.records.size(), second.records.size());
+    for (std::size_t i = 0; i < first.records.size(); ++i) {
+        const auto &a = first.records[i];
+        const auto &b = second.records[i];
+        EXPECT_EQ(a.name, b.name) << i;
+        EXPECT_EQ(a.mode, b.mode) << i;
+        EXPECT_EQ(a.arrival, b.arrival) << i;
+        EXPECT_EQ(a.completion, b.completion) << i;
+        EXPECT_EQ(a.execTimeSec, b.execTimeSec) << i;
+        EXPECT_EQ(a.p99Ms, b.p99Ms) << i;
+        EXPECT_EQ(a.remoteTrafficGB, b.remoteTrafficGB) << i;
+    }
+}
+
+TEST(DeterminismTest, SameSeedReproducesDatasetCsvByteForByte)
+{
+    const std::vector<scenario::ScenarioResult> first{runOnce()};
+    const std::vector<scenario::ScenarioResult> second{runOnce()};
+
+    const auto state_a = scenario::DatasetBuilder::systemState(first);
+    const auto state_b = scenario::DatasetBuilder::systemState(second);
+    ASSERT_FALSE(state_a.empty());
+    ASSERT_EQ(state_a.size(), state_b.size());
+
+    const std::string dir = ::testing::TempDir();
+    const std::string path_a = dir + "adrias_det_state_a.csv";
+    const std::string path_b = dir + "adrias_det_state_b.csv";
+    scenario::saveSystemStateCsv(path_a, state_a);
+    scenario::saveSystemStateCsv(path_b, state_b);
+    EXPECT_EQ(slurp(path_a), slurp(path_b));
+}
+
+} // namespace

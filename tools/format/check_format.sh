@@ -1,0 +1,28 @@
+#!/bin/sh
+# Formatting check for the `format` CTest target: verifies (never
+# rewrites) that the tree matches .clang-format.  Exit codes:
+#   0   all files formatted
+#   1   at least one file deviates (clang-format -Werror --dry-run)
+#   125 clang-format unavailable -> CTest marks the test as skipped
+set -u
+
+repo="${1:-}"
+cf="${2:-}"
+
+if [ -z "$repo" ] || [ ! -d "$repo" ]; then
+    echo "usage: check_format.sh <repo-root> [clang-format-binary]" >&2
+    exit 1
+fi
+if [ -z "$cf" ] || [ "$cf" = "ADRIAS_CLANG_FORMAT-NOTFOUND" ] \
+        || ! command -v "$cf" >/dev/null 2>&1; then
+    echo "clang-format not available; skipping format check"
+    exit 125
+fi
+
+cd "$repo" || exit 1
+files=$(find src tests bench tools examples \
+        \( -name '*.cc' -o -name '*.hh' \) ! -path '*/fixtures/*' | sort)
+[ -n "$files" ] || { echo "no sources found under $repo" >&2; exit 1; }
+
+# shellcheck disable=SC2086 -- word-splitting the file list is intended
+"$cf" --style=file --dry-run -Werror $files

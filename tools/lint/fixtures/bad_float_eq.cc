@@ -1,0 +1,16 @@
+// Lint fixture: deliberate float-equal violations (applies under a
+// src/ label).  Never compiled.
+
+bool
+classify(double x, double y, int n)
+{
+    bool a = x == 0.0;     // line 7: float-equal
+    bool b = 1e-9 != y;    // line 8: float-equal (exponent literal)
+    bool c = x == .5;      // line 9: float-equal (leading-dot literal)
+    bool d = n == 0;       // fine: integer literal
+    bool e = x <= 0.0;     // fine: ordering, not equality
+    bool f = x == y;       // fine: no literal operand
+    // NOLINTNEXTLINE(float-equal)
+    bool g = y == 2.0;
+    return a || b || c || d || e || f || g;
+}

@@ -1,0 +1,9 @@
+// Lint fixture: deliberate iostream-include violation (applies under a
+// src/ label other than common/logging.cc).  Never compiled.
+#include <iostream> // line 3: iostream-include
+
+void
+shout()
+{
+    std::cout << "library code must use the Logger\n";
+}

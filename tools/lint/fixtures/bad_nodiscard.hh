@@ -1,0 +1,22 @@
+// Lint fixture: deliberate nodiscard-result violations (applies under
+// a src/*.hh label).  Never compiled.
+#ifndef FIXTURE_BAD_NODISCARD_HH
+#define FIXTURE_BAD_NODISCARD_HH
+
+#include <string>
+
+template <typename T> class Result;
+
+Result<int> parseCount(const std::string &text); // line 10: violation
+
+static Result<double> parseRatio(const std::string &text); // line 12
+
+[[nodiscard]] Result<int> parseOk(const std::string &text); // fine
+
+[[nodiscard]]
+Result<double> parseOkPrevLine(const std::string &text); // fine
+
+// NOLINTNEXTLINE(nodiscard-result)
+Result<int> parseEscaped(const std::string &text);
+
+#endif // FIXTURE_BAD_NODISCARD_HH

@@ -1,0 +1,23 @@
+// Lint fixture: deliberate raw-rand violations.  Never compiled.
+#include <cstdlib>
+#include <random> // line 3: raw-rand (the <random> header itself)
+
+int
+rollDice()
+{
+    std::srand(42);                   // line 8: raw-rand (srand)
+    std::mt19937 gen(7);              // line 9: raw-rand (mt19937)
+    return std::rand() % 6 + (int)gen(); // line 10: raw-rand (rand)
+}
+
+int
+fine()
+{
+    // Prose mentioning rand() in a comment must not match, nor should
+    // the substring in a longer identifier:
+    int randomSequence = 0;
+    const char *msg = "call rand() for chaos"; // string: ignored
+    (void)msg;
+    std::mt19937 escaped(1); // NOLINT(raw-rand) sanctioned in fixture
+    return randomSequence + (int)escaped();
+}

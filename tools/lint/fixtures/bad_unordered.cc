@@ -1,0 +1,13 @@
+// Lint fixture: deliberate unordered-container violations (applies
+// under a src/testbed, src/scenario or src/core label).  Never compiled.
+#include <map>
+#include <unordered_map> // line 4: unordered-container
+#include <unordered_set> // line 5: unordered-container
+
+int
+count()
+{
+    std::unordered_map<int, int> m; // line 10: unordered-container
+    std::map<int, int> ordered;     // fine
+    return (int)(m.size() + ordered.size());
+}

@@ -1,0 +1,22 @@
+// Lint fixture: deliberate wall-clock violations.  Never compiled.
+#include <chrono>
+#include <ctime>
+
+long
+stampNow()
+{
+    auto t = std::chrono::system_clock::now(); // line 8: wall-clock
+    (void)t;
+    return (long)time(nullptr); // line 10: wall-clock (time call)
+}
+
+long
+fine()
+{
+    // `time` only violates when called: a member named time is fine.
+    struct S { long time; } s{3};
+    long runtime = s.time;
+    // NOLINTNEXTLINE(wall-clock)
+    long escaped = (long)clock();
+    return runtime + escaped;
+}

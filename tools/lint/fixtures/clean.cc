@@ -1,0 +1,26 @@
+// Lint fixture: clean under every rule, including the traps that a
+// naive substring matcher would flag.  Never compiled.
+#include <map>
+#include <string>
+
+/*
+ * Block comment mentioning rand(), time(0), std::unordered_map and
+ * x == 1.0 — all stripped before matching.
+ */
+
+struct Operand
+{
+    // Identifiers merely containing banned substrings:
+    int randomness = 0;
+    int timeline = 0;
+    double uptime = 0.0;
+};
+
+double
+evaluate(const Operand &op, double x)
+{
+    const std::string note = "rand() == 1.0 at time(0)"; // in a string
+    std::map<std::string, int> ordered{{note, op.randomness}};
+    double floor = x <= 0.0 ? 0.0 : x; // ordering compare is fine
+    return floor + op.timeline + op.uptime + (double)ordered.size();
+}

@@ -1,0 +1,654 @@
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace adrias::lint
+{
+
+namespace
+{
+
+// --------------------------------------------------------------------------
+// Source preprocessing
+// --------------------------------------------------------------------------
+
+/** Split into lines, keeping no terminators. */
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (char c : content) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else if (c != '\r') {
+            current.push_back(c);
+        }
+    }
+    lines.push_back(current);
+    return lines;
+}
+
+/**
+ * Blank out comments and string/char literals, preserving line and
+ * column structure so findings report accurate positions.  Raw string
+ * literals are not understood.
+ */
+std::vector<std::string>
+stripCommentsAndStrings(const std::vector<std::string> &lines)
+{
+    enum class State
+    {
+        Code,
+        BlockComment,
+        String,
+        Char,
+    };
+
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    State state = State::Code;
+
+    for (const std::string &line : lines) {
+        std::string stripped(line.size(), ' ');
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            switch (state) {
+              case State::Code:
+                if (c == '/' && next == '/') {
+                    i = line.size(); // rest of line is comment
+                } else if (c == '/' && next == '*') {
+                    state = State::BlockComment;
+                    ++i;
+                } else if (c == '"') {
+                    state = State::String;
+                } else if (c == '\'') {
+                    state = State::Char;
+                } else {
+                    stripped[i] = c;
+                }
+                break;
+              case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::Code;
+                    ++i;
+                }
+                break;
+              case State::String:
+                if (c == '\\')
+                    ++i; // skip escaped char
+                else if (c == '"')
+                    state = State::Code;
+                break;
+              case State::Char:
+                if (c == '\\')
+                    ++i;
+                else if (c == '\'')
+                    state = State::Code;
+                break;
+            }
+        }
+        // Unterminated string/char at EOL: treat as closed (the
+        // compiler would reject it anyway).
+        if (state == State::String || state == State::Char)
+            state = State::Code;
+        out.push_back(std::move(stripped));
+    }
+    return out;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** All identifiers in a stripped line, with their start columns. */
+std::vector<std::pair<std::string, std::size_t>>
+identifiersIn(const std::string &line)
+{
+    std::vector<std::pair<std::string, std::size_t>> ids;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        if (isIdentChar(line[i]) &&
+            !std::isdigit(static_cast<unsigned char>(line[i]))) {
+            const std::size_t start = i;
+            while (i < line.size() && isIdentChar(line[i]))
+                ++i;
+            ids.emplace_back(line.substr(start, i - start), start);
+        } else {
+            ++i;
+        }
+    }
+    return ids;
+}
+
+/** First non-whitespace character at/after `pos`, or '\0'. */
+char
+nextNonSpace(const std::string &line, std::size_t pos)
+{
+    while (pos < line.size()) {
+        if (!std::isspace(static_cast<unsigned char>(line[pos])))
+            return line[pos];
+        ++pos;
+    }
+    return '\0';
+}
+
+std::string
+trimmed(const std::string &line)
+{
+    std::size_t begin = 0;
+    std::size_t end = line.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(line[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(line[end - 1])))
+        --end;
+    return line.substr(begin, end - begin);
+}
+
+// --------------------------------------------------------------------------
+// NOLINT escapes
+// --------------------------------------------------------------------------
+
+/** Does this raw line carry NOLINT/NOLINTNEXTLINE for `rule`? */
+bool
+lineHasEscape(const std::string &raw, const std::string &marker,
+              const std::string &rule)
+{
+    const std::size_t at = raw.find(marker);
+    if (at == std::string::npos)
+        return false;
+    const std::size_t after = at + marker.size();
+    // Bare "NOLINT" must not also match "NOLINTNEXTLINE".
+    if (after < raw.size() && isIdentChar(raw[after]))
+        return false;
+    if (after >= raw.size() || raw[after] != '(')
+        return true; // blanket escape
+    const std::size_t close = raw.find(')', after);
+    const std::string list =
+        raw.substr(after + 1, close == std::string::npos
+                                  ? std::string::npos
+                                  : close - after - 1);
+    return list.find(rule) != std::string::npos;
+}
+
+/** NOLINT on line `index`, or NOLINTNEXTLINE on the line above. */
+bool
+suppressed(const std::vector<std::string> &raw_lines, std::size_t index,
+           const std::string &rule)
+{
+    if (lineHasEscape(raw_lines[index], "NOLINT", rule))
+        return true;
+    return index > 0 &&
+           lineHasEscape(raw_lines[index - 1], "NOLINTNEXTLINE", rule);
+}
+
+// --------------------------------------------------------------------------
+// Scopes
+// --------------------------------------------------------------------------
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+bool
+inRandScope(const std::string &label)
+{
+    if (label == "src/common/rng.hh" || label == "src/common/rng.cc")
+        return false; // the one sanctioned randomness source
+    return startsWith(label, "src/") || startsWith(label, "tests/") ||
+           startsWith(label, "bench/");
+}
+
+bool
+inWallClockScope(const std::string &label)
+{
+    return startsWith(label, "src/") || startsWith(label, "tests/");
+}
+
+bool
+inUnorderedScope(const std::string &label)
+{
+    return startsWith(label, "src/testbed/") ||
+           startsWith(label, "src/scenario/") ||
+           startsWith(label, "src/core/");
+}
+
+bool
+inNodiscardScope(const std::string &label)
+{
+    return startsWith(label, "src/") && endsWith(label, ".hh");
+}
+
+bool
+inFloatEqualScope(const std::string &label)
+{
+    return startsWith(label, "src/");
+}
+
+bool
+inIostreamScope(const std::string &label)
+{
+    return startsWith(label, "src/") &&
+           label != "src/common/logging.cc";
+}
+
+// --------------------------------------------------------------------------
+// Literal classification (float-equal)
+// --------------------------------------------------------------------------
+
+/** Is `token` a floating-point literal (1.0, .5, 2., 1e-9, 1.5f)? */
+bool
+isFloatLiteral(std::string token)
+{
+    if (token.empty())
+        return false;
+    if (token.back() == 'f' || token.back() == 'F' ||
+        token.back() == 'l' || token.back() == 'L')
+        token.pop_back();
+    bool digits = false;
+    bool dot = false;
+    bool exponent = false;
+    std::size_t i = 0;
+    for (; i < token.size(); ++i) {
+        const char c = token[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digits = true;
+        } else if (c == '.' && !dot && !exponent) {
+            dot = true;
+        } else if ((c == 'e' || c == 'E') && digits && !exponent) {
+            exponent = true;
+            if (i + 1 < token.size() &&
+                (token[i + 1] == '+' || token[i + 1] == '-'))
+                ++i;
+        } else {
+            return false;
+        }
+    }
+    return digits && (dot || exponent);
+}
+
+/** Literal-ish token ending right before `pos` (skipping spaces). */
+std::string
+tokenLeftOf(const std::string &line, std::size_t pos)
+{
+    std::size_t end = pos;
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(line[end - 1])))
+        --end;
+    std::size_t begin = end;
+    auto literalChar = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '.';
+    };
+    while (begin > 0) {
+        const char c = line[begin - 1];
+        if (literalChar(c)) {
+            --begin;
+            continue;
+        }
+        // Exponent sign inside a literal: the '-' in "1e-9".
+        if ((c == '-' || c == '+') && begin >= 2 &&
+            (line[begin - 2] == 'e' || line[begin - 2] == 'E')) {
+            --begin;
+            continue;
+        }
+        break;
+    }
+    // Leading sign belongs to the literal only after another operator
+    // or an open paren ("x == -1.0" and "(-.5 != y)").
+    if (begin > 0 && (line[begin - 1] == '-' || line[begin - 1] == '+')) {
+        std::size_t before = begin - 1;
+        while (before > 0 &&
+               std::isspace(static_cast<unsigned char>(line[before - 1])))
+            --before;
+        if (before == 0 || line[before - 1] == '(' ||
+            line[before - 1] == ',' || line[before - 1] == '=')
+            --begin;
+    }
+    std::string token = line.substr(begin, end - begin);
+    if (!token.empty() && (token[0] == '-' || token[0] == '+'))
+        token.erase(token.begin());
+    return token;
+}
+
+/** Literal-ish token starting at/after `pos` (skipping spaces). */
+std::string
+tokenRightOf(const std::string &line, std::size_t pos)
+{
+    std::size_t begin = pos;
+    while (begin < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[begin])))
+        ++begin;
+    if (begin < line.size() &&
+        (line[begin] == '-' || line[begin] == '+'))
+        ++begin;
+    std::size_t end = begin;
+    auto literalChar = [&](char c) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '.')
+            return true;
+        // exponent sign: 1e-9
+        if ((c == '-' || c == '+') && end > begin &&
+            (line[end - 1] == 'e' || line[end - 1] == 'E'))
+            return true;
+        return false;
+    };
+    while (end < line.size() && literalChar(line[end]))
+        ++end;
+    return line.substr(begin, end - begin);
+}
+
+// --------------------------------------------------------------------------
+// Rules
+// --------------------------------------------------------------------------
+
+const std::set<std::string> kRandIdentifiers = {
+    "rand",         "srand",        "drand48",
+    "lrand48",      "mrand48",      "random_device",
+    "mt19937",      "mt19937_64",   "minstd_rand",
+    "minstd_rand0", "ranlux24",     "ranlux48",
+    "knuth_b",      "default_random_engine",
+};
+
+const std::set<std::string> kClockIdentifiers = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "timespec_get",
+    "localtime",    "localtime_r",  "gmtime",
+    "gmtime_r",     "mktime",       "difftime",
+    "strftime",
+};
+
+/** Identifiers that only violate when called: time(...) / clock(...). */
+const std::set<std::string> kClockCallIdentifiers = {"time", "clock"};
+
+void
+checkRawRand(const std::string &label,
+             const std::vector<std::string> &raw,
+             const std::vector<std::string> &stripped,
+             std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        if (stripped[i].find("#include") != std::string::npos &&
+            stripped[i].find("<random>") != std::string::npos &&
+            !suppressed(raw, i, "raw-rand")) {
+            findings.push_back({label, i + 1, "raw-rand",
+                                "#include <random>: all randomness must "
+                                "flow through common/rng.hh"});
+            continue;
+        }
+        for (const auto &[id, col] : identifiersIn(stripped[i])) {
+            (void)col;
+            if (kRandIdentifiers.count(id) &&
+                !suppressed(raw, i, "raw-rand")) {
+                findings.push_back({label, i + 1, "raw-rand",
+                                    "'" + id +
+                                        "': use common/rng.hh (Rng) so "
+                                        "one seed reproduces the run"});
+                break;
+            }
+        }
+    }
+}
+
+void
+checkWallClock(const std::string &label,
+               const std::vector<std::string> &raw,
+               const std::vector<std::string> &stripped,
+               std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        for (const auto &[id, col] : identifiersIn(stripped[i])) {
+            const bool banned =
+                kClockIdentifiers.count(id) > 0 ||
+                (kClockCallIdentifiers.count(id) > 0 &&
+                 nextNonSpace(stripped[i], col + id.size()) == '(');
+            if (banned && !suppressed(raw, i, "wall-clock")) {
+                findings.push_back(
+                    {label, i + 1, "wall-clock",
+                     "'" + id +
+                         "': sim code must use explicit SimTime, never "
+                         "the wall clock"});
+                break;
+            }
+        }
+    }
+}
+
+void
+checkUnordered(const std::string &label,
+               const std::vector<std::string> &raw,
+               const std::vector<std::string> &stripped,
+               std::vector<Finding> &findings)
+{
+    static const std::set<std::string> kBanned = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        for (const auto &[id, col] : identifiersIn(stripped[i])) {
+            (void)col;
+            if (kBanned.count(id) &&
+                !suppressed(raw, i, "unordered-container")) {
+                findings.push_back(
+                    {label, i + 1, "unordered-container",
+                     "'" + id +
+                         "': hash iteration order leaks "
+                         "nondeterminism into datasets; use std::map "
+                         "or a sorted vector"});
+                break;
+            }
+        }
+    }
+}
+
+void
+checkNodiscardResult(const std::string &label,
+                     const std::vector<std::string> &raw,
+                     const std::vector<std::string> &stripped,
+                     std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        std::string decl = trimmed(stripped[i]);
+        for (const std::string prefix :
+             {"static ", "inline ", "virtual ", "constexpr ",
+              "friend ", "extern "}) {
+            if (startsWith(decl, prefix))
+                decl = trimmed(decl.substr(prefix.size()));
+        }
+        if (!startsWith(decl, "Result<") &&
+            !startsWith(decl, "adrias::Result<"))
+            continue;
+        const bool marked =
+            stripped[i].find("[[nodiscard]]") != std::string::npos ||
+            (i > 0 &&
+             stripped[i - 1].find("[[nodiscard]]") != std::string::npos);
+        if (!marked && !suppressed(raw, i, "nodiscard-result")) {
+            findings.push_back(
+                {label, i + 1, "nodiscard-result",
+                 "Result-returning declaration without [[nodiscard]]: "
+                 "callers could silently drop the error"});
+        }
+    }
+}
+
+void
+checkFloatEqual(const std::string &label,
+                const std::vector<std::string> &raw,
+                const std::vector<std::string> &stripped,
+                std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const std::string &line = stripped[i];
+        for (std::size_t p = 0; p + 1 < line.size(); ++p) {
+            const bool eq = line[p] == '=' && line[p + 1] == '=';
+            const bool ne = line[p] == '!' && line[p + 1] == '=';
+            if (!eq && !ne)
+                continue;
+            // Not <=, >=, ==='s tail, or !== style fragments.
+            if (p > 0 && (line[p - 1] == '<' || line[p - 1] == '>' ||
+                          line[p - 1] == '=' || line[p - 1] == '!'))
+                continue;
+            if (p + 2 < line.size() && line[p + 2] == '=')
+                continue;
+            const std::string left = tokenLeftOf(line, p);
+            const std::string right = tokenRightOf(line, p + 2);
+            if ((isFloatLiteral(left) || isFloatLiteral(right)) &&
+                !suppressed(raw, i, "float-equal")) {
+                findings.push_back(
+                    {label, i + 1, "float-equal",
+                     "floating-point " +
+                         std::string(eq ? "==" : "!=") +
+                         " against '" +
+                         (isFloatLiteral(left) ? left : right) +
+                         "': compare with a tolerance or an ordering"});
+                break;
+            }
+        }
+    }
+}
+
+void
+checkIostreamInclude(const std::string &label,
+                     const std::vector<std::string> &raw,
+                     const std::vector<std::string> &stripped,
+                     std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const std::string &line = stripped[i];
+        if (line.find("#include") != std::string::npos &&
+            line.find("<iostream>") != std::string::npos &&
+            !suppressed(raw, i, "iostream-include")) {
+            findings.push_back({label, i + 1, "iostream-include",
+                                "library code logs through "
+                                "common/logging.hh; <iostream> is "
+                                "reserved for the logger backend"});
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+rules()
+{
+    static const std::vector<RuleInfo> kRules = {
+        {"raw-rand",
+         "all randomness flows through common/rng.hh (src, tests, "
+         "bench; rng.{hh,cc} exempt)"},
+        {"wall-clock",
+         "no wall/CPU clock reads in sim code (src, tests)"},
+        {"unordered-container",
+         "no std::unordered_{map,set} in src/testbed, src/scenario, "
+         "src/core (iteration-order nondeterminism)"},
+        {"nodiscard-result",
+         "Result<...>-returning declarations in src headers carry "
+         "[[nodiscard]]"},
+        {"float-equal",
+         "no ==/!= against floating-point literals in src"},
+        {"iostream-include",
+         "no #include <iostream> in src outside common/logging.cc"},
+    };
+    return kRules;
+}
+
+std::vector<Finding>
+lintContent(const std::string &label, const std::string &content)
+{
+    const std::vector<std::string> raw = splitLines(content);
+    const std::vector<std::string> stripped =
+        stripCommentsAndStrings(raw);
+
+    std::vector<Finding> findings;
+    if (inRandScope(label))
+        checkRawRand(label, raw, stripped, findings);
+    if (inWallClockScope(label))
+        checkWallClock(label, raw, stripped, findings);
+    if (inUnorderedScope(label))
+        checkUnordered(label, raw, stripped, findings);
+    if (inNodiscardScope(label))
+        checkNodiscardResult(label, raw, stripped, findings);
+    if (inFloatEqualScope(label))
+        checkFloatEqual(label, raw, stripped, findings);
+    if (inIostreamScope(label))
+        checkIostreamInclude(label, raw, stripped, findings);
+
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    return findings;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, const std::string &label)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {{label, 0, "io", "cannot open " + path}};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintContent(label, buffer.str());
+}
+
+std::vector<Finding>
+lintTree(const std::string &repo_root)
+{
+    namespace fs = std::filesystem;
+
+    std::vector<std::pair<std::string, std::string>> files; // label, path
+    for (const char *top : {"src", "tests", "bench"}) {
+        const fs::path base = fs::path(repo_root) / top;
+        if (!fs::exists(base))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cc" && ext != ".hh")
+                continue;
+            std::string label =
+                fs::relative(entry.path(), repo_root).generic_string();
+            if (label.find("fixtures/") != std::string::npos)
+                continue; // deliberately violating self-test inputs
+            files.emplace_back(std::move(label), entry.path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> findings;
+    for (const auto &[label, path] : files) {
+        std::vector<Finding> file_findings = lintFile(path, label);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(file_findings.begin()),
+                        std::make_move_iterator(file_findings.end()));
+    }
+    return findings;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    return finding.file + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.detail;
+}
+
+} // namespace adrias::lint

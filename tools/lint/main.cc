@@ -1,0 +1,43 @@
+/**
+ * @file
+ * adrias_lint entry point.
+ *
+ *   adrias_lint <repo-root>   lint src/, tests/, bench/; exit 1 on
+ *                             findings, 0 when clean.
+ *   adrias_lint --list-rules  print rule ids and descriptions.
+ *
+ * Wired into CTest as the `lint` test (tools/lint/CMakeLists.txt).
+ */
+
+#include "lint/lint.hh"
+
+// Lint is a host tool, not simulator library code, so it may talk to
+// the console directly.
+#include <iostream>
+#include <string>
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && std::string(argv[1]) == "--list-rules") {
+        for (const auto &rule : adrias::lint::rules())
+            std::cout << rule.id << "  " << rule.description << "\n";
+        return 0;
+    }
+    if (argc != 2) {
+        std::cerr << "usage: adrias_lint <repo-root> | --list-rules\n";
+        return 2;
+    }
+
+    const auto findings = adrias::lint::lintTree(argv[1]);
+    for (const auto &finding : findings)
+        std::cout << adrias::lint::formatFinding(finding) << "\n";
+    if (!findings.empty()) {
+        std::cout << findings.size() << " lint finding"
+                  << (findings.size() == 1 ? "" : "s")
+                  << " (suppress with NOLINT(<rule>) or "
+                     "NOLINTNEXTLINE(<rule>))\n";
+        return 1;
+    }
+    return 0;
+}

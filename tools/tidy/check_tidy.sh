@@ -1,0 +1,35 @@
+#!/bin/sh
+# clang-tidy check for the `tidy` CTest target.  Exit codes:
+#   0   no diagnostics
+#   1   clang-tidy reported problems
+#   125 clang-tidy or compile_commands.json unavailable -> test skipped
+set -u
+
+repo="${1:-}"
+build="${2:-}"
+tidy="${3:-}"
+
+if [ -z "$repo" ] || [ ! -d "$repo" ] || [ -z "$build" ]; then
+    echo "usage: check_tidy.sh <repo-root> <build-dir> [clang-tidy]" >&2
+    exit 1
+fi
+if [ -z "$tidy" ] || [ "$tidy" = "ADRIAS_CLANG_TIDY-NOTFOUND" ] \
+        || ! command -v "$tidy" >/dev/null 2>&1; then
+    echo "clang-tidy not available; skipping tidy check"
+    exit 125
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "no compile_commands.json (configure with" \
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON); skipping tidy check"
+    exit 125
+fi
+
+cd "$repo" || exit 1
+files=$(find src tools/lint \( -name '*.cc' \) ! -path '*/fixtures/*' | sort)
+[ -n "$files" ] || { echo "no sources found under $repo" >&2; exit 1; }
+
+status=0
+for f in $files; do
+    "$tidy" -p "$build" --quiet "$f" || status=1
+done
+exit $status
