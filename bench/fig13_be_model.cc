@@ -33,17 +33,17 @@ main()
                   "(a) R^2 ~0.942 (local 0.945/remote 0.939); "
                   "(b) {120,S^} best pragmatic; (c) MAE ~10% of median");
 
-    // Traces + datasets.
-    std::vector<scenario::ScenarioResult> results;
+    // Traces + datasets (independent seeds, swept in parallel).
     const auto scenarios = static_cast<std::size_t>(
         bench::envInt("ADRIAS_BENCH_SCENARIOS", 4) * 3);
     const SimTime spawn_maxes[] = {20, 30, 40, 50, 60};
+    std::vector<scenario::SweepItem> sweep(scenarios);
     for (std::size_t i = 0; i < scenarios; ++i) {
-        scenario::ScenarioRunner runner(bench::evalScenario(
-            1700 + i, spawn_maxes[i % std::size(spawn_maxes)]));
-        scenario::RandomPlacement policy(1800 + i);
-        results.push_back(runner.run(policy));
+        sweep[i].config = bench::evalScenario(
+            1700 + i, spawn_maxes[i % std::size(spawn_maxes)]);
+        sweep[i].policySeed = 1800 + i;
     }
+    const auto results = scenario::runScenarioSweep(sweep);
     scenario::SignatureStore signatures;
     scenario::collectAllSignatures(signatures);
 

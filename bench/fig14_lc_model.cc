@@ -20,18 +20,17 @@ main()
     bench::banner("Fig. 14 — LC performance model (p99 predictor)",
                   "R^2 ~0.874; MAEs ~10% of the median p99");
 
-    std::vector<scenario::ScenarioResult> results;
     const auto scenarios = static_cast<std::size_t>(
         bench::envInt("ADRIAS_BENCH_SCENARIOS", 4) * 6);
     const SimTime spawn_maxes[] = {20, 30, 40, 50, 60};
+    std::vector<scenario::SweepItem> sweep(scenarios);
     for (std::size_t i = 0; i < scenarios; ++i) {
-        scenario::ScenarioConfig config = bench::evalScenario(
+        sweep[i].config = bench::evalScenario(
             1900 + i, spawn_maxes[i % std::size(spawn_maxes)]);
-        config.lcFraction = 0.35; // richer LC sample for this figure
-        scenario::ScenarioRunner runner(config);
-        scenario::RandomPlacement policy(2000 + i);
-        results.push_back(runner.run(policy));
+        sweep[i].config.lcFraction = 0.35; // richer LC sample here
+        sweep[i].policySeed = 2000 + i;
     }
+    const auto results = scenario::runScenarioSweep(sweep);
     scenario::SignatureStore signatures;
     scenario::collectAllSignatures(signatures);
 

@@ -29,16 +29,16 @@ main()
                   "leave-one-out R^2 varies widely (0.3..0.72); "
                   "recovers with samples of the new app");
 
-    std::vector<scenario::ScenarioResult> results;
     const auto scenarios = static_cast<std::size_t>(
         bench::envInt("ADRIAS_BENCH_SCENARIOS", 4) * 3);
     const SimTime spawn_maxes[] = {20, 30, 40, 50, 60};
+    std::vector<scenario::SweepItem> sweep(scenarios);
     for (std::size_t i = 0; i < scenarios; ++i) {
-        scenario::ScenarioRunner runner(bench::evalScenario(
-            2100 + i, spawn_maxes[i % std::size(spawn_maxes)]));
-        scenario::RandomPlacement policy(2200 + i);
-        results.push_back(runner.run(policy));
+        sweep[i].config = bench::evalScenario(
+            2100 + i, spawn_maxes[i % std::size(spawn_maxes)]);
+        sweep[i].policySeed = 2200 + i;
     }
+    const auto results = scenario::runScenarioSweep(sweep);
     scenario::SignatureStore signatures;
     scenario::collectAllSignatures(signatures);
     auto all = scenario::DatasetBuilder::performance(

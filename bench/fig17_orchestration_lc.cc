@@ -52,20 +52,20 @@ main()
     const auto repeats = static_cast<std::size_t>(
         bench::envInt("ADRIAS_BENCH_SCENARIOS", 4) / 2 + 1);
 
-    // Calibrate QoS levels per server from random-placement runs.
+    // Calibrate QoS levels per server from random-placement runs
+    // (independent repeats, one policy seed each, swept in parallel).
     std::map<std::string, std::vector<double>> p99_pool;
     {
-        scenario::RandomPlacement random(5);
+        std::vector<scenario::SweepItem> sweep(repeats);
         for (std::size_t i = 0; i < repeats; ++i) {
-            scenario::ScenarioConfig config =
-                bench::evalScenario(4000 + i * 3, 25);
-            config.lcFraction = 0.30;
-            scenario::ScenarioRunner runner(config);
-            const auto result = runner.run(random);
+            sweep[i].config = bench::evalScenario(4000 + i * 3, 25);
+            sweep[i].config.lcFraction = 0.30;
+            sweep[i].policySeed = 5 + i;
+        }
+        for (const auto &result : scenario::runScenarioSweep(sweep))
             for (const auto &record : result.records)
                 if (record.cls == WorkloadClass::LatencyCritical)
                     p99_pool[record.name].push_back(record.p99Ms);
-        }
     }
 
     for (const auto &spec : workloads::latencyCriticalBenchmarks()) {

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Parallel-scaling microbenchmark (DESIGN.md §9): measures serial vs
+ * multi-threaded wall time for the two hot paths the ThreadPool
+ * accelerates — the GEMM family inside model training, and the
+ * multi-seed scenario sweep — and emits a machine-readable JSON
+ * report for CI artifacts.
+ *
+ * Each configuration also cross-checks bitwise equality against the
+ * serial result, so the report doubles as an equivalence smoke test.
+ *
+ * Knobs: ADRIAS_BENCH_OUTDIR (JSON destination, default out/),
+ * ADRIAS_BENCH_DURATION (sweep scenario length).  Thread counts probed
+ * are {1, 2, 4, hardware} deduplicated.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "common/rng.hh"
+#include "common/threadpool.hh"
+#include "ml/matrix.hh"
+
+namespace
+{
+
+using namespace adrias;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+ml::Matrix
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    ml::Matrix m(rows, cols);
+    for (double &value : m.raw())
+        value = rng.uniform(-1.0, 1.0);
+    return m;
+}
+
+struct Measurement
+{
+    unsigned threads = 1;
+    double seconds = 0.0;
+    bool identical = true;
+};
+
+std::vector<unsigned>
+probeThreadCounts()
+{
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> counts{1, 2, 4, hw};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    return counts;
+}
+
+/** Dense GEMM chain at training-relevant shape (>= 256x256). */
+std::vector<Measurement>
+benchGemm()
+{
+    Rng rng(2023);
+    const ml::Matrix a = randomMatrix(rng, 384, 384);
+    const ml::Matrix b = randomMatrix(rng, 384, 384);
+    constexpr int kIters = 8;
+
+    std::vector<Measurement> measurements;
+    ml::Matrix reference;
+    for (unsigned threads : probeThreadCounts()) {
+        ScopedThreadOverride override_(threads);
+        Measurement m;
+        m.threads = threads;
+        const auto start = Clock::now();
+        ml::Matrix last;
+        for (int i = 0; i < kIters; ++i) {
+            last = a.matmul(b);
+            last = last.transposedMatmul(a);
+        }
+        m.seconds = secondsSince(start);
+        if (threads == 1)
+            reference = last;
+        m.identical = last.raw() == reference.raw();
+        measurements.push_back(m);
+    }
+    return measurements;
+}
+
+/** Multi-seed scenario sweep through the parallel driver. */
+std::vector<Measurement>
+benchSweep()
+{
+    const std::size_t seeds = 4;
+    auto make_items = [&] {
+        std::vector<scenario::SweepItem> items(seeds);
+        for (std::size_t i = 0; i < seeds; ++i) {
+            items[i].config = bench::evalScenario(9100 + i, 25);
+            items[i].config.durationSec = std::min<SimTime>(
+                items[i].config.durationSec, 900);
+            items[i].policySeed = 9200 + i;
+        }
+        return items;
+    };
+
+    std::vector<Measurement> measurements;
+    std::vector<scenario::ScenarioResult> reference;
+    for (unsigned threads : probeThreadCounts()) {
+        ScopedThreadOverride override_(threads);
+        Measurement m;
+        m.threads = threads;
+        const auto start = Clock::now();
+        const auto results = scenario::runScenarioSweep(make_items());
+        m.seconds = secondsSince(start);
+        if (threads == 1)
+            reference = results;
+        m.identical = results.size() == reference.size();
+        for (std::size_t i = 0; m.identical && i < results.size(); ++i)
+            m.identical = results[i].trace == reference[i].trace &&
+                          results[i].records.size() ==
+                              reference[i].records.size();
+        measurements.push_back(m);
+    }
+    return measurements;
+}
+
+void
+appendJson(std::ostream &out, const char *name,
+           const std::vector<Measurement> &measurements)
+{
+    out << "  \"" << name << "\": [\n";
+    const double serial = measurements.front().seconds;
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const auto &m = measurements[i];
+        out << "    {\"threads\": " << m.threads
+            << ", \"seconds\": " << m.seconds << ", \"speedup\": "
+            << (m.seconds > 0.0 ? serial / m.seconds : 0.0)
+            << ", \"identical\": " << (m.identical ? "true" : "false")
+            << "}" << (i + 1 < measurements.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+}
+
+void
+printTable(const char *name, const std::vector<Measurement> &measurements)
+{
+    TextTable table({"threads", "seconds", "speedup", "identical"});
+    const double serial = measurements.front().seconds;
+    for (const auto &m : measurements) {
+        table.addRow({std::to_string(m.threads),
+                      formatDouble(m.seconds, 3),
+                      formatDouble(m.seconds > 0.0 ? serial / m.seconds
+                                                   : 0.0,
+                                   2),
+                      m.identical ? "yes" : "NO"});
+    }
+    std::cout << "\n" << name << ":\n" << table.toString();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("micro — parallel scaling (ThreadPool)",
+                  "serial vs ADRIAS_THREADS speedup; results must stay "
+                  "bitwise identical at every thread count");
+
+    std::cout << "hardware threads: "
+              << std::thread::hardware_concurrency() << "\n";
+
+    const auto gemm = benchGemm();
+    const auto sweep = benchSweep();
+    printTable("gemm 384x384 chain", gemm);
+    printTable("scenario sweep (4 seeds)", sweep);
+
+    const std::string path =
+        bench::outputPath("micro_parallel_scaling.json");
+    std::ofstream out(path, std::ios::binary);
+    out << "{\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    appendJson(out, "gemm", gemm);
+    out << ",\n";
+    appendJson(out, "sweep", sweep);
+    out << "\n}\n";
+    std::cout << "\nJSON written to " << path << "\n";
+
+    bool all_identical = true;
+    for (const auto &m : gemm)
+        all_identical = all_identical && m.identical;
+    for (const auto &m : sweep)
+        all_identical = all_identical && m.identical;
+    if (!all_identical) {
+        std::cout << "ERROR: parallel result diverged from serial\n";
+        return 1;
+    }
+    return 0;
+}

@@ -16,18 +16,19 @@ AdriasStack::AdriasStack(BuildOptions options)
     scenario::collectAllSignatures(store, options.testbed, options.seed);
 
     // 2. Interference-aware trace collection: random placement across
-    //    a spread of arrival intensities (paper §V-B1).
+    //    a spread of arrival intensities (paper §V-B1), one scenario
+    //    per sweep item so independent seeds run in parallel.
     const SimTime spawn_maxes[] = {20, 30, 40, 50, 60};
+    std::vector<scenario::SweepItem> sweep(options.scenarios);
     for (std::size_t i = 0; i < options.scenarios; ++i) {
-        scenario::ScenarioConfig config;
-        config.durationSec = options.scenarioDurationSec;
-        config.spawnMinSec = 5;
-        config.spawnMaxSec = spawn_maxes[i % std::size(spawn_maxes)];
-        config.seed = options.seed + i;
-        scenario::ScenarioRunner runner(config, options.testbed);
-        scenario::RandomPlacement policy(options.seed + 1000 + i);
-        collected.push_back(runner.run(policy));
+        sweep[i].config.durationSec = options.scenarioDurationSec;
+        sweep[i].config.spawnMinSec = 5;
+        sweep[i].config.spawnMaxSec =
+            spawn_maxes[i % std::size(spawn_maxes)];
+        sweep[i].config.seed = options.seed + i;
+        sweep[i].policySeed = options.seed + 1000 + i;
     }
+    collected = scenario::runScenarioSweep(sweep, options.testbed);
 
     // 3. Datasets and model training ({120, Ŝ} stacked configuration).
     const auto state_samples =

@@ -4,9 +4,49 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 
 namespace adrias::ml
 {
+
+namespace
+{
+
+MatrixParallelConfig g_parallel{};
+
+/**
+ * Run `kernel` over [0, rows) — on the global pool when the total work
+ * clears `grain`, inline otherwise.  Both paths call the same
+ * std::function target, so the compiler emits one body and serial and
+ * parallel execution are bitwise identical (DESIGN.md §9); chunk
+ * boundaries come from ThreadPool's fixed partition rule and depend
+ * only on `rows`.
+ */
+void
+runRows(std::size_t rows, std::size_t total_work, std::size_t grain,
+        const std::function<void(std::size_t, std::size_t)> &kernel)
+{
+    if (rows == 0)
+        return;
+    if (rows > 1 && total_work >= grain)
+        ThreadPool::global().parallelFor(rows, kernel);
+    else
+        kernel(0, rows);
+}
+
+} // namespace
+
+MatrixParallelConfig
+matrixParallelConfig()
+{
+    return g_parallel;
+}
+
+void
+setMatrixParallelConfig(MatrixParallelConfig config)
+{
+    g_parallel = config;
+}
 
 Matrix::Matrix(std::size_t rows_, std::size_t cols_)
     : nRows(rows_), nCols(cols_), data(rows_ * cols_, 0.0)
@@ -78,20 +118,26 @@ Matrix::matmul(const Matrix &other) const
               " * " + other.shape());
     }
     Matrix out(nRows, other.nCols);
+    // Partitioned over output rows: each row accumulates over k in
+    // fixed index order, so the result never depends on the partition.
     // i-k-j loop order keeps the inner loop contiguous in both inputs.
-    for (std::size_t i = 0; i < nRows; ++i) {
-        for (std::size_t k = 0; k < nCols; ++k) {
-            const double lhs = data[i * nCols + k];
-            // Exact-zero sparsity skip; a tolerance would change
-            // results.  NOLINTNEXTLINE(float-equal)
-            if (lhs == 0.0)
-                continue;
-            const double *rhs_row = &other.data[k * other.nCols];
-            double *out_row = &out.data[i * other.nCols];
-            for (std::size_t j = 0; j < other.nCols; ++j)
-                out_row[j] += lhs * rhs_row[j];
-        }
-    }
+    runRows(nRows, nRows * nCols * other.nCols, g_parallel.gemmGrain,
+            [this, &other, &out](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    for (std::size_t k = 0; k < nCols; ++k) {
+                        const double lhs = data[i * nCols + k];
+                        // Exact-zero sparsity skip; a tolerance would
+                        // change results.  NOLINTNEXTLINE(float-equal)
+                        if (lhs == 0.0)
+                            continue;
+                        const double *rhs_row =
+                            &other.data[k * other.nCols];
+                        double *out_row = &out.data[i * other.nCols];
+                        for (std::size_t j = 0; j < other.nCols; ++j)
+                            out_row[j] += lhs * rhs_row[j];
+                    }
+                }
+            });
     return out;
 }
 
@@ -104,19 +150,28 @@ Matrix::transposedMatmul(const Matrix &other) const
               "^T * " + other.shape());
     }
     Matrix out(nCols, other.nCols);
-    for (std::size_t k = 0; k < nRows; ++k) {
-        const double *lhs_row = &data[k * nCols];
-        const double *rhs_row = &other.data[k * other.nCols];
-        for (std::size_t i = 0; i < nCols; ++i) {
-            const double lhs = lhs_row[i];
-            // Exact-zero sparsity skip.  NOLINTNEXTLINE(float-equal)
-            if (lhs == 0.0)
-                continue;
-            double *out_row = &out.data[i * other.nCols];
-            for (std::size_t j = 0; j < other.nCols; ++j)
-                out_row[j] += lhs * rhs_row[j];
-        }
-    }
+    // Partitioned over output rows i (columns of this).  Every
+    // out(i, j) accumulates over k in increasing order — the same
+    // per-element order as a k-outer loop — so per-sample gradient
+    // contributions (k indexes the sample in backward passes) are
+    // summed in fixed index order regardless of thread count.
+    runRows(nCols, nRows * nCols * other.nCols, g_parallel.gemmGrain,
+            [this, &other, &out](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    double *out_row = &out.data[i * other.nCols];
+                    for (std::size_t k = 0; k < nRows; ++k) {
+                        const double lhs = data[k * nCols + i];
+                        // Exact-zero sparsity skip.
+                        // NOLINTNEXTLINE(float-equal)
+                        if (lhs == 0.0)
+                            continue;
+                        const double *rhs_row =
+                            &other.data[k * other.nCols];
+                        for (std::size_t j = 0; j < other.nCols; ++j)
+                            out_row[j] += lhs * rhs_row[j];
+                    }
+                }
+            });
     return out;
 }
 
@@ -129,16 +184,20 @@ Matrix::matmulTransposed(const Matrix &other) const
               " * " + other.shape() + "^T");
     }
     Matrix out(nRows, other.nRows);
-    for (std::size_t i = 0; i < nRows; ++i) {
-        const double *lhs_row = &data[i * nCols];
-        for (std::size_t j = 0; j < other.nRows; ++j) {
-            const double *rhs_row = &other.data[j * other.nCols];
-            double acc = 0.0;
-            for (std::size_t k = 0; k < nCols; ++k)
-                acc += lhs_row[k] * rhs_row[k];
-            out.data[i * other.nRows + j] = acc;
-        }
-    }
+    runRows(nRows, nRows * nCols * other.nRows, g_parallel.gemmGrain,
+            [this, &other, &out](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    const double *lhs_row = &data[i * nCols];
+                    for (std::size_t j = 0; j < other.nRows; ++j) {
+                        const double *rhs_row =
+                            &other.data[j * other.nCols];
+                        double acc = 0.0;
+                        for (std::size_t k = 0; k < nCols; ++k)
+                            acc += lhs_row[k] * rhs_row[k];
+                        out.data[i * other.nRows + j] = acc;
+                    }
+                }
+            });
     return out;
 }
 
@@ -146,9 +205,13 @@ Matrix
 Matrix::transposed() const
 {
     Matrix out(nCols, nRows);
-    for (std::size_t r = 0; r < nRows; ++r)
-        for (std::size_t c = 0; c < nCols; ++c)
-            out.data[c * nRows + r] = data[r * nCols + c];
+    // Partitioned over output rows (source columns).
+    runRows(nCols, data.size(), g_parallel.elementGrain,
+            [this, &out](std::size_t begin, std::size_t end) {
+                for (std::size_t c = begin; c < end; ++c)
+                    for (std::size_t r = 0; r < nRows; ++r)
+                        out.data[c * nRows + r] = data[r * nCols + c];
+            });
     return out;
 }
 
@@ -157,8 +220,11 @@ Matrix::operator+(const Matrix &other) const
 {
     checkSameShape(other, "operator+");
     Matrix out = *this;
-    for (std::size_t i = 0; i < data.size(); ++i)
-        out.data[i] += other.data[i];
+    runRows(data.size(), data.size(), g_parallel.elementGrain,
+            [&out, &other](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    out.data[i] += other.data[i];
+            });
     return out;
 }
 
@@ -167,8 +233,11 @@ Matrix::operator-(const Matrix &other) const
 {
     checkSameShape(other, "operator-");
     Matrix out = *this;
-    for (std::size_t i = 0; i < data.size(); ++i)
-        out.data[i] -= other.data[i];
+    runRows(data.size(), data.size(), g_parallel.elementGrain,
+            [&out, &other](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    out.data[i] -= other.data[i];
+            });
     return out;
 }
 
@@ -177,8 +246,11 @@ Matrix::hadamard(const Matrix &other) const
 {
     checkSameShape(other, "hadamard");
     Matrix out = *this;
-    for (std::size_t i = 0; i < data.size(); ++i)
-        out.data[i] *= other.data[i];
+    runRows(data.size(), data.size(), g_parallel.elementGrain,
+            [&out, &other](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    out.data[i] *= other.data[i];
+            });
     return out;
 }
 
@@ -194,16 +266,22 @@ Matrix &
 Matrix::operator+=(const Matrix &other)
 {
     checkSameShape(other, "operator+=");
-    for (std::size_t i = 0; i < data.size(); ++i)
-        data[i] += other.data[i];
+    runRows(data.size(), data.size(), g_parallel.elementGrain,
+            [this, &other](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    data[i] += other.data[i];
+            });
     return *this;
 }
 
 Matrix &
 Matrix::operator*=(double scalar)
 {
-    for (double &x : data)
-        x *= scalar;
+    runRows(data.size(), data.size(), g_parallel.elementGrain,
+            [this, scalar](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    data[i] *= scalar;
+            });
     return *this;
 }
 
@@ -213,9 +291,12 @@ Matrix::addRowBroadcast(const Matrix &rowVec) const
     if (rowVec.nRows != 1 || rowVec.nCols != nCols)
         panic("Matrix::addRowBroadcast shape mismatch");
     Matrix out = *this;
-    for (std::size_t r = 0; r < nRows; ++r)
-        for (std::size_t c = 0; c < nCols; ++c)
-            out.data[r * nCols + c] += rowVec.data[c];
+    runRows(nRows, data.size(), g_parallel.elementGrain,
+            [&out, &rowVec, this](std::size_t begin, std::size_t end) {
+                for (std::size_t r = begin; r < end; ++r)
+                    for (std::size_t c = 0; c < nCols; ++c)
+                        out.data[r * nCols + c] += rowVec.data[c];
+            });
     return out;
 }
 
@@ -223,15 +304,21 @@ Matrix
 Matrix::sumRows() const
 {
     Matrix out(1, nCols);
-    for (std::size_t r = 0; r < nRows; ++r)
-        for (std::size_t c = 0; c < nCols; ++c)
-            out.data[c] += data[r * nCols + c];
+    // Partitioned over columns; each column accumulates its rows in
+    // increasing row order, exactly as the serial loop nest does.
+    runRows(nCols, data.size(), g_parallel.elementGrain,
+            [this, &out](std::size_t begin, std::size_t end) {
+                for (std::size_t c = begin; c < end; ++c)
+                    for (std::size_t r = 0; r < nRows; ++r)
+                        out.data[c] += data[r * nCols + c];
+            });
     return out;
 }
 
 Matrix
 Matrix::map(const std::function<double(double)> &fn) const
 {
+    // Deliberately serial: fn may be stateful (see header).
     Matrix out = *this;
     for (double &x : out.data)
         x = fn(x);

@@ -19,6 +19,32 @@
 namespace adrias::ml
 {
 
+/**
+ * Work thresholds above which the Matrix kernels fan out onto the
+ * global ThreadPool (DESIGN.md §9).  Below a threshold the same kernel
+ * runs over the full range on the caller, so results are bitwise
+ * identical either way; the thresholds only trade dispatch overhead
+ * against parallelism.
+ */
+struct MatrixParallelConfig
+{
+    /** Multiply-add count above which the matmul family goes parallel. */
+    std::size_t gemmGrain = 64 * 1024;
+
+    /** Element count above which element-wise kernels go parallel. */
+    std::size_t elementGrain = 256 * 1024;
+};
+
+/** @return the active kernel-parallelism thresholds. */
+MatrixParallelConfig matrixParallelConfig();
+
+/**
+ * Replace the kernel-parallelism thresholds (tests/benches force tiny
+ * shapes onto the parallel path with {0, 0}).  Not synchronized: call
+ * only from single-threaded setup code.
+ */
+void setMatrixParallelConfig(MatrixParallelConfig config);
+
 /** Row-major dense matrix of doubles. */
 class Matrix
 {
@@ -90,7 +116,11 @@ class Matrix
     /** Column-wise sum producing a 1 x cols row vector. */
     Matrix sumRows() const;
 
-    /** Apply a scalar function to every element (returns a copy). */
+    /**
+     * Apply a scalar function to every element (returns a copy).
+     * Always serial: `fn` may be stateful (e.g. draw from an Rng), so
+     * it is never offloaded to the pool.
+     */
     Matrix map(const std::function<double(double)> &fn) const;
 
     /** Concatenate horizontally: [this | other]; row counts must match. */

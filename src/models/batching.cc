@@ -1,6 +1,7 @@
 #include "models/batching.hh"
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 
 namespace adrias::models
 {
@@ -15,9 +16,11 @@ stackSequences(const std::vector<const std::vector<ml::Matrix> *> &sequences)
         panic("stackSequences: zero-length sequences");
     const std::size_t width = sequences.front()->front().cols();
 
-    std::vector<ml::Matrix> batched;
-    batched.reserve(steps);
-    for (std::size_t t = 0; t < steps; ++t) {
+    // Each timestep fills its own pre-sized slot, so the assembly can
+    // fan out across the pool without affecting the result; a ragged
+    // batch panics and the exception propagates to the caller.
+    std::vector<ml::Matrix> batched(steps);
+    ThreadPool::global().parallelForEach(steps, [&](std::size_t t) {
         ml::Matrix step(sequences.size(), width);
         for (std::size_t b = 0; b < sequences.size(); ++b) {
             const auto &sequence = *sequences[b];
@@ -28,8 +31,8 @@ stackSequences(const std::vector<const std::vector<ml::Matrix> *> &sequences)
             for (std::size_t c = 0; c < width; ++c)
                 step.at(b, c) = sequence[t].at(0, c);
         }
-        batched.push_back(std::move(step));
-    }
+        batched[t] = std::move(step);
+    });
     return batched;
 }
 

@@ -8,6 +8,7 @@
 #include "ml/serialize.hh"
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "ml/loss.hh"
 #include "ml/optimizer.hh"
 #include "models/batching.hh"
@@ -216,19 +217,25 @@ PerformanceModel::fitLoop(
                 std::min(order.size(), begin + config.batchSize);
             const std::size_t rows = end - begin;
 
-            std::vector<std::vector<ml::Matrix>> scaled_h, scaled_k;
+            // Per-sample scaling of both branches runs concurrently
+            // into fixed slots (consumed in index order below); the
+            // scalar columns are assembled serially — they are cheap.
+            std::vector<std::vector<ml::Matrix>> scaled_h(rows),
+                scaled_k(rows);
             std::vector<const std::vector<ml::Matrix> *> h_ptrs, k_ptrs;
             ml::Matrix mode_col(rows, 1);
             ml::Matrix future_rows(rows, futureWidth());
             ml::Matrix target(rows, 1);
-            scaled_h.reserve(rows);
-            scaled_k.reserve(rows);
+            ThreadPool::global().parallelForEach(
+                rows, [&](std::size_t row) {
+                    const auto &sample = samples[order[begin + row]];
+                    scaled_h[row] =
+                        counterScaler.transformSequence(sample.history);
+                    scaled_k[row] = counterScaler.transformSequence(
+                        sample.signature);
+                });
             for (std::size_t i = begin; i < end; ++i) {
                 const auto &sample = samples[order[i]];
-                scaled_h.push_back(
-                    counterScaler.transformSequence(sample.history));
-                scaled_k.push_back(
-                    counterScaler.transformSequence(sample.signature));
                 const std::size_t row = i - begin;
                 mode_col.at(row, 0) =
                     sample.mode == MemoryMode::Remote ? 1.0 : 0.0;
@@ -269,16 +276,20 @@ PerformanceModel::fitLoop(
         const std::size_t end =
             std::min(samples.size(), begin + config.batchSize);
         const std::size_t rows = end - begin;
-        std::vector<std::vector<ml::Matrix>> scaled_h, scaled_k;
+        std::vector<std::vector<ml::Matrix>> scaled_h(rows),
+            scaled_k(rows);
         std::vector<const std::vector<ml::Matrix> *> h_ptrs, k_ptrs;
         ml::Matrix mode_col(rows, 1);
         ml::Matrix future_rows(rows, futureWidth());
+        ThreadPool::global().parallelForEach(rows, [&](std::size_t row) {
+            const auto &sample = samples[begin + row];
+            scaled_h[row] =
+                counterScaler.transformSequence(sample.history);
+            scaled_k[row] =
+                counterScaler.transformSequence(sample.signature);
+        });
         for (std::size_t i = begin; i < end; ++i) {
             const auto &sample = samples[i];
-            scaled_h.push_back(
-                counterScaler.transformSequence(sample.history));
-            scaled_k.push_back(
-                counterScaler.transformSequence(sample.signature));
             const std::size_t row = i - begin;
             mode_col.at(row, 0) =
                 sample.mode == MemoryMode::Remote ? 1.0 : 0.0;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "ml/loss.hh"
 #include "ml/optimizer.hh"
 #include "ml/serialize.hh"
@@ -96,15 +97,19 @@ SystemStateModel::train(
             const std::size_t end =
                 std::min(order.size(), begin + config.batchSize);
 
+            // Per-sample feature scaling is independent work: each
+            // sample fills its own slot, concurrently, and the slots
+            // are consumed in fixed index order below.
             std::vector<const std::vector<ml::Matrix> *> batch_seqs;
             std::vector<const ml::Matrix *> batch_targets;
-            std::vector<std::vector<ml::Matrix>> scaled_seqs;
-            scaled_seqs.reserve(end - begin);
-            for (std::size_t i = begin; i < end; ++i) {
-                scaled_seqs.push_back(inputScaler.transformSequence(
-                    samples[order[i]].history));
+            std::vector<std::vector<ml::Matrix>> scaled_seqs(end - begin);
+            ThreadPool::global().parallelForEach(
+                end - begin, [&](std::size_t s) {
+                    scaled_seqs[s] = inputScaler.transformSequence(
+                        samples[order[begin + s]].history);
+                });
+            for (std::size_t i = begin; i < end; ++i)
                 batch_targets.push_back(&samples[order[i]].target);
-            }
             for (const auto &seq : scaled_seqs)
                 batch_seqs.push_back(&seq);
 
@@ -132,12 +137,13 @@ SystemStateModel::train(
          begin += config.batchSize) {
         const std::size_t end =
             std::min(samples.size(), begin + config.batchSize);
-        std::vector<std::vector<ml::Matrix>> scaled;
+        std::vector<std::vector<ml::Matrix>> scaled(end - begin);
         std::vector<const std::vector<ml::Matrix> *> ptrs;
-        scaled.reserve(end - begin);
-        for (std::size_t i = begin; i < end; ++i)
-            scaled.push_back(
-                inputScaler.transformSequence(samples[i].history));
+        ThreadPool::global().parallelForEach(
+            end - begin, [&](std::size_t s) {
+                scaled[s] = inputScaler.transformSequence(
+                    samples[begin + s].history);
+            });
         for (const auto &seq : scaled)
             ptrs.push_back(&seq);
         forwardBatch(stackSequences(ptrs));

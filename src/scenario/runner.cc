@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "telemetry/watcher.hh"
 
 namespace adrias::scenario
@@ -186,6 +187,49 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
     result.faultSummary = injector.stats();
     result.watcherHealth = watcher.health();
     return result;
+}
+
+std::vector<ScenarioResult>
+runScenarioSweep(
+    const std::vector<ScenarioConfig> &configs,
+    testbed::TestbedParams params,
+    const std::function<std::unique_ptr<PlacementPolicy>(std::size_t)>
+        &makePolicy)
+{
+    // Policies first, serially and in order: a factory drawing from a
+    // shared Rng must consume it identically at every thread count.
+    std::vector<std::unique_ptr<PlacementPolicy>> policies;
+    policies.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        policies.push_back(makePolicy(i));
+        if (!policies.back())
+            fatal("runScenarioSweep: makePolicy returned null");
+    }
+
+    // Each item owns its Testbed, Watcher, FaultInjector and policy,
+    // and writes only its own slot — one seed per worker, no sharing.
+    std::vector<ScenarioResult> results(configs.size());
+    ThreadPool::global().parallelForEach(
+        configs.size(), [&](std::size_t i) {
+            ScenarioRunner runner(configs[i], params);
+            results[i] = runner.run(*policies[i]);
+        });
+    return results;
+}
+
+std::vector<ScenarioResult>
+runScenarioSweep(const std::vector<SweepItem> &items,
+                 testbed::TestbedParams params)
+{
+    std::vector<ScenarioConfig> configs;
+    configs.reserve(items.size());
+    for (const SweepItem &item : items)
+        configs.push_back(item.config);
+    return runScenarioSweep(
+        configs, params, [&items](std::size_t i) {
+            return std::make_unique<RandomPlacement>(
+                items[i].policySeed);
+        });
 }
 
 } // namespace adrias::scenario

@@ -10,6 +10,7 @@
 #ifndef ADRIAS_SCENARIO_RUNNER_HH
 #define ADRIAS_SCENARIO_RUNNER_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -146,6 +147,42 @@ class ScenarioRunner
     ScenarioConfig config;
     testbed::TestbedParams testbedParams;
 };
+
+/** One entry of a multi-seed sweep. */
+struct SweepItem
+{
+    ScenarioConfig config;
+
+    /** Seed of the per-item RandomPlacement policy. */
+    std::uint64_t policySeed = 99;
+};
+
+/**
+ * Run many independent scenarios — one Testbed, Watcher and policy per
+ * item — fanned out across the global ThreadPool (DESIGN.md §9).
+ *
+ * Policies are constructed serially in item order before any scenario
+ * starts (factories may share an Rng), then every item runs in
+ * isolation and writes its own result slot, so the returned vector is
+ * bitwise identical to running the items one by one in a loop,
+ * regardless of ADRIAS_THREADS.
+ *
+ * @param configs per-item scenario knobs.
+ * @param params shared testbed calibration.
+ * @param makePolicy called once per item index, in order, to build
+ *        that item's placement policy (must not share mutable state
+ *        across items).
+ */
+std::vector<ScenarioResult> runScenarioSweep(
+    const std::vector<ScenarioConfig> &configs,
+    testbed::TestbedParams params,
+    const std::function<std::unique_ptr<PlacementPolicy>(std::size_t)>
+        &makePolicy);
+
+/** RandomPlacement convenience overload over SweepItems. */
+std::vector<ScenarioResult>
+runScenarioSweep(const std::vector<SweepItem> &items,
+                 testbed::TestbedParams params = {});
 
 } // namespace adrias::scenario
 

@@ -1,6 +1,7 @@
 #include "scenario/signature.hh"
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "scenario/runner.hh"
 #include "telemetry/watcher.hh"
 #include "testbed/testbed.hh"
@@ -75,10 +76,22 @@ void
 collectAllSignatures(SignatureStore &store, testbed::TestbedParams params,
                      std::uint64_t seed)
 {
+    // Each benchmark's design-time run is independent: collect into
+    // per-spec slots in parallel, then fill the store in the original
+    // catalogue order so its contents never depend on timing.
+    std::vector<const workloads::WorkloadSpec *> specs;
     for (const auto &spec : workloads::sparkBenchmarks())
-        store.put(spec.name, collectSignature(spec, params, seed));
+        specs.push_back(&spec);
     for (const auto &spec : workloads::latencyCriticalBenchmarks())
-        store.put(spec.name, collectSignature(spec, params, seed));
+        specs.push_back(&spec);
+
+    std::vector<std::vector<ml::Matrix>> signatures(specs.size());
+    ThreadPool::global().parallelForEach(
+        specs.size(), [&](std::size_t i) {
+            signatures[i] = collectSignature(*specs[i], params, seed);
+        });
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        store.put(specs[i]->name, std::move(signatures[i]));
 }
 
 } // namespace adrias::scenario

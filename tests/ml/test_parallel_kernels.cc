@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Equivalence suite for the parallel Matrix kernels (DESIGN.md §9):
+ * every kernel that can fan out onto the ThreadPool must produce
+ * results bitwise identical to the serial path, for randomized and
+ * degenerate shapes, at every thread count.  Runs under the TSan
+ * flavor too, so it double-checks the kernels race-free.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/threadpool.hh"
+#include "ml/matrix.hh"
+
+namespace
+{
+
+using adrias::Rng;
+using adrias::ScopedThreadOverride;
+using adrias::ThreadPool;
+using adrias::ml::Matrix;
+using adrias::ml::MatrixParallelConfig;
+using adrias::ml::matrixParallelConfig;
+using adrias::ml::setMatrixParallelConfig;
+
+/** Forces every kernel onto the parallel path for the test's scope. */
+class ParallelKernelsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved = matrixParallelConfig();
+        setMatrixParallelConfig({0, 0});
+    }
+
+    void
+    TearDown() override
+    {
+        setMatrixParallelConfig(saved);
+    }
+
+    MatrixParallelConfig saved;
+};
+
+Matrix
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    Matrix m(rows, cols);
+    for (double &value : m.raw())
+        value = rng.uniform(-3.0, 3.0);
+    // Sprinkle exact zeros so matmul's zero-skip branch is exercised.
+    for (double &value : m.raw())
+        if (rng.bernoulli(0.1))
+            value = 0.0;
+    return m;
+}
+
+void
+expectIdentical(const Matrix &expected, const Matrix &actual,
+                const char *op)
+{
+    ASSERT_EQ(expected.rows(), actual.rows()) << op;
+    ASSERT_EQ(expected.cols(), actual.cols()) << op;
+    // Bitwise, not approximate: the contract is exact equality.
+    ASSERT_EQ(expected.raw(), actual.raw()) << op;
+}
+
+std::vector<unsigned>
+threadCounts()
+{
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    return {1u, 2u, 7u, hw};
+}
+
+/** Shapes: square, tall, wide, ragged, single row/col, empty. */
+struct GemmShape
+{
+    std::size_t m, k, n;
+};
+
+TEST_F(ParallelKernelsTest, GemmFamilyMatchesSerialBitwise)
+{
+    const GemmShape shapes[] = {
+        {8, 8, 8},  {17, 5, 23}, {1, 64, 1}, {64, 1, 3}, {3, 1, 64},
+        {1, 1, 1},  {31, 33, 2}, {2, 33, 31},
+        {0, 5, 7},  {5, 0, 7},   {5, 7, 0}, // empty extents
+    };
+    Rng rng(0xAD51A5);
+    for (const auto &shape : shapes) {
+        const Matrix a = randomMatrix(rng, shape.m, shape.k);
+        const Matrix b = randomMatrix(rng, shape.k, shape.n);
+        const Matrix at = randomMatrix(rng, shape.k, shape.m);
+        const Matrix bt = randomMatrix(rng, shape.n, shape.k);
+
+        Matrix ref_mm, ref_tm, ref_mt, ref_tr;
+        {
+            ScopedThreadOverride serial(1);
+            ref_mm = a.matmul(b);
+            ref_tm = at.transposedMatmul(b);
+            ref_mt = a.matmulTransposed(bt);
+            ref_tr = a.transposed();
+        }
+        for (unsigned threads : threadCounts()) {
+            ScopedThreadOverride override_(threads);
+            expectIdentical(ref_mm, a.matmul(b), "matmul");
+            expectIdentical(ref_tm, at.transposedMatmul(b),
+                            "transposedMatmul");
+            expectIdentical(ref_mt, a.matmulTransposed(bt),
+                            "matmulTransposed");
+            expectIdentical(ref_tr, a.transposed(), "transposed");
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, ElementWiseKernelsMatchSerialBitwise)
+{
+    const std::pair<std::size_t, std::size_t> shapes[] = {
+        {1, 1}, {1, 257}, {257, 1}, {13, 37}, {64, 64}, {0, 5}, {5, 0},
+    };
+    Rng rng(0xBEEF01);
+    for (const auto &[rows, cols] : shapes) {
+        const Matrix a = randomMatrix(rng, rows, cols);
+        const Matrix b = randomMatrix(rng, rows, cols);
+        const Matrix bias = randomMatrix(rng, 1, cols);
+
+        Matrix ref_add, ref_sub, ref_had, ref_acc, ref_scale,
+            ref_broadcast, ref_sum;
+        {
+            ScopedThreadOverride serial(1);
+            ref_add = a + b;
+            ref_sub = a - b;
+            ref_had = a.hadamard(b);
+            ref_acc = a;
+            ref_acc += b;
+            ref_scale = a;
+            ref_scale *= 1.7;
+            if (rows > 0)
+                ref_broadcast = a.addRowBroadcast(bias);
+            ref_sum = a.sumRows();
+        }
+        for (unsigned threads : threadCounts()) {
+            ScopedThreadOverride override_(threads);
+            expectIdentical(ref_add, a + b, "operator+");
+            expectIdentical(ref_sub, a - b, "operator-");
+            expectIdentical(ref_had, a.hadamard(b), "hadamard");
+            Matrix acc = a;
+            acc += b;
+            expectIdentical(ref_acc, acc, "operator+=");
+            Matrix scaled = a;
+            scaled *= 1.7;
+            expectIdentical(ref_scale, scaled, "operator*=");
+            if (rows > 0)
+                expectIdentical(ref_broadcast, a.addRowBroadcast(bias),
+                                "addRowBroadcast");
+            expectIdentical(ref_sum, a.sumRows(), "sumRows");
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, RandomizedShapesSweep)
+{
+    // Broad fuzz across shapes and thread counts; every repetition
+    // compares the parallel result against the serial reference.
+    Rng rng(0xF00D42);
+    for (int repetition = 0; repetition < 25; ++repetition) {
+        const auto m = static_cast<std::size_t>(rng.uniformInt(1, 40));
+        const auto k = static_cast<std::size_t>(rng.uniformInt(1, 40));
+        const auto n = static_cast<std::size_t>(rng.uniformInt(1, 40));
+        const Matrix a = randomMatrix(rng, m, k);
+        const Matrix b = randomMatrix(rng, k, n);
+
+        Matrix ref_mm, ref_sum;
+        {
+            ScopedThreadOverride serial(1);
+            ref_mm = a.matmul(b);
+            ref_sum = (a + a).sumRows();
+        }
+        for (unsigned threads : threadCounts()) {
+            ScopedThreadOverride override_(threads);
+            expectIdentical(ref_mm, a.matmul(b), "matmul fuzz");
+            expectIdentical(ref_sum, (a + a).sumRows(), "sumRows fuzz");
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, ResultsInvariantUnderDefaultThresholds)
+{
+    // With production thresholds a small matrix stays serial and a big
+    // one goes parallel — both must agree with the forced-parallel
+    // result computed above them.
+    setMatrixParallelConfig(MatrixParallelConfig{});
+    Rng rng(0xC0FFEE);
+    const Matrix big_a = randomMatrix(rng, 96, 96);
+    const Matrix big_b = randomMatrix(rng, 96, 96);
+
+    Matrix forced;
+    {
+        ScopedThreadOverride parallel(4);
+        setMatrixParallelConfig({0, 0});
+        forced = big_a.matmul(big_b);
+        setMatrixParallelConfig(MatrixParallelConfig{});
+    }
+    expectIdentical(forced, big_a.matmul(big_b), "threshold crossover");
+}
+
+} // namespace

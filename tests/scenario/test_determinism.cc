@@ -10,6 +10,7 @@
  * and the serialized CSV artifacts byte-for-byte.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -17,6 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/threadpool.hh"
+#include "ml/matrix.hh"
+#include "models/system_state.hh"
 #include "scenario/dataset.hh"
 #include "scenario/dataset_io.hh"
 #include "scenario/runner.hh"
@@ -100,6 +104,122 @@ TEST(DeterminismTest, SameSeedReproducesDatasetCsvByteForByte)
     scenario::saveSystemStateCsv(path_a, state_a);
     scenario::saveSystemStateCsv(path_b, state_b);
     EXPECT_EQ(slurp(path_a), slurp(path_b));
+}
+
+// ---------------------------------------------------------------------
+// Thread-count invariance (DESIGN.md §9): ADRIAS_THREADS must never
+// change a result.  Each helper below runs the same workload under a
+// serial pool and a 4-thread pool and demands bitwise equality.
+
+std::vector<scenario::ScenarioResult>
+runSweep()
+{
+    std::vector<scenario::SweepItem> items(3);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        items[i].config = config();
+        items[i].config.seed = 4242 + i;
+        items[i].policySeed = 777 + i;
+    }
+    return scenario::runScenarioSweep(items);
+}
+
+void
+expectSameResults(const std::vector<scenario::ScenarioResult> &serial,
+                  const std::vector<scenario::ScenarioResult> &parallel)
+{
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+        const auto &a = serial[s];
+        const auto &b = parallel[s];
+        ASSERT_EQ(a.trace.size(), b.trace.size()) << "sweep item " << s;
+        for (std::size_t t = 0; t < a.trace.size(); ++t)
+            for (std::size_t e = 0; e < testbed::kNumPerfEvents; ++e)
+                ASSERT_EQ(a.trace[t][e], b.trace[t][e])
+                    << "item " << s << " tick " << t << " event " << e;
+        ASSERT_EQ(a.concurrency, b.concurrency) << s;
+        EXPECT_EQ(a.totalRemoteTrafficGB, b.totalRemoteTrafficGB) << s;
+        ASSERT_EQ(a.records.size(), b.records.size()) << s;
+        for (std::size_t i = 0; i < a.records.size(); ++i) {
+            EXPECT_EQ(a.records[i].name, b.records[i].name) << s;
+            EXPECT_EQ(a.records[i].mode, b.records[i].mode) << s;
+            EXPECT_EQ(a.records[i].arrival, b.records[i].arrival) << s;
+            EXPECT_EQ(a.records[i].completion, b.records[i].completion)
+                << s;
+            EXPECT_EQ(a.records[i].execTimeSec, b.records[i].execTimeSec)
+                << s;
+            EXPECT_EQ(a.records[i].p99Ms, b.records[i].p99Ms) << s;
+            EXPECT_EQ(a.records[i].remoteTrafficGB,
+                      b.records[i].remoteTrafficGB)
+                << s;
+        }
+    }
+}
+
+TEST(DeterminismTest, SweepIsThreadCountInvariant)
+{
+    std::vector<scenario::ScenarioResult> serial, parallel;
+    {
+        ScopedThreadOverride one(1);
+        serial = runSweep();
+    }
+    {
+        ScopedThreadOverride four(4);
+        parallel = runSweep();
+    }
+    expectSameResults(serial, parallel);
+
+    // CSV artifacts built from the two sweeps must agree byte-for-byte.
+    const auto state_a = scenario::DatasetBuilder::systemState(serial);
+    const auto state_b = scenario::DatasetBuilder::systemState(parallel);
+    ASSERT_FALSE(state_a.empty());
+    const std::string dir = ::testing::TempDir();
+    const std::string path_a = dir + "adrias_threads1_state.csv";
+    const std::string path_b = dir + "adrias_threads4_state.csv";
+    scenario::saveSystemStateCsv(path_a, state_a);
+    scenario::saveSystemStateCsv(path_b, state_b);
+    EXPECT_EQ(slurp(path_a), slurp(path_b));
+}
+
+TEST(DeterminismTest, TrainingIsThreadCountInvariant)
+{
+    // Force every Matrix kernel onto the parallel path so the 4-thread
+    // run genuinely exercises fan-out even at these tiny model shapes.
+    const auto saved_config = ml::matrixParallelConfig();
+    ml::setMatrixParallelConfig({0, 0});
+
+    scenario::ScenarioRunner runner(config());
+    scenario::RandomPlacement policy(777);
+    const std::vector<scenario::ScenarioResult> results{
+        runner.run(policy)};
+    auto samples = scenario::DatasetBuilder::systemState(results);
+    ASSERT_GE(samples.size(), 4u);
+    samples.resize(std::min<std::size_t>(samples.size(), 24));
+
+    models::ModelConfig model_config;
+    model_config.epochs = 2;
+
+    const std::string dir = ::testing::TempDir();
+    auto train_and_save = [&](unsigned threads,
+                              const std::string &path) {
+        ScopedThreadOverride override_(threads);
+        models::SystemStateModel model(model_config);
+        model.train(samples);
+        model.save(path);
+        return model.predict(samples.front().history);
+    };
+
+    const std::string path_1 = dir + "adrias_state_threads1.model";
+    const std::string path_4 = dir + "adrias_state_threads4.model";
+    const ml::Matrix pred_1 = train_and_save(1, path_1);
+    const ml::Matrix pred_4 = train_and_save(4, path_4);
+
+    ml::setMatrixParallelConfig(saved_config);
+
+    // Trained weights and a prediction must be bitwise identical.
+    EXPECT_EQ(slurp(path_1), slurp(path_4));
+    ASSERT_EQ(pred_1.rows(), pred_4.rows());
+    ASSERT_EQ(pred_1.cols(), pred_4.cols());
+    EXPECT_EQ(pred_1.raw(), pred_4.raw());
 }
 
 } // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Golden end-to-end regression: a fixed tiny scenario, rendered to a
+ * canonical text form and compared line-by-line against a checked-in
+ * golden file.  Any change to the simulation pipeline that shifts a
+ * completion time, a latency percentile or a trace aggregate shows up
+ * here as a readable diff instead of a silent drift.
+ *
+ * Regenerate intentionally with:
+ *     ADRIAS_UPDATE_GOLDEN=1 ./test_scenario \
+ *         --gtest_filter=GoldenTest.*
+ * and commit the refreshed file together with the change that caused
+ * it.  Floats are rendered at %.6g so the golden survives benign
+ * compiler/FMA differences while still pinning six significant digits.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hh"
+
+#ifndef ADRIAS_GOLDEN_DIR
+#error "ADRIAS_GOLDEN_DIR must point at the checked-in golden files"
+#endif
+
+namespace
+{
+
+using namespace adrias;
+
+std::string
+num(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+}
+
+/** Canonical text rendering of one scenario run. */
+std::string
+renderScenario()
+{
+    scenario::ScenarioConfig config;
+    config.durationSec = 400;
+    config.spawnMinSec = 5;
+    config.spawnMaxSec = 20;
+    config.seed = 20230228; // HPCA'23 — arbitrary but fixed forever
+
+    scenario::ScenarioRunner runner(config);
+    scenario::RandomPlacement policy(31);
+    const auto result = runner.run(policy);
+
+    std::ostringstream out;
+    out << "golden scenario v1\n";
+    out << "ticks " << result.trace.size() << "\n";
+
+    // Trace: per-event totals pin the full counter stream without
+    // committing megabytes of per-tick values to the repository.
+    for (std::size_t e = 0; e < testbed::kNumPerfEvents; ++e) {
+        double total = 0.0;
+        for (const auto &tick : result.trace)
+            total += tick[e];
+        out << "event " << e << " total " << num(total) << "\n";
+    }
+    out << "remote_traffic_gb " << num(result.totalRemoteTrafficGB)
+        << "\n";
+
+    out << "records " << result.records.size() << "\n";
+    for (const auto &record : result.records) {
+        out << record.name << " cls=" << static_cast<int>(record.cls)
+            << " mode=" << static_cast<int>(record.mode)
+            << " arrival=" << record.arrival
+            << " completion=" << record.completion
+            << " exec=" << num(record.execTimeSec)
+            << " p99=" << num(record.p99Ms)
+            << " slowdown=" << num(record.meanSlowdown)
+            << " traffic=" << num(record.remoteTrafficGB)
+            << " migrations=" << record.migrations << "\n";
+    }
+    return out.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(GoldenTest, TinyScenarioMatchesCheckedInGolden)
+{
+    const std::string path =
+        std::string(ADRIAS_GOLDEN_DIR) + "/tiny_scenario.golden";
+    const std::string actual = renderScenario();
+
+    if (const char *update = std::getenv("ADRIAS_UPDATE_GOLDEN");
+        update && std::string(update) == "1") {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "golden file regenerated at " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — run with ADRIAS_UPDATE_GOLDEN=1 to create it";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string expected = buffer.str();
+
+    if (actual == expected)
+        return;
+
+    // Build a focused diff: first divergence plus every differing line.
+    const auto expected_lines = splitLines(expected);
+    const auto actual_lines = splitLines(actual);
+    std::ostringstream diff;
+    diff << "golden mismatch against " << path << "\n"
+         << "  expected " << expected_lines.size() << " lines, got "
+         << actual_lines.size() << "\n";
+    const std::size_t common =
+        std::min(expected_lines.size(), actual_lines.size());
+    std::size_t shown = 0;
+    for (std::size_t i = 0; i < common && shown < 20; ++i) {
+        if (expected_lines[i] == actual_lines[i])
+            continue;
+        diff << "  line " << (i + 1) << ":\n"
+             << "    - " << expected_lines[i] << "\n"
+             << "    + " << actual_lines[i] << "\n";
+        ++shown;
+    }
+    diff << "If the change is intentional, regenerate with "
+            "ADRIAS_UPDATE_GOLDEN=1 and commit the new golden.";
+    FAIL() << diff.str();
+}
+
+} // namespace
