@@ -24,6 +24,7 @@
 #include "common/csv.hh"
 #include "common/table.hh"
 #include "core/adrias.hh"
+#include "obs/obs.hh"
 
 namespace adrias::bench
 {

@@ -77,8 +77,9 @@ traceScenario(SimTime spawn_max, const std::string &label)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::initFromArgs(argc, argv);
     bench::banner("Fig. 8 — scenario traces across arrival intensities",
                   "heavier arrival rates produce more concurrent apps "
                   "and busier counters; wide phase variety");
@@ -87,5 +88,9 @@ main()
     traceScenario(60, "relaxed");
     std::cout << "\nFull per-second series written to "
               << bench::outputPath("fig08_trace_5_{20,40,60}.csv") << "\n";
+
+    const std::string obs_report = obs::finishRun();
+    if (!obs_report.empty())
+        std::cout << "\nObservability summary:\n" << obs_report;
     return 0;
 }

@@ -59,8 +59,9 @@ evaluate(scenario::PlacementPolicy &policy, std::size_t repeats)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::initFromArgs(argc, argv);
     bench::banner("Fig. 16 — BE orchestration vs baselines",
                   "beta=0.8: ~10% offload, ~0.5% median drop; "
                   "beta=0.7: ~35% offload, ~15% drop; Random/RR worst");
@@ -120,5 +121,9 @@ main()
     std::cout << "\nShape check: naive schedulers dominate the tail; "
                  "beta sweeps trade offload fraction against median "
                  "drop; remote-averse apps stay local.\n";
+
+    const std::string obs_report = obs::finishRun();
+    if (!obs_report.empty())
+        std::cout << "\nObservability summary:\n" << obs_report;
     return 0;
 }

@@ -41,8 +41,9 @@ struct LcOutcome
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::initFromArgs(argc, argv);
     bench::banner("Fig. 17 — LC orchestration: QoS violations vs "
                   "offloads",
                   "Adrias ~ All-Local violations while offloading ~1/3 "
@@ -136,5 +137,9 @@ main()
     std::cout << "\nShape check: Adrias rows show near-All-Local "
                  "violation counts with substantially more offloads at "
                  "loose QoS levels.\n";
+
+    const std::string obs_report = obs::finishRun();
+    if (!obs_report.empty())
+        std::cout << "\nObservability summary:\n" << obs_report;
     return 0;
 }

@@ -167,8 +167,9 @@ printTable(const char *name, const std::vector<Measurement> &measurements)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::initFromArgs(argc, argv);
     bench::banner("micro — parallel scaling (ThreadPool)",
                   "serial vs ADRIAS_THREADS speedup; results must stay "
                   "bitwise identical at every thread count");
@@ -201,5 +202,9 @@ main()
         std::cout << "ERROR: parallel result diverged from serial\n";
         return 1;
     }
+
+    const std::string obs_report = obs::finishRun();
+    if (!obs_report.empty())
+        std::cout << "\nObservability summary:\n" << obs_report;
     return 0;
 }

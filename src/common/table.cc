@@ -71,7 +71,10 @@ formatDouble(double value, int precision)
 {
     std::ostringstream out;
     if (std::isnan(value)) {
-        out << "nan";
+        // Empty-sample statistics (mean/quantile of nothing) are NaN
+        // by contract; report tables render them as "n/a", never as a
+        // number that could be mistaken for a measurement.
+        out << "n/a";
     } else {
         out.setf(std::ios::fixed);
         out.precision(precision);

@@ -20,6 +20,9 @@ thread_local bool t_insideWorker = false;
 /** Active override installed by ScopedThreadOverride (else null). */
 std::atomic<ThreadPool *> g_override{nullptr};
 
+/** Process-wide observer installed via ThreadPool::setObserver. */
+std::atomic<ThreadPool::Observer *> g_observer{nullptr};
+
 /** Completion state shared between one parallelFor and its chunks. */
 struct ForState
 {
@@ -139,14 +142,18 @@ ThreadPool::submit(std::function<void()> task)
         (*packaged)(); // serial pool: run inline
         return result;
     }
+    std::size_t depth = 0;
     {
         MutexLock lock(mutex);
         if (stopping)
             throw std::logic_error(
                 "ThreadPool::submit on a stopping pool");
         queue.push_back([packaged] { (*packaged)(); });
+        depth = queue.size();
     }
     available.notify_one();
+    if (Observer *watcher = observer())
+        watcher->onEnqueue(depth);
     return result;
 }
 
@@ -183,6 +190,7 @@ ThreadPool::parallelFor(
     if (total == 0)
         return;
     const std::size_t chunks = chunkCount(total);
+    Observer *watcher = observer();
 
     // Serial pool, nested call from a worker, or a single chunk: run
     // the *same* chunk sequence inline, in index order.  Identical
@@ -190,31 +198,43 @@ ThreadPool::parallelFor(
     if (workers.empty() || onWorkerThread() || chunks == 1) {
         for (std::size_t c = 0; c < chunks; ++c) {
             const auto [begin, end] = chunkBounds(total, c);
+            if (watcher)
+                watcher->onChunkStart(c, begin, end);
             body(begin, end);
+            if (watcher)
+                watcher->onChunkEnd(c, begin, end);
         }
         return;
     }
 
     ForState state(chunks);
+    std::size_t depth = 0;
     {
         MutexLock lock(mutex);
         if (stopping)
             throw std::logic_error(
                 "ThreadPool::parallelFor on a stopping pool");
         for (std::size_t c = 0; c < chunks; ++c) {
-            queue.push_back([&state, &body, total, c] {
+            queue.push_back([&state, &body, total, c, watcher] {
+                const auto [begin, end] = chunkBounds(total, c);
+                if (watcher)
+                    watcher->onChunkStart(c, begin, end);
                 std::exception_ptr error;
                 try {
-                    const auto [begin, end] = chunkBounds(total, c);
                     body(begin, end);
                 } catch (...) {
                     error = std::current_exception();
                 }
+                if (watcher)
+                    watcher->onChunkEnd(c, begin, end);
                 finishChunk(state, c, error);
             });
         }
+        depth = queue.size();
     }
     available.notify_all();
+    if (watcher)
+        watcher->onEnqueue(depth);
     if (std::exception_ptr first = awaitChunks(state))
         std::rethrow_exception(first);
 }
@@ -257,6 +277,18 @@ ThreadPool *
 ThreadPool::swapGlobal(ThreadPool *next)
 {
     return g_override.exchange(next, std::memory_order_acq_rel);
+}
+
+void
+ThreadPool::setObserver(Observer *observer)
+{
+    g_observer.store(observer, std::memory_order_release);
+}
+
+ThreadPool::Observer *
+ThreadPool::observer()
+{
+    return g_observer.load(std::memory_order_acquire);
 }
 
 ScopedThreadOverride::ScopedThreadOverride(unsigned threads)

@@ -46,6 +46,43 @@ class ThreadPool
 {
   public:
     /**
+     * Process-wide observability hook.  common/ sits below the obs
+     * layer in the dependency order, so the pool cannot call obs
+     * directly; instead obs installs one Observer (setObserver) and
+     * every pool reports queue depth and chunk execution through it.
+     * Callbacks run on worker threads (or inline on the caller for
+     * serial pools) and must not touch the pool: they fire outside the
+     * pool's own lock, and calling back into submit/parallelFor from
+     * one would deadlock or recurse.
+     */
+    class Observer
+    {
+      public:
+        virtual ~Observer() = default;
+
+        /** Work was enqueued; `queue_depth` is the length just after. */
+        virtual void onEnqueue(std::size_t queue_depth) = 0;
+
+        /** Chunk `c` covering [begin, end) is about to run. */
+        virtual void onChunkStart(std::size_t c, std::size_t begin,
+                                  std::size_t end) = 0;
+
+        /** Chunk `c` finished (also called when its body threw). */
+        virtual void onChunkEnd(std::size_t c, std::size_t begin,
+                                std::size_t end) = 0;
+    };
+
+    /**
+     * Install the process-wide observer; nullptr detaches.  Applies to
+     * every pool (global, overrides, ad-hoc).  The observer must stay
+     * alive until detached.
+     */
+    static void setObserver(Observer *observer);
+
+    /** @return the installed observer (nullptr when none). */
+    static Observer *observer();
+
+    /**
      * @param threads worker count; 0 and 1 both mean "serial": no
      *        workers are spawned and all work runs on the caller.
      */

@@ -1,13 +1,55 @@
 #include "core/orchestrator.hh"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/obs.hh"
 #include "scenario/runner.hh"
 
 namespace adrias::core
 {
+
+#if ADRIAS_OBS_ENABLED
+namespace
+{
+
+/**
+ * Report one placement decision to the observability layer: counters
+ * by outcome and decision path, plus a sim-time instant carrying the
+ * full comparison operands (NaN marks an operand the path never
+ * computed — a fallback decision has no t̂, a BE decision no p̂99).
+ */
+void
+recordPlacement(const workloads::WorkloadSpec &spec, SimTime now,
+                MemoryMode mode, const char *path, double t_local,
+                double beta, double t_remote, double p99_remote,
+                double qos)
+{
+    if (!obs::enabled())
+        return;
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.counter("orchestrator.decisions").add();
+    reg.counter(mode == MemoryMode::Remote
+                    ? "orchestrator.remote_placements"
+                    : "orchestrator.local_placements")
+        .add();
+    reg.counter(std::string("orchestrator.path.") + path).add();
+    if (!obs::Tracer::global().enabled())
+        return;
+    obs::Tracer::global().simInstant(
+        "place", "orchestrator", now,
+        {obs::arg("app", spec.name), obs::arg("class", toString(spec.cls)),
+         obs::arg("decision", toString(mode)), obs::arg("path", path),
+         obs::arg("t_local", t_local), obs::arg("beta", beta),
+         obs::arg("t_remote", t_remote),
+         obs::arg("p99_remote", p99_remote), obs::arg("qos", qos)});
+}
+
+} // namespace
+#endif // ADRIAS_OBS_ENABLED
 
 AdriasOrchestrator::AdriasOrchestrator(const models::PredictorBase &predictor_,
                                        scenario::SignatureStore &signatures_,
@@ -77,6 +119,17 @@ MemoryMode
 AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
                           const telemetry::Watcher &watcher, SimTime now)
 {
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan place_span("place", "orchestrator");
+    // Comparison operands for the decision instant; NaN marks an
+    // operand this decision path never computed.
+    constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+    double obs_t_local = kUnset;
+    double obs_t_remote = kUnset;
+    double obs_p99_remote = kUnset;
+    double obs_qos = kUnset;
+    const char *obs_path = "model";
+#endif
     if (guard != nullptr)
         guard->beginDecision(now);
     lastWatcherHealth = watcher.health();
@@ -86,6 +139,10 @@ AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
     if (!signatures->has(spec.name)) {
         ++decisionStats.bootstrapPlacements;
         ++decisionStats.remotePlacements;
+#if ADRIAS_OBS_ENABLED
+        recordPlacement(spec, now, MemoryMode::Remote, "bootstrap",
+                        kUnset, policy.beta, kUnset, kUnset, kUnset);
+#endif
         return MemoryMode::Remote;
     }
 
@@ -93,6 +150,10 @@ AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
     // placement until a history window exists.
     if (watcher.sampleCount() == 0) {
         ++decisionStats.localPlacements;
+#if ADRIAS_OBS_ENABLED
+        recordPlacement(spec, now, MemoryMode::Local, "cold", kUnset,
+                        policy.beta, kUnset, kUnset, kUnset);
+#endif
         return MemoryMode::Local;
     }
 
@@ -110,11 +171,19 @@ AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
                 spec.cls, history, signature, MemoryMode::Remote);
             mode = t_local < policy.beta * t_remote ? MemoryMode::Local
                                                     : MemoryMode::Remote;
+#if ADRIAS_OBS_ENABLED
+            obs_t_local = t_local;
+            obs_t_remote = t_remote;
+#endif
         } else if (spec.cls == WorkloadClass::LatencyCritical) {
             const double p99_remote = predictor->predictPerformance(
                 spec.cls, history, signature, MemoryMode::Remote);
             mode = p99_remote <= qosFor(spec.name) ? MemoryMode::Remote
                                                    : MemoryMode::Local;
+#if ADRIAS_OBS_ENABLED
+            obs_p99_remote = p99_remote;
+            obs_qos = qosFor(spec.name);
+#endif
         } else {
             panic("AdriasOrchestrator asked to place a trasher");
         }
@@ -126,12 +195,19 @@ AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
         logWarn(std::string("AdriasOrchestrator degraded: ") +
                 err.what());
         mode = fallbackPlacement(spec);
+#if ADRIAS_OBS_ENABLED
+        obs_path = "fallback";
+#endif
     }
 
     if (mode == MemoryMode::Remote)
         ++decisionStats.remotePlacements;
     else
         ++decisionStats.localPlacements;
+#if ADRIAS_OBS_ENABLED
+    recordPlacement(spec, now, mode, obs_path, obs_t_local, policy.beta,
+                    obs_t_remote, obs_p99_remote, obs_qos);
+#endif
     return mode;
 }
 

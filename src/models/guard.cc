@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace adrias::models
 {
@@ -36,12 +37,34 @@ GuardedPredictor::GuardedPredictor(const PredictorBase &inner,
 }
 
 void
+GuardedPredictor::obsBreakerSync() const
+{
+#if ADRIAS_OBS_ENABLED
+    const fault::BreakerState current = breakerGate.state();
+    if (current == obsBreakerState)
+        return;
+    obsBreakerState = current;
+    if (!obs::enabled())
+        return;
+    obs::MetricsRegistry::global()
+        .counter("predictor.breaker_transitions")
+        .add();
+    if (obs::Tracer::global().enabled()) {
+        obs::Tracer::global().simInstant(
+            std::string("breaker.") + fault::toString(current),
+            "predictor", decisionTime);
+    }
+#endif
+}
+
+void
 GuardedPredictor::fail(const std::string &reason,
                        bool breaker_failure) const
 {
     if (breaker_failure) {
         ++tallies.failures;
         breakerGate.recordFailure(decisionTime);
+        obsBreakerSync();
     }
     throw PredictionUnavailable("GuardedPredictor: " + reason);
 }
@@ -50,13 +73,28 @@ void
 GuardedPredictor::admitCall(std::uint64_t salt) const
 {
     ++tallies.calls;
+#if ADRIAS_OBS_ENABLED
+    if (obs::enabled()) {
+        static obs::Counter &calls_c =
+            obs::MetricsRegistry::global().counter("predictor.calls");
+        calls_c.add();
+    }
+#endif
 
     if (!breakerGate.allowRequest(decisionTime)) {
+        obsBreakerSync();
         ++tallies.rejectedByBreaker;
+#if ADRIAS_OBS_ENABLED
+        if (obs::enabled())
+            obs::MetricsRegistry::global()
+                .counter("predictor.breaker_rejections")
+                .add();
+#endif
         throw PredictionUnavailable(
             "GuardedPredictor: circuit breaker open (backoff " +
             std::to_string(breakerGate.currentBackoffSec()) + " s)");
     }
+    obsBreakerSync(); // allowRequest can move Open -> HalfOpen
 
     // Injected crash window: the inference call dies outright.
     if (faults && faults->predictorCrashAt(decisionTime, salt)) {
@@ -69,6 +107,16 @@ GuardedPredictor::admitCall(std::uint64_t salt) const
     if (faults)
         latency_ms = faults->predictorLatencyMsAt(decisionTime, salt,
                                                   latency_ms);
+#if ADRIAS_OBS_ENABLED
+    // Record the modelled inference latency whether or not it beats
+    // the deadline: the histogram should show the spikes too.
+    if (obs::enabled()) {
+        static obs::Histogram &latency_h =
+            obs::MetricsRegistry::global().histogram(
+                "predictor.latency_ms");
+        latency_h.observe(latency_ms, decisionTime);
+    }
+#endif
     if (latency_ms > knobs.deadlineMs) {
         ++tallies.deadlineExceeded;
         fail("inference deadline exceeded (" +
@@ -81,6 +129,9 @@ ml::Matrix
 GuardedPredictor::predictSystemState(
     const telemetry::Watcher &watcher) const
 {
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan predict_span("predict_system_state", "predictor");
+#endif
     const std::uint64_t salt = callCounter++;
     admitCall(salt);
     if (watcher.sampleCount() == 0) {
@@ -100,6 +151,14 @@ GuardedPredictor::predictSystemState(
             fail("system-state forecast is not finite", true);
     ++tallies.served;
     breakerGate.recordSuccess(decisionTime);
+    obsBreakerSync();
+#if ADRIAS_OBS_ENABLED
+    if (obs::enabled()) {
+        static obs::Counter &served_c =
+            obs::MetricsRegistry::global().counter("predictor.served");
+        served_c.add();
+    }
+#endif
     return forecast;
 }
 
@@ -108,6 +167,9 @@ GuardedPredictor::predictPerformance(
     WorkloadClass cls, const std::vector<ml::Matrix> &history,
     const std::vector<ml::Matrix> &signature, MemoryMode mode) const
 {
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan predict_span("predict_performance", "predictor");
+#endif
     const std::uint64_t salt = callCounter++;
     admitCall(salt);
 
@@ -132,6 +194,14 @@ GuardedPredictor::predictPerformance(
         fail("performance prediction is not finite", true);
     ++tallies.served;
     breakerGate.recordSuccess(decisionTime);
+    obsBreakerSync();
+#if ADRIAS_OBS_ENABLED
+    if (obs::enabled()) {
+        static obs::Counter &served_c =
+            obs::MetricsRegistry::global().counter("predictor.served");
+        served_c.add();
+    }
+#endif
     return prediction;
 }
 

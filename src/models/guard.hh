@@ -117,8 +117,18 @@ class GuardedPredictor : public PredictorBase
     mutable std::uint64_t callCounter = 0;
     SimTime decisionTime = 0;
 
+    /** Breaker state last reported to obs (transition detection). */
+    mutable fault::BreakerState obsBreakerState =
+        fault::BreakerState::Closed;
+
     /** Common gate for both prediction entry points. */
     void admitCall(std::uint64_t salt) const;
+
+    /**
+     * Report a breaker state change to the observability layer (no-op
+     * when the state is unchanged or obs is compiled out/disabled).
+     */
+    void obsBreakerSync() const;
 
     [[noreturn]] void fail(const std::string &reason,
                            bool breaker_failure) const;

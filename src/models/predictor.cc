@@ -1,6 +1,7 @@
 #include "models/predictor.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "scenario/runner.hh"
 
 namespace adrias::models
@@ -38,6 +39,9 @@ Predictor::train(
 ml::Matrix
 Predictor::predictSystemState(const telemetry::Watcher &watcher) const
 {
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan infer_span("infer_system_state", "predictor");
+#endif
     if (!isTrained)
         fatal("Predictor::predictSystemState before train()");
     const auto window = watcher.binnedWindow(
@@ -54,6 +58,15 @@ Predictor::predictPerformance(WorkloadClass cls,
 {
     if (!isTrained)
         fatal("Predictor::predictPerformance before train()");
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan infer_span("infer_performance", "predictor");
+    if (obs::enabled()) {
+        static obs::Counter &inferences =
+            obs::MetricsRegistry::global().counter(
+                "predictor.inferences");
+        inferences.add();
+    }
+#endif
     const ml::Matrix future = system->predict(history);
     switch (cls) {
       case WorkloadClass::BestEffort:

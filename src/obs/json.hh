@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal JSON rendering helpers shared by the metrics and trace
+ * exporters.  Only what the exporters need: string escaping and a
+ * number formatter that maps non-finite values to null (NaN/Inf are
+ * not valid JSON).
+ */
+
+#ifndef ADRIAS_OBS_JSON_HH
+#define ADRIAS_OBS_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace adrias::obs
+{
+
+/** Escape a string for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a double as a JSON token; non-finite values become null. */
+inline std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+} // namespace adrias::obs
+
+#endif // ADRIAS_OBS_JSON_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Observability layer entry point (DESIGN.md §10).
+ *
+ * Two independent switches govern cost:
+ *  - Compile time: the ADRIAS_OBS CMake option (default ON) defines
+ *    ADRIAS_OBS_ENABLED.  OFF compiles the layer to no-ops — metric
+ *    mutators become empty inline bodies, the tracer cannot be
+ *    enabled, and instrumentation sites (all wrapped in
+ *    `#if ADRIAS_OBS_ENABLED`) vanish from the binary.
+ *  - Run time: obs::setEnabled(true) arms metric recording;
+ *    Tracer::global().setEnabled(true) additionally records trace
+ *    events.  Both default to off, so an uninstrumented run pays one
+ *    relaxed atomic load per site.
+ *
+ * startRun()/finishRun() bracket an observed run: startRun arms both
+ * switches, installs the ThreadPool observer and remembers the output
+ * directory; finishRun writes trace.json (Chrome trace_event, for
+ * about:tracing), events.jsonl and metrics.jsonl there and returns the
+ * end-of-run summary table.  initFromArgs() wires the conventional
+ * `--obs-out <dir>` flag (or the ADRIAS_OBS_OUT environment knob) used
+ * by the scenario-runner benches.
+ */
+
+#ifndef ADRIAS_OBS_OBS_HH
+#define ADRIAS_OBS_OBS_HH
+
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace adrias::obs
+{
+
+/** @return true when the layer was compiled in (ADRIAS_OBS=ON). */
+constexpr bool
+compiledIn()
+{
+    return ADRIAS_OBS_ENABLED != 0;
+}
+
+#if ADRIAS_OBS_ENABLED
+namespace detail
+{
+extern std::atomic<bool> g_metricsEnabled;
+} // namespace detail
+
+/** @return true while metric recording is armed. */
+inline bool
+enabled()
+{
+    return detail::g_metricsEnabled.load(std::memory_order_relaxed);
+}
+#else
+constexpr bool
+enabled()
+{
+    return false;
+}
+#endif
+
+/** Arm or disarm metric recording (no-op under ADRIAS_OBS=OFF). */
+void setEnabled(bool on);
+
+/**
+ * Arm metrics + tracing and set the artifact directory for
+ * finishRun().  Pass an empty dir to observe without writing files.
+ */
+void startRun(const std::string &out_dir);
+
+/**
+ * Finish an observed run: when an output directory is set, write
+ * trace.json, events.jsonl and metrics.jsonl into it.
+ *
+ * @return the metrics summary table (plus artifact paths when files
+ *         were written); empty string when observation is off.
+ */
+std::string finishRun();
+
+/**
+ * Parse `--obs-out <dir>` from argv, falling back to the
+ * ADRIAS_OBS_OUT environment variable, and startRun() when present.
+ *
+ * @return true when observation was enabled.
+ */
+bool initFromArgs(int argc, char **argv);
+
+/** Reset every metric value and drop all trace events (tests). */
+void resetAll();
+
+} // namespace adrias::obs
+
+#endif // ADRIAS_OBS_OBS_HH

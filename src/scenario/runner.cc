@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
+#include "obs/obs.hh"
 #include "telemetry/watcher.hh"
 
 namespace adrias::scenario
@@ -54,6 +55,14 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig config_,
 ScenarioResult
 ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
 {
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan run_span(
+        "run", "scenario",
+        {obs::arg("seed", static_cast<std::int64_t>(config.seed)),
+         obs::arg("duration_s",
+                  static_cast<std::int64_t>(config.durationSec)),
+         obs::arg("policy", policy.name())});
+#endif
     Rng rng(config.seed);
     testbed::Testbed bed(testbedParams, rng.nextU64());
     bed.setNoise(config.counterNoise);
@@ -80,8 +89,15 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
         while (now >= next_arrival) {
             next_arrival +=
                 rng.uniformInt(config.spawnMinSec, config.spawnMaxSec);
-            if (running.size() >= config.maxConcurrent)
+            if (running.size() >= config.maxConcurrent) {
+#if ADRIAS_OBS_ENABLED
+                if (obs::enabled())
+                    obs::MetricsRegistry::global()
+                        .counter("scenario.dropped_arrivals")
+                        .add();
+#endif
                 continue; // testbed full: drop, as the prototype would
+            }
 
             const double draw = rng.uniform();
             const WorkloadSpec *spec = nullptr;
@@ -110,6 +126,20 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
             auto instance = std::make_unique<WorkloadInstance>(
                 next_id++, *spec, mode, now, rng.nextU64());
             running.push_back(std::move(instance));
+
+#if ADRIAS_OBS_ENABLED
+            if (obs::enabled()) {
+                obs::MetricsRegistry::global()
+                    .counter("scenario.arrivals")
+                    .add();
+                if (obs::Tracer::global().enabled()) {
+                    obs::Tracer::global().simInstant(
+                        "arrival:" + spec->name, "scenario", now,
+                        {obs::arg("class", toString(spec->cls)),
+                         obs::arg("mode", toString(mode))});
+                }
+            }
+#endif
         }
 
         // --- one second of contention ----------------------------------
@@ -139,6 +169,21 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
         result.trace.push_back(watcher.latest());
         result.concurrency.push_back(static_cast<int>(running.size()));
         result.totalRemoteTrafficGB += tick.remoteTrafficGBps;
+
+#if ADRIAS_OBS_ENABLED
+        if (obs::enabled()) {
+            static obs::Counter &ticks_c =
+                obs::MetricsRegistry::global().counter("scenario.ticks");
+            ticks_c.add();
+            if (obs::Tracer::global().enabled()) {
+                obs::Tracer::global().simSpan(
+                    "tick", "scenario", now, now + 1,
+                    {obs::arg("concurrency", static_cast<std::int64_t>(
+                                                 running.size())),
+                     obs::arg("pressure", tick.channelPressure)});
+            }
+        }
+#endif
 
         // --- progress & completion -------------------------------------
         for (std::size_t i = 0; i < running.size(); ++i)
@@ -179,6 +224,20 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
                 result.trace, static_cast<std::size_t>(record.arrival),
                 result.trace.size(), kWindowBins);
             policy.onCompletion(record);
+#if ADRIAS_OBS_ENABLED
+            if (obs::enabled()) {
+                obs::MetricsRegistry::global()
+                    .counter("scenario.completions")
+                    .add();
+                if (obs::Tracer::global().enabled()) {
+                    obs::Tracer::global().simInstant(
+                        "complete:" + record.name, "scenario", now + 1,
+                        {obs::arg("mode", toString(record.mode)),
+                         obs::arg("exec_s", record.execTimeSec),
+                         obs::arg("slowdown", record.meanSlowdown)});
+                }
+            }
+#endif
             result.records.push_back(std::move(record));
             running.erase(running.begin() +
                           static_cast<std::ptrdiff_t>(i));
@@ -211,6 +270,11 @@ runScenarioSweep(
     std::vector<ScenarioResult> results(configs.size());
     ThreadPool::global().parallelForEach(
         configs.size(), [&](std::size_t i) {
+#if ADRIAS_OBS_ENABLED
+            // One trace lane per sweep item: overlapping per-seed
+            // simulations land on separate about:tracing rows.
+            obs::ScopedLane lane(static_cast<int>(i) + 1);
+#endif
             ScenarioRunner runner(configs[i], params);
             results[i] = runner.run(*policies[i]);
         });

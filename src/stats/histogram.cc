@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -70,8 +71,14 @@ DistributionSummary
 DistributionSummary::from(const std::vector<double> &values)
 {
     DistributionSummary s;
-    if (values.empty())
+    if (values.empty()) {
+        // All order statistics of an empty sample are NaN (rendered as
+        // "n/a" by formatDouble), matching quantile() and mean().
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        s.min = s.p25 = s.median = s.p75 = s.p95 = s.p99 = nan;
+        s.max = s.mean = nan;
         return s;
+    }
     s.count = values.size();
     s.min = *std::min_element(values.begin(), values.end());
     s.max = *std::max_element(values.begin(), values.end());

@@ -67,7 +67,10 @@ struct DistributionSummary
     double max = 0.0;
     double mean = 0.0;
 
-    /** Compute from a sample (empty sample yields all zeros). */
+    /**
+     * Compute from a sample.  An empty sample yields count == 0 and
+     * NaN for every statistic — "no data" must never read as 0.0.
+     */
     static DistributionSummary from(const std::vector<double> &values);
 
     /** One-line rendering for bench tables. */

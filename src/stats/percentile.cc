@@ -35,8 +35,11 @@ PercentileTracker::quantile(double q) const
 double
 PercentileTracker::mean() const
 {
+    // NaN, not 0.0: an empty tracker must read as "no data", exactly
+    // like quantile().  A zero here once let an idle LC app report a
+    // perfect mean latency.
     if (samples.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     double total = 0.0;
     for (double v : samples)
         total += v;
@@ -59,6 +62,11 @@ ReservoirSampler::add(double value)
         reservoir.push_back(value);
         return;
     }
+    // Algorithm R: this is observation number `seen` (1-based), so the
+    // slot draw must cover {0, ..., seen-1} *inclusive* — uniformInt's
+    // closed upper bound is load-bearing.  P(slot < cap) = cap/seen,
+    // the textbook replacement probability; excluding the bound (or
+    // drawing before ++seen) would over-retain late observations.
     const auto slot = static_cast<std::size_t>(
         rng.uniformInt(0, static_cast<std::int64_t>(seen - 1)));
     if (slot < cap)

@@ -42,7 +42,7 @@ class PercentileTracker
     /** @return number of recorded observations. */
     std::size_t count() const { return samples.size(); }
 
-    /** @return mean of the recorded observations (0 when empty). */
+    /** @return mean of the recorded observations (NaN when empty). */
     double mean() const;
 
     /** Drop all observations. */
@@ -58,6 +58,18 @@ class PercentileTracker
 /**
  * Bounded-memory quantile estimator using reservoir sampling
  * (Vitter's algorithm R).
+ *
+ * Semantics: the first `capacity` observations fill the reservoir
+ * directly.  Observation number n > capacity (1-based) draws a slot
+ * uniformly from {0, ..., n-1} — `rng.uniformInt(0, seen - 1)` with
+ * *inclusive* bounds, after `seen` has been advanced — and replaces
+ * `reservoir[slot]` only when slot < capacity.  The replacement
+ * probability is therefore exactly capacity/n, which by induction
+ * keeps every observation retained with equal probability capacity/n.
+ * The Rng's uniformInt uses rejection sampling, so no modulo bias
+ * skews the slot choice.  Replacement decisions are driven entirely by
+ * the seeded Rng: one (seed, input sequence) pair always yields the
+ * same reservoir, making quantiles over it reproducible.
  */
 class ReservoirSampler
 {
@@ -80,6 +92,9 @@ class ReservoirSampler
 
     /** @return number of retained samples. */
     std::size_t retained() const { return reservoir.size(); }
+
+    /** @return the retained samples (reservoir slot order). */
+    const std::vector<double> &values() const { return reservoir; }
 
   private:
     std::size_t cap;

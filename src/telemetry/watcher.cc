@@ -5,6 +5,7 @@
 
 #include "common/invariant.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace adrias::telemetry
 {
@@ -25,7 +26,7 @@ Watcher::advanceStampLocked(SimTime now)
     lastStamp = now;
 }
 
-void
+std::size_t
 Watcher::recordLocked(const CounterSample &sample)
 {
     CounterSample accepted = sample;
@@ -42,10 +43,38 @@ Watcher::recordLocked(const CounterSample &sample)
         ++state.samplesRepaired;
         state.eventsRepaired += repaired;
     }
-    haveGood = true;
     ++state.samplesAccepted;
-    state.stalenessSec = 0;
+    if (repaired == kNumPerfEvents) {
+        // Every event was substituted: this sample carries no fresh
+        // telemetry, so the dropout streak stays open.  Resetting
+        // staleness here once made a run that ended on poisoned
+        // samples under-report its worst streak.
+        ++state.stalenessSec;
+        state.maxStalenessSec =
+            std::max(state.maxStalenessSec, state.stalenessSec);
+    } else {
+        haveGood = true;
+        state.stalenessSec = 0;
+    }
     history.push(accepted);
+
+#if ADRIAS_OBS_ENABLED
+    if (obs::enabled()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        static obs::Counter &accepted_c =
+            reg.counter("watcher.samples_accepted");
+        static obs::Counter &repaired_c =
+            reg.counter("watcher.samples_repaired");
+        static obs::Counter &events_c =
+            reg.counter("watcher.events_repaired");
+        accepted_c.add();
+        if (repaired > 0) {
+            repaired_c.add();
+            events_c.add(repaired);
+        }
+    }
+#endif
+    return repaired;
 }
 
 void
@@ -60,7 +89,18 @@ Watcher::record(const CounterSample &sample, SimTime now)
 {
     MutexLock lock(mu);
     advanceStampLocked(now);
-    recordLocked(sample);
+    const std::size_t repaired = recordLocked(sample);
+    (void)repaired;
+#if ADRIAS_OBS_ENABLED
+    if (repaired > 0 && obs::Tracer::global().enabled()) {
+        obs::Tracer::global().simInstant(
+            "repair", "watcher", now,
+            {obs::arg("events_repaired",
+                      static_cast<std::int64_t>(repaired)),
+             obs::arg("staleness_s",
+                      static_cast<std::int64_t>(state.stalenessSec))});
+    }
+#endif
 }
 
 void
@@ -72,6 +112,15 @@ Watcher::recordDroppedLocked()
         std::max(state.maxStalenessSec, state.stalenessSec);
     // Hold the last value so window indexing stays one-per-second.
     history.push(haveGood ? lastGood : CounterSample{});
+
+#if ADRIAS_OBS_ENABLED
+    if (obs::enabled()) {
+        static obs::Counter &dropped_c =
+            obs::MetricsRegistry::global().counter(
+                "watcher.samples_dropped");
+        dropped_c.add();
+    }
+#endif
 }
 
 void
@@ -87,6 +136,14 @@ Watcher::recordDropped(SimTime now)
     MutexLock lock(mu);
     advanceStampLocked(now);
     recordDroppedLocked();
+#if ADRIAS_OBS_ENABLED
+    if (obs::Tracer::global().enabled()) {
+        obs::Tracer::global().simInstant(
+            "dropout", "watcher", now,
+            {obs::arg("staleness_s",
+                      static_cast<std::int64_t>(state.stalenessSec))});
+    }
+#endif
 }
 
 WatcherHealth
@@ -126,6 +183,10 @@ Watcher::binnedWindow(std::size_t window_seconds, std::size_t bins) const
 {
     if (bins == 0 || window_seconds == 0)
         fatal("Watcher::binnedWindow needs positive window and bins");
+
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan window_span("binned_window", "watcher");
+#endif
 
     MutexLock lock(mu);
     if (history.empty())

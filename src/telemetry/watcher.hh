@@ -35,10 +35,18 @@ struct WatcherHealth
     /** Ticks on which no fresh sample arrived (telemetry dropout). */
     std::size_t samplesDropped = 0;
 
-    /** Consecutive ticks since the last fresh sample. */
+    /**
+     * Consecutive ticks since the last fresh sample.  Dropouts and
+     * fully-repaired samples (every event substituted) both extend the
+     * streak; the first sample carrying at least one genuine event
+     * resets it to 0.
+     */
     std::size_t stalenessSec = 0;
 
-    /** Worst dropout streak seen, seconds. */
+    /**
+     * Worst dropout streak seen, seconds.  Updated as a streak grows,
+     * so a streak still open at end-of-run is already included.
+     */
     std::size_t maxStalenessSec = 0;
 };
 
@@ -140,7 +148,8 @@ class Watcher
 
     static constexpr SimTime kNoStamp = -1;
 
-    void recordLocked(const testbed::CounterSample &sample)
+    /** @return the number of events repaired in this sample. */
+    std::size_t recordLocked(const testbed::CounterSample &sample)
         ADRIAS_REQUIRES(mu);
     void recordDroppedLocked() ADRIAS_REQUIRES(mu);
     void advanceStampLocked(SimTime now) ADRIAS_REQUIRES(mu);

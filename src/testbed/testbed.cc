@@ -6,6 +6,7 @@
 
 #include "common/invariant.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace adrias::testbed
 {
@@ -144,6 +145,9 @@ Testbed::noisy(double value)
 TickResult
 Testbed::tick(const std::vector<LoadDescriptor> &loads)
 {
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan tick_span("tick", "testbed");
+#endif
     TickResult result;
     result.outcomes.resize(loads.size());
 
@@ -313,6 +317,38 @@ Testbed::tick(const std::vector<LoadDescriptor> &loads)
     // Release builds; the constant-false branch folds away).
     if (invariant::kEnabled)
         checkTickInvariants(loads, result, parameters, channelBwScale);
+
+#if ADRIAS_OBS_ENABLED
+    ++obsTickCount;
+    if (obs::enabled()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        // The registry hands out stable references; cache them so the
+        // per-tick cost is atomic bumps, not name lookups.
+        static obs::Counter &ticks = reg.counter("testbed.ticks");
+        static obs::Gauge &pressure =
+            reg.gauge("testbed.channel_pressure");
+        static obs::Histogram &latency =
+            reg.histogram("testbed.channel_latency_cycles");
+        ticks.add();
+        pressure.set(result.channelPressure);
+        latency.observe(result.channelLatencyCycles);
+        // Back-pressure transitions: the channel enters its latency
+        // ramp when pressure crosses rampStart (observation R2).
+        const bool pressured =
+            result.channelPressure > parameters.channelRampStart;
+        if (pressured != obsBackpressured) {
+            obsBackpressured = pressured;
+            reg.counter("testbed.backpressure_transitions").add();
+            if (obs::Tracer::global().enabled()) {
+                obs::Tracer::global().simInstant(
+                    pressured ? "backpressure_on" : "backpressure_off",
+                    "testbed", static_cast<SimTime>(obsTickCount),
+                    {obs::arg("pressure", result.channelPressure),
+                     obs::arg("ramp_start", parameters.channelRampStart)});
+            }
+        }
+    }
+#endif
     return result;
 }
 

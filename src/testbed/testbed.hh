@@ -148,6 +148,12 @@ class Testbed
     double channelBwScale = 1.0;
     double channelLatencyScale = 1.0;
 
+    /** Ticks resolved so far (observability: instant timestamps). */
+    std::int64_t obsTickCount = 0;
+
+    /** Last tick's back-pressure state (observability: transitions). */
+    bool obsBackpressured = false;
+
     /** Apply multiplicative measurement noise to a counter value. */
     double noisy(double value);
 };

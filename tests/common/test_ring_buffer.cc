@@ -128,6 +128,39 @@ TEST(RingBuffer, WrapBoundaryExactlyAtCapacity)
     EXPECT_EQ(buf.toVector(), (std::vector<int>{2, 3, 4, 5}));
 }
 
+TEST(RingBuffer, ToVectorAndAtAgreeAtExactlyCapacityPushes)
+{
+    // At exactly `capacity` pushes the head has wrapped back to slot 0
+    // but nothing was evicted yet: every chronological index must map
+    // straight through, by at() and by toVector() alike.
+    RingBuffer<int> buf(5);
+    for (int v = 10; v < 15; ++v)
+        buf.push(v);
+    ASSERT_TRUE(buf.full());
+    ASSERT_EQ(buf.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(buf.at(i), 10 + static_cast<int>(i)) << "index " << i;
+    EXPECT_EQ(buf.toVector(), (std::vector<int>{10, 11, 12, 13, 14}));
+}
+
+TEST(RingBuffer, ToVectorAndAtAgreeAtCapacityPlusOnePushes)
+{
+    // capacity + 1 pushes: the first eviction.  Chronological index 0
+    // must now live at physical slot 1, and toVector() must replay
+    // at() exactly.
+    RingBuffer<int> buf(5);
+    for (int v = 10; v < 16; ++v)
+        buf.push(v);
+    ASSERT_EQ(buf.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(buf.at(i), 11 + static_cast<int>(i)) << "index " << i;
+    const auto v = buf.toVector();
+    ASSERT_EQ(v.size(), buf.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_EQ(v[i], buf.at(i)) << "index " << i;
+    EXPECT_EQ(v, (std::vector<int>{11, 12, 13, 14, 15}));
+}
+
 TEST(RingBuffer, AllEqualElementsSurviveWrap)
 {
     RingBuffer<int> buf(3);

@@ -59,9 +59,11 @@ TEST(TextTable, ColumnsAreAligned)
     EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
 }
 
-TEST(FormatDouble, HandlesNaN)
+TEST(FormatDouble, RendersNaNAsNotAvailable)
 {
-    EXPECT_EQ(formatDouble(std::nan(""), 2), "nan");
+    // Empty-sample statistics are NaN by contract; tables must show
+    // them as "n/a", not as a number-like token.
+    EXPECT_EQ(formatDouble(std::nan(""), 2), "n/a");
 }
 
 TEST(FormatDouble, FixedPrecision)

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * End-to-end observability test: run a scenario through the full
+ * Watcher → GuardedPredictor → Orchestrator pipeline with obs armed
+ * and assert the trace carries events from every instrumented layer
+ * (testbed, watcher, predictor, orchestrator, threadpool, scenario)
+ * and that the layer counters moved.  With ADRIAS_OBS=OFF the same
+ * pipeline must leave the trace and every counter untouched.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.hh"
+#include "core/orchestrator.hh"
+#include "models/guard.hh"
+#include "obs/obs.hh"
+#include "scenario/runner.hh"
+
+namespace
+{
+
+using namespace adrias;
+
+/** Deterministic stand-in for the trained prediction stack. */
+class FakePredictor final : public models::PredictorBase
+{
+  public:
+    ml::Matrix
+    predictSystemState(const telemetry::Watcher &watcher) const override
+    {
+        (void)watcher;
+        return ml::Matrix(1, testbed::kNumPerfEvents);
+    }
+
+    double
+    predictPerformance(WorkloadClass cls,
+                       const std::vector<ml::Matrix> &history,
+                       const std::vector<ml::Matrix> &signature,
+                       MemoryMode mode) const override
+    {
+        (void)cls;
+        (void)history;
+        (void)signature;
+        // Local slightly ahead of beta-scaled remote: a mix of
+        // local/remote decisions over a run.
+        return mode == MemoryMode::Local ? 100.0 : 118.0;
+    }
+
+    bool trained() const override { return true; }
+};
+
+/** One short scenario through the full guarded pipeline. */
+scenario::ScenarioResult
+runPipeline()
+{
+    FakePredictor inner;
+    models::GuardedPredictor guard(inner);
+    scenario::SignatureStore signatures;
+    core::AdriasConfig config;
+    config.beta = 0.8;
+    core::AdriasOrchestrator orchestrator(guard, signatures, config);
+
+    scenario::ScenarioConfig scenario_config;
+    // Long enough that first-encounter apps complete their bootstrap
+    // runs and later arrivals flow through the model path.
+    scenario_config.durationSec = 1500;
+    scenario_config.spawnMaxSec = 25;
+    scenario_config.seed = 11;
+    scenario::ScenarioRunner runner(scenario_config);
+    return runner.run(orchestrator);
+}
+
+#if ADRIAS_OBS_ENABLED
+
+TEST(ObsPipeline, TraceCarriesEventsFromEveryLayer)
+{
+    obs::resetAll();
+    obs::setEnabled(true);
+    obs::Tracer::global().setEnabled(true);
+
+    const scenario::ScenarioResult result = runPipeline();
+    ASSERT_FALSE(result.records.empty());
+
+    // Drive the thread pool directly too: on a single-core host the
+    // scenario itself never enqueues.
+    ThreadPool::global().parallelForEach(64, [](std::size_t) {});
+
+    obs::Tracer::global().setEnabled(false);
+    obs::setEnabled(false);
+
+    std::set<std::string> cats;
+    for (const obs::TraceEvent &event : obs::Tracer::global().snapshot())
+        cats.insert(event.cat);
+    EXPECT_TRUE(cats.count("testbed")) << "no testbed events";
+    EXPECT_TRUE(cats.count("watcher")) << "no watcher events";
+    EXPECT_TRUE(cats.count("predictor")) << "no predictor events";
+    EXPECT_TRUE(cats.count("orchestrator")) << "no orchestrator events";
+    EXPECT_TRUE(cats.count("threadpool")) << "no threadpool events";
+    EXPECT_TRUE(cats.count("scenario")) << "no scenario events";
+
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    EXPECT_GT(reg.counter("testbed.ticks").get(), 0u);
+    EXPECT_GT(reg.counter("watcher.samples_accepted").get(), 0u);
+    EXPECT_GT(reg.counter("predictor.calls").get(), 0u);
+    EXPECT_GT(reg.counter("orchestrator.decisions").get(), 0u);
+    EXPECT_GT(reg.counter("scenario.ticks").get(), 0u);
+    EXPECT_GT(reg.counter("threadpool.chunks").get(), 0u);
+    EXPECT_GT(reg.histogram("predictor.latency_ms").snapshot().count, 0u);
+
+    // Placement instants carry the full comparison operands.
+    bool saw_operands = false;
+    for (const obs::TraceEvent &event : obs::Tracer::global().snapshot()) {
+        if (event.name != "place")
+            continue;
+        std::set<std::string> keys;
+        for (const obs::TraceArg &a : event.args)
+            keys.insert(a.key);
+        EXPECT_TRUE(keys.count("t_local"));
+        EXPECT_TRUE(keys.count("beta"));
+        EXPECT_TRUE(keys.count("t_remote"));
+        EXPECT_TRUE(keys.count("p99_remote"));
+        EXPECT_TRUE(keys.count("qos"));
+        saw_operands = true;
+        break;
+    }
+    EXPECT_TRUE(saw_operands) << "no placement instant recorded";
+
+    obs::resetAll();
+}
+
+TEST(ObsPipeline, DisarmedRunRecordsNothing)
+{
+    obs::resetAll();
+    obs::setEnabled(false);
+    obs::Tracer::global().setEnabled(false);
+
+    const scenario::ScenarioResult result = runPipeline();
+    ASSERT_FALSE(result.records.empty());
+
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .counter("orchestrator.decisions")
+                  .get(),
+              0u);
+}
+
+#else // !ADRIAS_OBS_ENABLED
+
+TEST(ObsPipeline, CompiledOutPipelineLeavesNoTrace)
+{
+    obs::setEnabled(true); // must be inert
+    obs::Tracer::global().setEnabled(true);
+
+    const scenario::ScenarioResult result = runPipeline();
+    ASSERT_FALSE(result.records.empty());
+
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .counter("orchestrator.decisions")
+                  .get(),
+              0u);
+}
+
+#endif // ADRIAS_OBS_ENABLED
+
+} // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stats/histogram.hh"
 
 namespace adrias::stats
@@ -62,11 +64,15 @@ TEST(Histogram, SketchHasOneLinePerBin)
     EXPECT_EQ(lines, 4u);
 }
 
-TEST(DistributionSummary, EmptySampleIsZeroed)
+TEST(DistributionSummary, EmptySampleIsAllNaN)
 {
     const auto s = DistributionSummary::from({});
     EXPECT_EQ(s.count, 0u);
-    EXPECT_EQ(s.median, 0.0);
+    EXPECT_TRUE(std::isnan(s.min));
+    EXPECT_TRUE(std::isnan(s.median));
+    EXPECT_TRUE(std::isnan(s.p99));
+    EXPECT_TRUE(std::isnan(s.max));
+    EXPECT_TRUE(std::isnan(s.mean));
 }
 
 TEST(DistributionSummary, OrderedStatistics)

@@ -31,11 +31,14 @@ TEST(Quantile, AllEqualSampleIsFlatAcrossQ)
         EXPECT_DOUBLE_EQ(quantile(flat, q), 4.25) << "q=" << q;
 }
 
-TEST(PercentileTracker, EmptyTrackerQuantileIsNaN)
+TEST(PercentileTracker, EmptyTrackerQuantileAndMeanAreNaN)
 {
+    // Regression: mean() once returned 0.0 on an empty tracker while
+    // quantile() returned NaN, so "no data" looked like a perfect
+    // latency.  Both must agree on NaN.
     const PercentileTracker t;
     EXPECT_TRUE(std::isnan(t.quantile(0.5)));
-    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+    EXPECT_TRUE(std::isnan(t.mean()));
 }
 
 TEST(PercentileTracker, SingleObservation)
@@ -115,7 +118,7 @@ TEST(PercentileTracker, TracksCountMeanQuantile)
     EXPECT_NEAR(t.quantile(0.99), 99.01, 1e-9);
     t.clear();
     EXPECT_EQ(t.count(), 0u);
-    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+    EXPECT_TRUE(std::isnan(t.mean()));
 }
 
 TEST(ReservoirSampler, RetainsAllBelowCapacity)
@@ -153,6 +156,75 @@ TEST(ReservoirSampler, QuantileApproximatesTrueQuantile)
 TEST(ReservoirSampler, ZeroCapacityIsFatal)
 {
     EXPECT_THROW(ReservoirSampler(0), std::runtime_error);
+}
+
+TEST(ReservoirSampler, SeedPinnedReservoirIsDeterministic)
+{
+    // Vitter regression: one (seed, input stream) pair must always
+    // yield the same reservoir, so quantiles over it are reproducible
+    // run to run.
+    ReservoirSampler a(32, 777);
+    ReservoirSampler b(32, 777);
+    for (int i = 0; i < 5000; ++i) {
+        a.add(static_cast<double>(i));
+        b.add(static_cast<double>(i));
+    }
+    ASSERT_EQ(a.values().size(), 32u);
+    EXPECT_EQ(a.values(), b.values());
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+    EXPECT_DOUBLE_EQ(a.quantile(0.99), b.quantile(0.99));
+
+    // A different seed must be able to make different replacement
+    // choices over the same stream.
+    ReservoirSampler c(32, 778);
+    for (int i = 0; i < 5000; ++i)
+        c.add(static_cast<double>(i));
+    EXPECT_NE(a.values(), c.values());
+}
+
+TEST(ReservoirSampler, ReplacementProbabilityIsCapOverN)
+{
+    // Sharp Algorithm R check at capacity 1: after {x, y}, P(retain y)
+    // must be 1/2.  The buggy variants this guards against are
+    // exclusive bounds on the slot draw (P = 1, always replaces) and
+    // drawing before the count advances (P = 1 as well at n = 2), so
+    // any bias here lands far outside the tolerance band.
+    int replaced = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        ReservoirSampler r(1, static_cast<std::uint64_t>(t) + 1);
+        r.add(0.0);
+        r.add(1.0);
+        replaced += r.values().front() > 0.5 ? 1 : 0;
+    }
+    const double rate =
+        static_cast<double>(replaced) / static_cast<double>(trials);
+    EXPECT_NEAR(rate, 0.5, 0.03);
+}
+
+TEST(ReservoirSampler, EveryObservationRetainedUniformly)
+{
+    // With capacity K over N observations every index must survive
+    // with probability K/N — the defining Vitter property.  Tally
+    // per-index retention over many independently seeded reservoirs.
+    const std::size_t kCap = 8;
+    const int kN = 64;
+    const int trials = 3000;
+    std::vector<int> kept(kN, 0);
+    for (int t = 0; t < trials; ++t) {
+        ReservoirSampler r(kCap, static_cast<std::uint64_t>(t) + 1);
+        for (int i = 0; i < kN; ++i)
+            r.add(static_cast<double>(i));
+        for (double v : r.values())
+            ++kept[static_cast<std::size_t>(v)];
+    }
+    const double expected = static_cast<double>(kCap) / kN; // 0.125
+    for (int i = 0; i < kN; ++i) {
+        const double rate =
+            static_cast<double>(kept[static_cast<std::size_t>(i)]) /
+            static_cast<double>(trials);
+        EXPECT_NEAR(rate, expected, 0.035) << "index " << i;
+    }
 }
 
 class QuantileMonotoneTest : public ::testing::TestWithParam<double>

@@ -153,6 +153,55 @@ TEST(Watcher, DroppedTicksPadWithLastSampleAndTrackStaleness)
     EXPECT_EQ(watcher.health().maxStalenessSec, 2u);
 }
 
+TEST(Watcher, FullyPoisonedSampleKeepsStalenessStreakOpen)
+{
+    // Regression: a sample whose every event needed repair used to
+    // count as fresh and reset stalenessSec, hiding a telemetry outage
+    // behind the repair path.
+    Watcher watcher(10);
+    watcher.record(constantSample(5.0));
+    watcher.recordDropped();
+    watcher.recordDropped();
+
+    CounterSample poisoned;
+    poisoned.fill(std::nan(""));
+    watcher.record(poisoned);
+
+    const WatcherHealth health = watcher.health();
+    EXPECT_EQ(health.samplesAccepted, 2u);
+    EXPECT_EQ(health.samplesRepaired, 1u);
+    EXPECT_EQ(health.stalenessSec, 3u);
+    EXPECT_EQ(health.maxStalenessSec, 3u);
+
+    // History still advances with the repaired (last-good) values.
+    EXPECT_EQ(watcher.sampleCount(), 4u);
+    EXPECT_DOUBLE_EQ(watcher.latest()[0], 5.0);
+
+    // First sample carrying any genuine event closes the streak.
+    watcher.record(constantSample(6.0));
+    EXPECT_EQ(watcher.health().stalenessSec, 0u);
+    EXPECT_EQ(watcher.health().maxStalenessSec, 3u);
+}
+
+TEST(Watcher, MaxStalenessCapturesStreakStillOpenAtEndOfRun)
+{
+    // The worst streak must be visible even when no fresh sample ever
+    // arrives to close it — health() is typically read at end-of-run.
+    Watcher watcher(10);
+    watcher.record(constantSample(2.0));
+    watcher.recordDropped();
+    watcher.recordDropped();
+    watcher.recordDropped();
+    EXPECT_EQ(watcher.health().stalenessSec, 3u);
+    EXPECT_EQ(watcher.health().maxStalenessSec, 3u);
+
+    // An open streak extended by a fully-poisoned sample still counts.
+    CounterSample poisoned;
+    poisoned.fill(-1.0);
+    watcher.record(poisoned);
+    EXPECT_EQ(watcher.health().maxStalenessSec, 4u);
+}
+
 TEST(Watcher, ColdStartDropoutPadsWithZeros)
 {
     Watcher watcher(10);
