@@ -1,13 +1,30 @@
 /**
  * @file
- * Micro-benchmarks (google-benchmark) for the deep-learning kernels:
- * matmul, LSTM forward/backward, head forward.  Not a paper figure —
- * establishes the substrate's throughput envelope.
+ * Micro-benchmarks for the deep-learning kernels: matmul (streaming and
+ * cache-blocked), LSTM forward in training / inference / reference
+ * mode, LSTM train step fused vs reference, head forward.  Not a paper
+ * figure — establishes the substrate's throughput envelope and feeds
+ * the perf-regression gate (tools/bench_compare against the checked-in
+ * bench/baselines/BENCH_ml.json).
+ *
+ * All entries run single-threaded (ScopedThreadOverride(1)) so medians
+ * are comparable across machines with different core counts; the
+ * parallel story is covered by micro_parallel_scaling.
+ *
+ * The summary block records two kinds of before/after pairs: live
+ * fused-vs-reference speedups measured in this run (the reference path
+ * keeps the original matrix-algebra formulation but shares the
+ * upgraded GEMM/transcendental substrate), and *_vs_prepr entries
+ * whose before_ns is pinned to the medians recorded at the
+ * pre-optimization commit on the recording machine (DESIGN.md §11) —
+ * the honest end-to-end record for the perf acceptance bars.
  */
 
-#include <benchmark/benchmark.h>
+#include <vector>
 
+#include "bench/microbench.hh"
 #include "common/rng.hh"
+#include "common/threadpool.hh"
 #include "ml/loss.hh"
 #include "ml/lstm.hh"
 #include "ml/sequential.hh"
@@ -16,6 +33,8 @@ namespace
 {
 
 using namespace adrias;
+using bench::micro::Result;
+using bench::micro::Speedup;
 
 ml::Matrix
 randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
@@ -26,70 +45,169 @@ randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
     return m;
 }
 
-void
-BM_Matmul(benchmark::State &state)
+std::vector<ml::Matrix>
+randomSequence(std::size_t steps, std::size_t batch, std::size_t cols,
+               Rng &rng)
+{
+    std::vector<ml::Matrix> seq;
+    seq.reserve(steps);
+    for (std::size_t t = 0; t < steps; ++t)
+        seq.push_back(randomMatrix(batch, cols, rng));
+    return seq;
+}
+
+Result
+benchMatmul(std::size_t n, unsigned block)
 {
     Rng rng(1);
-    const auto n = static_cast<std::size_t>(state.range(0));
     const ml::Matrix a = randomMatrix(n, n, rng);
     const ml::Matrix b = randomMatrix(n, n, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(a.matmul(b));
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(n * n * n));
+    const auto saved = ml::matrixParallelConfig();
+    auto config = saved;
+    config.gemmBlock = block;
+    ml::setMatrixParallelConfig(config);
+    ml::Matrix out;
+    auto result = bench::micro::measure(
+        "matmul_" + std::to_string(n) +
+            (block ? "_blocked" + std::to_string(block) : ""),
+        [&] { a.matmulInto(b, out); });
+    ml::setMatrixParallelConfig(saved);
+    return result;
 }
-BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
 
-void
-BM_LstmForward(benchmark::State &state)
+/** LSTM forward at the Predictor's shape; mode selects the path. */
+Result
+benchLstmForward(const std::string &name, std::size_t batch, bool fused,
+                 bool inference)
 {
     Rng rng(2);
-    const auto hidden = static_cast<std::size_t>(state.range(0));
-    ml::Lstm lstm(7, hidden, rng);
-    std::vector<ml::Matrix> seq;
-    for (int t = 0; t < 12; ++t)
-        seq.push_back(randomMatrix(32, 7, rng));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(lstm.forwardSequence(seq));
-    }
-}
-BENCHMARK(BM_LstmForward)->Arg(16)->Arg(24)->Arg(48);
+    constexpr std::size_t kHidden = 24;
+    constexpr std::size_t kInput = 7;
+    constexpr std::size_t kSteps = 12;
+    ml::Lstm lstm(kInput, kHidden, rng);
+    const auto seq = randomSequence(kSteps, batch, kInput, rng);
 
-void
-BM_LstmTrainStep(benchmark::State &state)
+    const bool saved_fused = ml::lstmFusedKernels();
+    ml::setLstmFusedKernels(fused);
+    lstm.setInference(inference);
+    auto result = bench::micro::measure(
+        name, [&] { lstm.forwardSequence(seq); });
+    ml::setLstmFusedKernels(saved_fused);
+    return result;
+}
+
+/** Full forward + backward train step, fused or reference kernels. */
+Result
+benchLstmTrainStep(const std::string &name, bool fused)
 {
     Rng rng(3);
-    const auto hidden = static_cast<std::size_t>(state.range(0));
-    ml::Lstm lstm(7, hidden, rng);
-    std::vector<ml::Matrix> seq;
-    for (int t = 0; t < 12; ++t)
-        seq.push_back(randomMatrix(32, 7, rng));
-    const ml::Matrix target = randomMatrix(32, hidden, rng);
-    for (auto _ : state) {
+    constexpr std::size_t kHidden = 24;
+    constexpr std::size_t kBatch = 32;
+    ml::Lstm lstm(7, kHidden, rng);
+    const auto seq = randomSequence(12, kBatch, 7, rng);
+    const ml::Matrix target = randomMatrix(kBatch, kHidden, rng);
+
+    const bool saved_fused = ml::lstmFusedKernels();
+    ml::setLstmFusedKernels(fused);
+    auto result = bench::micro::measure(name, [&] {
         const auto out = lstm.forwardSequence(seq);
         std::vector<ml::Matrix> grads(seq.size(),
-                                      ml::Matrix(32, hidden));
+                                      ml::Matrix(kBatch, kHidden));
         ml::mseLoss(out.back(), target, &grads.back());
-        benchmark::DoNotOptimize(lstm.backwardSequence(grads));
-    }
+        lstm.backwardSequence(grads);
+        for (ml::Param *p : lstm.params())
+            p->grad = ml::Matrix(p->grad.rows(), p->grad.cols());
+    });
+    ml::setLstmFusedKernels(saved_fused);
+    return result;
 }
-BENCHMARK(BM_LstmTrainStep)->Arg(16)->Arg(24);
 
-void
-BM_HeadForward(benchmark::State &state)
+Result
+benchHeadForward()
 {
     Rng rng(4);
     auto head = ml::makeNonLinearHead(56, 32, 1, 0.0, rng,
                                       ml::HeadNorm::Layer);
     head->setTraining(false);
+    head->setInference(true);
     const ml::Matrix input = randomMatrix(32, 56, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(head->forward(input));
-    }
+    return bench::micro::measure("head_forward_b32",
+                                 [&] { head->forward(input); });
 }
-BENCHMARK(BM_HeadForward);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    // Single-threaded medians: machine-comparable, and the shapes here
+    // are below the parallel grain anyway.
+    ScopedThreadOverride serial(1);
+
+    std::vector<Result> results;
+    results.push_back(benchMatmul(64, 0));
+    results.push_back(benchMatmul(128, 0));
+    results.push_back(benchMatmul(384, 0));
+    results.push_back(benchMatmul(384, 64));
+
+    results.push_back(benchLstmForward("lstm_forward_train_h24_b32", 32,
+                                       true, false));
+    results.push_back(benchLstmForward("lstm_forward_infer_h24_b32", 32,
+                                       true, true));
+    results.push_back(benchLstmForward("lstm_forward_reference_h24_b32",
+                                       32, false, false));
+    results.push_back(
+        benchLstmForward("lstm_forward_infer_h24_b1", 1, true, true));
+    results.push_back(benchLstmForward("lstm_forward_reference_h24_b1",
+                                       1, false, false));
+
+    results.push_back(
+        benchLstmTrainStep("lstm_train_step_h24_b32", true));
+    results.push_back(
+        benchLstmTrainStep("lstm_train_step_reference_h24_b32", false));
+
+    results.push_back(benchHeadForward());
+
+    auto median = [&](const std::string &name) {
+        for (const Result &r : results)
+            if (r.name == name)
+                return r.medianNs;
+        return 0.0;
+    };
+
+    // Live A/B: reference keeps the original matrix-algebra
+    // formulation, fused is the workspace kernel path; both share the
+    // upgraded GEMM and fastmath substrate, so these pairs isolate the
+    // fusion/fast-path gain alone.
+    std::vector<Speedup> summary{
+        {"lstm_forward_inference_b32",
+         median("lstm_forward_reference_h24_b32"),
+         median("lstm_forward_infer_h24_b32")},
+        {"lstm_forward_inference_b1",
+         median("lstm_forward_reference_h24_b1"),
+         median("lstm_forward_infer_h24_b1")},
+        {"lstm_train_step_b32",
+         median("lstm_train_step_reference_h24_b32"),
+         median("lstm_train_step_h24_b32")},
+    };
+
+    // End-to-end before/after vs the pre-optimization commit: before_ns
+    // is the median recorded on the recording machine before any of
+    // the GEMM / fastmath / fusion work landed (DESIGN.md §11).  Only
+    // meaningful when the after side runs on the same machine; the
+    // regression gate uses the benchmarks block, not these.
+    summary.push_back({"lstm_forward_inference_b32_vs_prepr", 1450966.0,
+                       median("lstm_forward_infer_h24_b32")});
+    summary.push_back({"lstm_forward_inference_b1_vs_prepr", 45108.0,
+                       median("lstm_forward_infer_h24_b1")});
+    summary.push_back({"lstm_train_step_b32_vs_prepr", 2910104.0,
+                       median("lstm_train_step_h24_b32")});
+    summary.push_back({"matmul_384_vs_prepr", 50177152.5,
+                       median("matmul_384")});
+
+    bench::micro::printResults("ml_kernels", results, summary);
+    const std::string path = bench::micro::jsonPath("BENCH_ml.json");
+    bench::micro::writeJson(path, "ml_kernels", results, summary);
+    std::cout << "JSON written to " << path << "\n";
+    return 0;
+}

@@ -9,9 +9,14 @@
  * Each configuration also cross-checks bitwise equality against the
  * serial result, so the report doubles as an equivalence smoke test.
  *
+ * Each configuration reports the steady-state MEDIAN over several
+ * iterations after dropping warm-up runs (pool spin-up, cold caches);
+ * the iteration counts are recorded in the JSON.
+ *
  * Knobs: ADRIAS_BENCH_OUTDIR (JSON destination, default out/),
- * ADRIAS_BENCH_DURATION (sweep scenario length).  Thread counts probed
- * are {1, 2, 4, hardware} deduplicated.
+ * ADRIAS_BENCH_DURATION (sweep scenario length), ADRIAS_BENCH_ITERS /
+ * ADRIAS_BENCH_WARMUP (measured / dropped iterations).  Thread counts
+ * probed are {1, 2, 4, hardware} deduplicated.
  */
 
 #include <algorithm>
@@ -50,9 +55,49 @@ randomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
 struct Measurement
 {
     unsigned threads = 1;
-    double seconds = 0.0;
+    double seconds = 0.0; // steady-state median per iteration
+    std::size_t iterations = 0;
+    std::size_t warmup = 0;
     bool identical = true;
 };
+
+/**
+ * Run `fn` warmup+iters times and return the median of the steady-state
+ * iterations.  Warm-up runs are dropped: the first iterations pay for
+ * thread-pool spin-up and cold caches and would skew a mean badly.
+ */
+template <typename Fn>
+double
+medianSeconds(Fn &&fn, std::size_t iters, std::size_t warmup)
+{
+    for (std::size_t i = 0; i < warmup; ++i)
+        fn();
+    std::vector<double> samples;
+    samples.reserve(iters);
+    for (std::size_t i = 0; i < iters; ++i) {
+        const auto start = Clock::now();
+        fn();
+        samples.push_back(secondsSince(start));
+    }
+    std::sort(samples.begin(), samples.end());
+    const std::size_t mid = samples.size() / 2;
+    return samples.size() % 2 ? samples[mid]
+                              : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+std::size_t
+benchIters()
+{
+    return static_cast<std::size_t>(
+        std::max(1L, bench::envInt("ADRIAS_BENCH_ITERS", 5)));
+}
+
+std::size_t
+benchWarmup()
+{
+    return static_cast<std::size_t>(
+        std::max(0L, bench::envInt("ADRIAS_BENCH_WARMUP", 1)));
+}
 
 std::vector<unsigned>
 probeThreadCounts()
@@ -79,13 +124,17 @@ benchGemm()
         ScopedThreadOverride override_(threads);
         Measurement m;
         m.threads = threads;
-        const auto start = Clock::now();
+        m.iterations = benchIters();
+        m.warmup = benchWarmup();
         ml::Matrix last;
-        for (int i = 0; i < kIters; ++i) {
-            last = a.matmul(b);
-            last = last.transposedMatmul(a);
-        }
-        m.seconds = secondsSince(start);
+        m.seconds = medianSeconds(
+            [&] {
+                for (int i = 0; i < kIters; ++i) {
+                    last = a.matmul(b);
+                    last = last.transposedMatmul(a);
+                }
+            },
+            m.iterations, m.warmup);
         if (threads == 1)
             reference = last;
         m.identical = last.raw() == reference.raw();
@@ -116,9 +165,13 @@ benchSweep()
         ScopedThreadOverride override_(threads);
         Measurement m;
         m.threads = threads;
-        const auto start = Clock::now();
-        const auto results = scenario::runScenarioSweep(make_items());
-        m.seconds = secondsSince(start);
+        // The sweep runs for seconds per iteration; keep it cheap.
+        m.iterations = std::min<std::size_t>(3, benchIters());
+        m.warmup = std::min<std::size_t>(1, benchWarmup());
+        std::vector<scenario::ScenarioResult> results;
+        m.seconds = medianSeconds(
+            [&] { results = scenario::runScenarioSweep(make_items()); },
+            m.iterations, m.warmup);
         if (threads == 1)
             reference = results;
         m.identical = results.size() == reference.size();
@@ -142,6 +195,8 @@ appendJson(std::ostream &out, const char *name,
         out << "    {\"threads\": " << m.threads
             << ", \"seconds\": " << m.seconds << ", \"speedup\": "
             << (m.seconds > 0.0 ? serial / m.seconds : 0.0)
+            << ", \"iterations\": " << m.iterations
+            << ", \"warmup\": " << m.warmup
             << ", \"identical\": " << (m.identical ? "true" : "false")
             << "}" << (i + 1 < measurements.size() ? "," : "") << "\n";
     }

@@ -1,13 +1,16 @@
 /**
  * @file
- * Micro-benchmarks (google-benchmark) for the testbed simulator:
- * contention-resolution throughput per tick and full-scenario
- * execution rate.  Not a paper figure — establishes how cheaply the
- * 72x1h trace-collection protocol can be reproduced.
+ * Micro-benchmarks for the testbed simulator: contention-resolution
+ * throughput per tick and full-scenario execution rate.  Not a paper
+ * figure — establishes how cheaply the 72x1h trace-collection protocol
+ * can be reproduced, and feeds the perf-regression gate
+ * (tools/bench_compare against bench/baselines/BENCH_sim.json).
  */
 
-#include <benchmark/benchmark.h>
+#include <vector>
 
+#include "bench/microbench.hh"
+#include "common/threadpool.hh"
 #include "scenario/runner.hh"
 #include "scenario/signature.hh"
 #include "testbed/testbed.hh"
@@ -17,11 +20,11 @@ namespace
 {
 
 using namespace adrias;
+using bench::micro::Result;
 
-void
-BM_TestbedTick(benchmark::State &state)
+Result
+benchTestbedTick(std::size_t apps)
 {
-    const auto apps = static_cast<std::size_t>(state.range(0));
     testbed::Testbed bed;
     std::vector<testbed::LoadDescriptor> loads;
     const auto &sparks = workloads::sparkBenchmarks();
@@ -30,41 +33,60 @@ BM_TestbedTick(benchmark::State &state)
             static_cast<DeploymentId>(i),
             i % 2 ? MemoryMode::Remote : MemoryMode::Local));
     }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(bed.tick(loads));
-    }
-    state.SetItemsProcessed(state.iterations());
+    return bench::micro::measure(
+        "testbed_tick_apps" + std::to_string(apps),
+        [&] { bed.tick(loads); });
 }
-BENCHMARK(BM_TestbedTick)->Arg(1)->Arg(8)->Arg(35);
 
-void
-BM_ScenarioMinute(benchmark::State &state)
+Result
+benchScenarioMinute()
 {
-    // One simulated minute of a moderately congested scenario.
-    for (auto _ : state) {
-        scenario::ScenarioConfig config;
-        config.durationSec = 60;
-        config.spawnMinSec = 5;
-        config.spawnMaxSec = 20;
-        config.seed = 42;
-        scenario::ScenarioRunner runner(config);
-        scenario::RandomPlacement policy(43);
-        benchmark::DoNotOptimize(runner.run(policy));
-    }
-    state.SetItemsProcessed(state.iterations() * 60);
+    // One simulated minute of a moderately congested scenario; fewer
+    // iterations than the ns-scale kernels, it runs for milliseconds.
+    return bench::micro::measure(
+        "scenario_minute",
+        [] {
+            scenario::ScenarioConfig config;
+            config.durationSec = 60;
+            config.spawnMinSec = 5;
+            config.spawnMaxSec = 20;
+            config.seed = 42;
+            scenario::ScenarioRunner runner(config);
+            scenario::RandomPlacement policy(43);
+            runner.run(policy);
+        },
+        bench::micro::envCount("ADRIAS_BENCH_ITERS", 15),
+        bench::micro::envCount("ADRIAS_BENCH_WARMUP", 2));
 }
-BENCHMARK(BM_ScenarioMinute);
 
-void
-BM_SignatureCollection(benchmark::State &state)
+Result
+benchSignatureCollection()
 {
     const auto &spec = workloads::sparkBenchmark("gmm");
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(scenario::collectSignature(spec));
-    }
+    return bench::micro::measure(
+        "signature_collection",
+        [&] { scenario::collectSignature(spec); },
+        bench::micro::envCount("ADRIAS_BENCH_ITERS", 15),
+        bench::micro::envCount("ADRIAS_BENCH_WARMUP", 2));
 }
-BENCHMARK(BM_SignatureCollection);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    ScopedThreadOverride serial(1);
+
+    std::vector<Result> results;
+    results.push_back(benchTestbedTick(1));
+    results.push_back(benchTestbedTick(8));
+    results.push_back(benchTestbedTick(35));
+    results.push_back(benchScenarioMinute());
+    results.push_back(benchSignatureCollection());
+
+    bench::micro::printResults("sim_speed", results);
+    const std::string path = bench::micro::jsonPath("BENCH_sim.json");
+    bench::micro::writeJson(path, "sim_speed", results);
+    std::cout << "JSON written to " << path << "\n";
+    return 0;
+}

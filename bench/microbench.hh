@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Minimal micro-benchmark harness for the perf-regression gate.
+ *
+ * Replaces the google-benchmark dependency for the micro suites with a
+ * deliberately small fixed protocol: each benchmark runs a configurable
+ * number of warm-up iterations (dropped) followed by measured
+ * iterations, and reports the steady-state MEDIAN per-iteration time in
+ * nanoseconds.  Medians are robust against the occasional scheduler
+ * hiccup that makes means useless as a CI gate.
+ *
+ * Results serialize to the stable `adrias-bench-v1` JSON schema that
+ * tools/bench_compare consumes:
+ *
+ *   {
+ *     "schema": "adrias-bench-v1",
+ *     "suite": "<suite name>",
+ *     "benchmarks": [
+ *       {"name": "...", "median_ns": ..., "min_ns": ...,
+ *        "mean_ns": ..., "iterations": N, "warmup": W},
+ *       ...
+ *     ],
+ *     "summary": [
+ *       {"name": "...", "before_ns": ..., "after_ns": ...,
+ *        "speedup": ...},
+ *       ...
+ *     ]
+ *   }
+ *
+ * `benchmarks[*].name` + `median_ns` are the compared surface; the
+ * summary block carries before/after speedup bookkeeping (e.g. fused
+ * vs reference kernels) and is informational.
+ *
+ * Knobs: ADRIAS_BENCH_ITERS (measured iterations, default 30),
+ * ADRIAS_BENCH_WARMUP (dropped warm-up iterations, default 5).
+ */
+
+#ifndef ADRIAS_BENCH_MICROBENCH_HH
+#define ADRIAS_BENCH_MICROBENCH_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adrias::bench::micro
+{
+
+/** One benchmark's steady-state statistics (all times nanoseconds). */
+struct Result
+{
+    std::string name;
+    double medianNs = 0.0;
+    double minNs = 0.0;
+    double meanNs = 0.0;
+    std::size_t iterations = 0;
+    std::size_t warmup = 0;
+};
+
+/** Before/after bookkeeping for an optimization (times nanoseconds). */
+struct Speedup
+{
+    std::string name;
+    double beforeNs = 0.0;
+    double afterNs = 0.0;
+
+    double
+    speedup() const
+    {
+        return afterNs > 0.0 ? beforeNs / afterNs : 0.0;
+    }
+};
+
+inline std::size_t
+envCount(const char *name, std::size_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    const long parsed = std::strtol(value, nullptr, 10);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/**
+ * Run `fn` for warmup + iters iterations; drop the warm-up samples and
+ * report median/min/mean of the steady-state remainder.
+ */
+template <typename Fn>
+Result
+measure(std::string name, Fn &&fn,
+        std::size_t iters = envCount("ADRIAS_BENCH_ITERS", 30),
+        std::size_t warmup = envCount("ADRIAS_BENCH_WARMUP", 5))
+{
+    using Clock = std::chrono::steady_clock;
+    Result result;
+    result.name = std::move(name);
+    result.iterations = iters;
+    result.warmup = warmup;
+
+    for (std::size_t i = 0; i < warmup; ++i)
+        fn();
+
+    std::vector<double> samples;
+    samples.reserve(iters);
+    for (std::size_t i = 0; i < iters; ++i) {
+        const auto start = Clock::now();
+        fn();
+        const auto stop = Clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::nano>(stop - start)
+                .count());
+    }
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    result.medianNs = sorted.size() % 2
+                          ? sorted[mid]
+                          : 0.5 * (sorted[mid - 1] + sorted[mid]);
+    result.minNs = sorted.front();
+    double total = 0.0;
+    for (double s : samples)
+        total += s;
+    result.meanNs = total / static_cast<double>(samples.size());
+    return result;
+}
+
+inline std::string
+jsonNumber(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+    return buffer;
+}
+
+/** Serialize one suite to the adrias-bench-v1 schema. */
+inline void
+writeJson(const std::string &path, const std::string &suite,
+          const std::vector<Result> &results,
+          const std::vector<Speedup> &summary = {})
+{
+    std::ofstream out(path, std::ios::binary);
+    out << "{\n"
+        << "  \"schema\": \"adrias-bench-v1\",\n"
+        << "  \"suite\": \"" << suite << "\",\n"
+        << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        out << "    {\"name\": \"" << r.name << "\", \"median_ns\": "
+            << jsonNumber(r.medianNs) << ", \"min_ns\": "
+            << jsonNumber(r.minNs) << ", \"mean_ns\": "
+            << jsonNumber(r.meanNs) << ", \"iterations\": "
+            << r.iterations << ", \"warmup\": " << r.warmup << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"summary\": [\n";
+    for (std::size_t i = 0; i < summary.size(); ++i) {
+        const Speedup &s = summary[i];
+        out << "    {\"name\": \"" << s.name << "\", \"before_ns\": "
+            << jsonNumber(s.beforeNs) << ", \"after_ns\": "
+            << jsonNumber(s.afterNs) << ", \"speedup\": "
+            << jsonNumber(s.speedup()) << "}"
+            << (i + 1 < summary.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+/** Human-readable console rendering of a suite. */
+inline void
+printResults(const std::string &suite,
+             const std::vector<Result> &results,
+             const std::vector<Speedup> &summary = {})
+{
+    std::cout << "suite: " << suite << "\n";
+    for (const Result &r : results) {
+        std::printf("  %-36s median %12.0f ns  min %12.0f ns  "
+                    "(%zu iters, %zu warmup)\n",
+                    r.name.c_str(), r.medianNs, r.minNs, r.iterations,
+                    r.warmup);
+    }
+    for (const Speedup &s : summary) {
+        std::printf("  %-36s %.2fx (%.0f ns -> %.0f ns)\n",
+                    s.name.c_str(), s.speedup(), s.beforeNs, s.afterNs);
+    }
+}
+
+/** JSON destination: ADRIAS_BENCH_OUTDIR (default out/). */
+inline std::string
+jsonPath(const std::string &filename)
+{
+    const char *env = std::getenv("ADRIAS_BENCH_OUTDIR");
+    const std::filesystem::path dir = env && *env ? env : "out";
+    std::filesystem::create_directories(dir);
+    return (dir / filename).string();
+}
+
+} // namespace adrias::bench::micro
+
+#endif // ADRIAS_BENCH_MICROBENCH_HH

@@ -1,6 +1,7 @@
 #include "ml/activation.hh"
 
-#include <cmath>
+#include "common/logging.hh"
+#include "ml/fastmath.hh"
 
 namespace adrias::ml
 {
@@ -8,25 +9,28 @@ namespace adrias::ml
 double
 sigmoidScalar(double x)
 {
-    // Split by sign for numerical stability at large |x|.
-    if (x >= 0.0) {
-        const double z = std::exp(-x);
-        return 1.0 / (1.0 + z);
-    }
-    const double z = std::exp(x);
-    return z / (1.0 + z);
+    return fastmath::sigmoid(x);
+}
+
+double
+tanhScalar(double x)
+{
+    return fastmath::tanh(x);
 }
 
 Matrix
 ReLU::forward(const Matrix &input)
 {
-    lastInput = input;
+    if (!isInference)
+        lastInput = input;
     return input.map([](double x) { return x > 0.0 ? x : 0.0; });
 }
 
 Matrix
 ReLU::backward(const Matrix &grad_output)
 {
+    if (isInference)
+        panic("ReLU::backward in inference mode");
     Matrix grad = grad_output;
     const auto &in = lastInput.raw();
     auto &g = grad.raw();
@@ -39,13 +43,17 @@ ReLU::backward(const Matrix &grad_output)
 Matrix
 Tanh::forward(const Matrix &input)
 {
-    lastOutput = input.map([](double x) { return std::tanh(x); });
+    if (isInference)
+        return input.map(tanhScalar);
+    lastOutput = input.map(tanhScalar);
     return lastOutput;
 }
 
 Matrix
 Tanh::backward(const Matrix &grad_output)
 {
+    if (isInference)
+        panic("Tanh::backward in inference mode");
     Matrix grad = grad_output;
     const auto &out = lastOutput.raw();
     auto &g = grad.raw();
@@ -57,6 +65,8 @@ Tanh::backward(const Matrix &grad_output)
 Matrix
 Sigmoid::forward(const Matrix &input)
 {
+    if (isInference)
+        return input.map(sigmoidScalar);
     lastOutput = input.map(sigmoidScalar);
     return lastOutput;
 }
@@ -64,6 +74,8 @@ Sigmoid::forward(const Matrix &input)
 Matrix
 Sigmoid::backward(const Matrix &grad_output)
 {
+    if (isInference)
+        panic("Sigmoid::backward in inference mode");
     Matrix grad = grad_output;
     const auto &out = lastOutput.raw();
     auto &g = grad.raw();

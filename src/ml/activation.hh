@@ -44,8 +44,14 @@ class Sigmoid : public Layer
     Matrix lastOutput;
 };
 
-/** Scalar sigmoid helper used by the LSTM cell. */
+/**
+ * Scalar sigmoid/tanh helpers used by the LSTM cell and activation
+ * layers.  Both delegate to ml/fastmath.hh — every nonlinearity in the
+ * model must evaluate through the same scalar functions so the fused
+ * and reference kernel paths stay bitwise interchangeable.
+ */
 double sigmoidScalar(double x);
+double tanhScalar(double x);
 
 } // namespace adrias::ml
 

@@ -1,6 +1,7 @@
 #include "ml/batchnorm.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -70,27 +71,34 @@ BatchNorm1d::forward(const Matrix &input)
         var = runVar;
     }
 
-    lastInvStd = Matrix(1, features);
+    const bool keep_caches = !isInference;
+    Matrix inv_std(1, features);
     for (std::size_t c = 0; c < features; ++c)
-        lastInvStd.at(0, c) = 1.0 / std::sqrt(var.at(0, c) + epsilon);
+        inv_std.at(0, c) = 1.0 / std::sqrt(var.at(0, c) + epsilon);
 
-    lastNormalized = Matrix(batch, features);
+    if (keep_caches)
+        lastNormalized = Matrix(batch, features);
     Matrix out(batch, features);
     for (std::size_t r = 0; r < batch; ++r) {
         for (std::size_t c = 0; c < features; ++c) {
             const double x_hat =
-                (input.at(r, c) - mean.at(0, c)) * lastInvStd.at(0, c);
-            lastNormalized.at(r, c) = x_hat;
+                (input.at(r, c) - mean.at(0, c)) * inv_std.at(0, c);
+            if (keep_caches)
+                lastNormalized.at(r, c) = x_hat;
             out.at(r, c) =
                 gamma.value.at(0, c) * x_hat + beta.value.at(0, c);
         }
     }
+    if (keep_caches)
+        lastInvStd = std::move(inv_std);
     return out;
 }
 
 Matrix
 BatchNorm1d::backward(const Matrix &grad_output)
 {
+    if (isInference)
+        panic("BatchNorm1d::backward in inference mode");
     const std::size_t batch = grad_output.rows();
     const std::size_t features = grad_output.cols();
     const auto batch_d = static_cast<double>(batch);

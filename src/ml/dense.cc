@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/logging.hh"
+
 namespace adrias::ml
 {
 
@@ -20,15 +22,24 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng &rng)
 Matrix
 Dense::forward(const Matrix &input)
 {
-    lastInput = input;
-    return input.matmul(weight.value).addRowBroadcast(bias.value);
+    if (!isInference)
+        lastInput = input;
+    Matrix out;
+    input.matmulInto(weight.value, out);
+    out.addRowBroadcastInPlace(bias.value);
+    return out;
 }
 
 Matrix
 Dense::backward(const Matrix &grad_output)
 {
-    weight.grad += lastInput.transposedMatmul(grad_output);
-    bias.grad += grad_output.sumRows();
+    if (isInference)
+        panic("Dense::backward in inference mode");
+    // Compute-then-accumulate via the staging buffer keeps the same
+    // addition order as `grad += a.transposedMatmul(b)`.
+    lastInput.transposedMatmulInto(grad_output, gradScratch);
+    weight.grad += gradScratch;
+    grad_output.sumRowsAddTo(bias.grad);
     return grad_output.matmulTransposed(weight.value);
 }
 

@@ -34,6 +34,7 @@ class Dense : public Layer
     Param weight; ///< (in x out)
     Param bias;   ///< (1 x out)
     Matrix lastInput;
+    Matrix gradScratch; ///< staging buffer for weight-gradient products
 };
 
 } // namespace adrias::ml

@@ -14,7 +14,7 @@ Dropout::Dropout(double probability, Rng &rng_) : p(probability), rng(&rng_)
 Matrix
 Dropout::forward(const Matrix &input)
 {
-    if (!isTraining || p <= 0.0) {
+    if (isInference || !isTraining || p <= 0.0) {
         lastMask = Matrix();
         return input;
     }
@@ -38,6 +38,8 @@ Dropout::forward(const Matrix &input)
 Matrix
 Dropout::backward(const Matrix &grad_output)
 {
+    if (isInference)
+        panic("Dropout::backward in inference mode");
     if (lastMask.empty())
         return grad_output;
     return grad_output.hadamard(lastMask);

@@ -90,8 +90,22 @@ class Layer
     /** @return true while in training mode. */
     bool training() const { return isTraining; }
 
+    /**
+     * Inference fast-path toggle (DESIGN.md §11): when on, forward()
+     * skips caching activations for backward() — outputs are bitwise
+     * unchanged, but a subsequent backward() panics.  Deliberately
+     * separate from setTraining(): eval-mode backward (e.g. gradient
+     * checks through frozen normalization statistics) is a supported
+     * combination, so skipping caches must be an explicit opt-in.
+     */
+    virtual void setInference(bool on) { isInference = on; }
+
+    /** @return true while the inference fast-path is active. */
+    bool inference() const { return isInference; }
+
   protected:
     bool isTraining = true;
+    bool isInference = false;
 };
 
 } // namespace adrias::ml

@@ -21,8 +21,11 @@ LayerNorm::forward(const Matrix &input)
     if (features != gamma.value.cols())
         panic("LayerNorm feature width mismatch");
 
-    lastNormalized = Matrix(batch, features);
-    lastInvStd = Matrix(batch, 1);
+    const bool keep_caches = !isInference;
+    if (keep_caches) {
+        lastNormalized = Matrix(batch, features);
+        lastInvStd = Matrix(batch, 1);
+    }
     Matrix out(batch, features);
     const auto n = static_cast<double>(features);
 
@@ -38,10 +41,12 @@ LayerNorm::forward(const Matrix &input)
         }
         var /= n;
         const double inv_std = 1.0 / std::sqrt(var + epsilon);
-        lastInvStd.at(r, 0) = inv_std;
+        if (keep_caches)
+            lastInvStd.at(r, 0) = inv_std;
         for (std::size_t c = 0; c < features; ++c) {
             const double x_hat = (input.at(r, c) - mean) * inv_std;
-            lastNormalized.at(r, c) = x_hat;
+            if (keep_caches)
+                lastNormalized.at(r, c) = x_hat;
             out.at(r, c) =
                 gamma.value.at(0, c) * x_hat + beta.value.at(0, c);
         }
@@ -52,6 +57,8 @@ LayerNorm::forward(const Matrix &input)
 Matrix
 LayerNorm::backward(const Matrix &grad_output)
 {
+    if (isInference)
+        panic("LayerNorm::backward in inference mode");
     const std::size_t batch = grad_output.rows();
     const std::size_t features = grad_output.cols();
     const auto n = static_cast<double>(features);

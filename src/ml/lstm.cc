@@ -1,12 +1,34 @@
 #include "ml/lstm.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.hh"
 #include "ml/activation.hh"
+#include "ml/fastmath.hh"
 
 namespace adrias::ml
 {
+
+namespace
+{
+
+bool g_fusedKernels = true;
+
+} // namespace
+
+bool
+lstmFusedKernels()
+{
+    return g_fusedKernels;
+}
+
+void
+setLstmFusedKernels(bool on)
+{
+    g_fusedKernels = on;
+}
 
 Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng &rng)
     : wx("lstm.wx", Matrix(input_size, 4 * hidden_size)),
@@ -29,12 +51,270 @@ Lstm::forwardSequence(const std::vector<Matrix> &sequence)
 {
     if (sequence.empty())
         fatal("Lstm::forwardSequence on empty sequence");
+    lastForwardFused = g_fusedKernels;
+    if (lastForwardFused)
+        return forwardFused(sequence);
+    return forwardReference(sequence);
+}
 
+std::vector<Matrix>
+Lstm::backwardSequence(const std::vector<Matrix> &grad_hidden)
+{
+    const std::size_t steps =
+        lastForwardFused ? caches.size() : refCaches.size();
+    if (grad_hidden.size() != steps)
+        panic("Lstm::backwardSequence length mismatch with forward pass");
+    if (steps == 0)
+        panic("Lstm::backwardSequence before forwardSequence");
+    if (lastForwardFused)
+        return backwardFused(grad_hidden);
+    return backwardReference(grad_hidden);
+}
+
+std::vector<Matrix>
+Lstm::forwardFused(const std::vector<Matrix> &sequence)
+{
+    const std::size_t hidden = hiddenSize();
+    const std::size_t batch = sequence.front().rows();
+    const std::size_t steps = sequence.size();
+    const std::size_t gate_width = 4 * hidden;
+    const std::size_t grain = matrixParallelConfig().elementGrain;
+
+    refCaches.clear();
+    const bool keep_caches = !isInference;
+    if (!keep_caches)
+        caches.clear();
+    else if (caches.size() != steps)
+        caches.resize(steps);
+
+    // c_0 is all zeros; the cell state is then updated in place.
+    wsC.resize(batch, hidden);
+
+    // All x_t * Wx products in one batched GEMM over the stacked
+    // sequence: every GEMM output row depends only on its own input
+    // row, so stacking steps is bitwise-neutral (the same row-locality
+    // argument as the parallel partition, DESIGN.md §9) and one
+    // (steps*batch x input) product amortizes per-call dispatch that
+    // dominates small batches.
+    wsXall.resizeForOverwrite(steps * batch, inputSize());
+    {
+        const std::size_t step_elems = batch * inputSize();
+        double *xall = wsXall.raw().data();
+        for (std::size_t t = 0; t < steps; ++t) {
+            const Matrix &x = sequence[t];
+            if (x.rows() != batch || x.cols() != inputSize())
+                panic("Lstm: inconsistent sequence element shape");
+            const double *src = x.raw().data();
+            std::copy(src, src + step_elems, xall + t * step_elems);
+        }
+    }
+    wsXall.matmulInto(wx.value, wsZx);
+
+    std::vector<Matrix> outputs;
+    outputs.reserve(steps);
+
+    const double *bias = b.value.raw().data();
+
+    for (std::size_t t = 0; t < steps; ++t) {
+        const Matrix &x = sequence[t];
+
+        // The two GEMM products stay in separate buffers: the
+        // reference path sums full matrices ((x*Wx) + (h*Wh)), so the
+        // fused epilogue must add finished products, not interleave
+        // their k-loop accumulations (DESIGN.md §11).
+        if (t == 0) {
+            // h_0 is all zeros and the GEMM's exact-zero skip leaves
+            // its product identically +0.0, so a zeroed buffer is
+            // bitwise equivalent without running the GEMM.
+            wsZh.resize(batch, gate_width);
+        } else {
+            outputs[t - 1].matmulInto(wh.value, wsZh);
+        }
+
+        StepCache *cache = nullptr;
+        if (keep_caches) {
+            cache = &caches[t];
+            cache->input = x;
+            if (t == 0)
+                cache->hPrev.resize(batch, hidden);
+            else
+                cache->hPrev = outputs[t - 1];
+            cache->gates.resizeForOverwrite(batch, gate_width);
+            cache->cell.resizeForOverwrite(batch, hidden);
+            cache->tanhCell.resizeForOverwrite(batch, hidden);
+        }
+
+        outputs.emplace_back();
+        Matrix &h_out = outputs.back();
+        h_out.resizeForOverwrite(batch, hidden);
+
+        const double *za =
+            wsZx.raw().data() + t * batch * gate_width;
+        const double *zb = wsZh.raw().data();
+        double *cbuf = wsC.raw().data();
+        double *hbuf = h_out.raw().data();
+        double *gatebuf = cache ? cache->gates.raw().data() : nullptr;
+        double *cellbuf = cache ? cache->cell.raw().data() : nullptr;
+        double *tcbuf = cache ? cache->tanhCell.raw().data() : nullptr;
+
+        // One fused pass replaces colRange+map per gate, two hadamard
+        // chains, and the cell/tanh temporaries.  Per element the
+        // scalar op sequence is exactly the reference formulation:
+        // z = (zx + zh) + bias; gates through sigmoid/tanh;
+        // c = (f*c_prev) + (i*g); h = o * tanh(c).
+        kernels::runRows(
+            batch, batch * gate_width, grain,
+            [za, zb, bias, cbuf, hbuf, gatebuf, cellbuf, tcbuf, hidden,
+             gate_width](std::size_t begin, std::size_t end) {
+                // All buffers are distinct allocations (workspaces,
+                // caches, output); __restrict lets the c loop
+                // vectorize without runtime alias checks.
+                const double *__restrict biasr = bias;
+                for (std::size_t r = begin; r < end; ++r) {
+                    const double *__restrict zar = za + r * gate_width;
+                    const double *__restrict zbr = zb + r * gate_width;
+                    double *__restrict crow = cbuf + r * hidden;
+                    double *__restrict hrow = hbuf + r * hidden;
+                    for (std::size_t c = 0; c < hidden; ++c) {
+                        const double zi = (zar[c] + zbr[c]) + biasr[c];
+                        const double zf = (zar[hidden + c] +
+                                           zbr[hidden + c]) +
+                                          biasr[hidden + c];
+                        const double zg = (zar[2 * hidden + c] +
+                                           zbr[2 * hidden + c]) +
+                                          biasr[2 * hidden + c];
+                        const double zo = (zar[3 * hidden + c] +
+                                           zbr[3 * hidden + c]) +
+                                          biasr[3 * hidden + c];
+                        const double gi = fastmath::sigmoid(zi);
+                        const double gf = fastmath::sigmoid(zf);
+                        const double gg = fastmath::tanh(zg);
+                        const double go = fastmath::sigmoid(zo);
+                        const double fc = gf * crow[c];
+                        const double ig = gi * gg;
+                        const double cell = fc + ig;
+                        const double tc = fastmath::tanh(cell);
+                        crow[c] = cell;
+                        hrow[c] = go * tc;
+                        if (gatebuf) {
+                            double *__restrict grow =
+                                gatebuf + r * gate_width;
+                            grow[c] = gi;
+                            grow[hidden + c] = gf;
+                            grow[2 * hidden + c] = gg;
+                            grow[3 * hidden + c] = go;
+                            cellbuf[r * hidden + c] = cell;
+                            tcbuf[r * hidden + c] = tc;
+                        }
+                    }
+                }
+            });
+    }
+    return outputs;
+}
+
+std::vector<Matrix>
+Lstm::backwardFused(const std::vector<Matrix> &grad_hidden)
+{
+    const std::size_t hidden = hiddenSize();
+    const std::size_t steps = caches.size();
+    const std::size_t batch = caches.front().input.rows();
+    const std::size_t gate_width = 4 * hidden;
+    const std::size_t grain = matrixParallelConfig().elementGrain;
+
+    std::vector<Matrix> grad_inputs(steps);
+    wsDhNext.resize(batch, hidden);
+    wsDcNext.resize(batch, hidden);
+    wsDz.resizeForOverwrite(batch, gate_width);
+
+    for (std::size_t step = steps; step-- > 0;) {
+        const StepCache &cache = caches[step];
+        const Matrix &gh = grad_hidden[step];
+        if (gh.rows() != batch || gh.cols() != hidden) {
+            panic("Lstm::backwardSequence gradient shape mismatch: " +
+                  gh.shape() + " vs " + std::to_string(batch) + "x" +
+                  std::to_string(hidden));
+        }
+
+        const double *ghbuf = gh.raw().data();
+        const double *gatebuf = cache.gates.raw().data();
+        const double *tcbuf = cache.tanhCell.raw().data();
+        const double *cprevbuf =
+            step > 0 ? caches[step - 1].cell.raw().data() : nullptr;
+        const double *dhbuf = wsDhNext.raw().data();
+        double *dcbuf = wsDcNext.raw().data();
+        double *dzbuf = wsDz.raw().data();
+
+        // Fused element-wise pass: writes the packed dz block directly
+        // (no hconcat) and the next-step dc in place.  Per element the
+        // op order matches the reference hadamard/map chain exactly.
+        kernels::runRows(
+            batch, batch * gate_width, grain,
+            [ghbuf, gatebuf, tcbuf, cprevbuf, dhbuf, dcbuf, dzbuf,
+             hidden, gate_width](std::size_t begin, std::size_t end) {
+                for (std::size_t r = begin; r < end; ++r) {
+                    const double *__restrict grow =
+                        gatebuf + r * gate_width;
+                    const double *__restrict tcrow = tcbuf + r * hidden;
+                    const double *__restrict ghrow = ghbuf + r * hidden;
+                    const double *__restrict dhrow = dhbuf + r * hidden;
+                    const double *__restrict cprow =
+                        cprevbuf ? cprevbuf + r * hidden : nullptr;
+                    double *__restrict dcrow = dcbuf + r * hidden;
+                    double *__restrict dzrow = dzbuf + r * gate_width;
+                    for (std::size_t c = 0; c < hidden; ++c) {
+                        const double gi = grow[c];
+                        const double gf = grow[hidden + c];
+                        const double gg = grow[2 * hidden + c];
+                        const double go = grow[3 * hidden + c];
+                        const double tc = tcrow[c];
+                        const double dh = ghrow[c] + dhrow[c];
+                        // h = o * tanh(c)
+                        const double d_o = dh * tc;
+                        const double dc =
+                            ((dh * go) * (1.0 - tc * tc)) + dcrow[c];
+                        // c = f*c_prev + i*g
+                        const double c_prev = cprow ? cprow[c] : 0.0;
+                        const double d_f = dc * c_prev;
+                        const double d_i = dc * gg;
+                        const double d_g = dc * gi;
+                        dcrow[c] = dc * gf;
+                        // through the gate non-linearities
+                        dzrow[c] = d_i * (gi * (1.0 - gi));
+                        dzrow[hidden + c] = d_f * (gf * (1.0 - gf));
+                        dzrow[2 * hidden + c] = d_g * (1.0 - gg * gg);
+                        dzrow[3 * hidden + c] = d_o * (go * (1.0 - go));
+                    }
+                }
+            });
+
+        // Parameter gradients stay compute-then-accumulate: each
+        // product lands in a zeroed staging buffer and is added in one
+        // += pass, the same addition order as the reference's
+        // `grad += a.transposedMatmul(dz)`.
+        cache.input.transposedMatmulInto(wsDz, wsGradW);
+        wx.grad += wsGradW;
+        cache.hPrev.transposedMatmulInto(wsDz, wsGradW);
+        wh.grad += wsGradW;
+        wsDz.sumRowsAddTo(b.grad);
+
+        wsDz.matmulTransposedInto(wx.value, grad_inputs[step]);
+        wsDz.matmulTransposedInto(wh.value, wsDhNext);
+    }
+    return grad_inputs;
+}
+
+std::vector<Matrix>
+Lstm::forwardReference(const std::vector<Matrix> &sequence)
+{
     const std::size_t hidden = hiddenSize();
     const std::size_t batch = sequence.front().rows();
 
     caches.clear();
-    caches.reserve(sequence.size());
+    refCaches.clear();
+    const bool keep_caches = !isInference;
+    if (keep_caches)
+        refCaches.reserve(sequence.size());
 
     Matrix h_prev(batch, hidden);
     Matrix c_prev(batch, hidden);
@@ -48,7 +328,7 @@ Lstm::forwardSequence(const std::vector<Matrix> &sequence)
         Matrix z = x.matmul(wx.value) + h_prev.matmul(wh.value);
         z = z.addRowBroadcast(b.value);
 
-        StepCache cache;
+        RefStepCache cache;
         cache.input = x;
         cache.hPrev = h_prev;
         cache.cPrev = c_prev;
@@ -56,37 +336,31 @@ Lstm::forwardSequence(const std::vector<Matrix> &sequence)
             z.colRange(0, hidden).map(sigmoidScalar);
         cache.gateF =
             z.colRange(hidden, 2 * hidden).map(sigmoidScalar);
-        cache.gateG = z.colRange(2 * hidden, 3 * hidden)
-                          .map([](double v) { return std::tanh(v); });
+        cache.gateG = z.colRange(2 * hidden, 3 * hidden).map(tanhScalar);
         cache.gateO =
             z.colRange(3 * hidden, 4 * hidden).map(sigmoidScalar);
 
         cache.cell = cache.gateF.hadamard(c_prev) +
                      cache.gateI.hadamard(cache.gateG);
-        cache.tanhCell =
-            cache.cell.map([](double v) { return std::tanh(v); });
+        cache.tanhCell = cache.cell.map(tanhScalar);
 
         Matrix h = cache.gateO.hadamard(cache.tanhCell);
         outputs.push_back(h);
 
         h_prev = std::move(h);
         c_prev = cache.cell;
-        caches.push_back(std::move(cache));
+        if (keep_caches)
+            refCaches.push_back(std::move(cache));
     }
     return outputs;
 }
 
 std::vector<Matrix>
-Lstm::backwardSequence(const std::vector<Matrix> &grad_hidden)
+Lstm::backwardReference(const std::vector<Matrix> &grad_hidden)
 {
-    if (grad_hidden.size() != caches.size())
-        panic("Lstm::backwardSequence length mismatch with forward pass");
-    if (caches.empty())
-        panic("Lstm::backwardSequence before forwardSequence");
-
     const std::size_t hidden = hiddenSize();
-    const std::size_t steps = caches.size();
-    const std::size_t batch = caches.front().input.rows();
+    const std::size_t steps = refCaches.size();
+    const std::size_t batch = refCaches.front().input.rows();
 
     std::vector<Matrix> grad_inputs(steps);
     Matrix dh_next(batch, hidden);
@@ -96,7 +370,7 @@ Lstm::backwardSequence(const std::vector<Matrix> &grad_hidden)
     auto sig_deriv = [](double v) { return v * (1.0 - v); };
 
     for (std::size_t step = steps; step-- > 0;) {
-        const StepCache &cache = caches[step];
+        const RefStepCache &cache = refCaches[step];
 
         Matrix dh = grad_hidden[step] + dh_next;
 

@@ -5,6 +5,16 @@
  * The Adrias Predictor (paper §V-B) stacks two LSTM layers over the
  * monitored-metric time series; this class implements one such layer
  * over a time-major sequence of (batch x features) matrices.
+ *
+ * Two kernel implementations coexist (DESIGN.md §11): the default
+ * *fused* path runs each timestep as two GEMMs plus one fused
+ * element-wise pass over persistent workspaces (no per-step
+ * temporaries), while the *reference* path keeps the original
+ * matrix-algebra formulation.  Both produce bitwise-identical outputs,
+ * gradients, and trained weights — the equivalence suite in
+ * tests/ml/test_fused_equivalence.cc enforces this — so the reference
+ * path doubles as executable documentation and as the oracle for the
+ * fused kernels.
  */
 
 #ifndef ADRIAS_ML_LSTM_HH
@@ -17,6 +27,17 @@
 
 namespace adrias::ml
 {
+
+/** @return whether Lstm uses the fused kernels (default true). */
+bool lstmFusedKernels();
+
+/**
+ * Toggle the fused LSTM kernels globally.  The reference path exists
+ * for equivalence testing and A/B benchmarking; results are bitwise
+ * identical either way.  Not synchronized: call from single-threaded
+ * setup code only.
+ */
+void setLstmFusedKernels(bool on);
 
 /**
  * Single LSTM layer.
@@ -57,6 +78,18 @@ class Lstm
     /** @return trainable parameters (Wx, Wh, bias). */
     std::vector<Param *> params();
 
+    /**
+     * Inference fast-path toggle: when on, forwardSequence() skips all
+     * per-step cache construction (outputs are bitwise identical) and
+     * a subsequent backwardSequence() panics.  Orthogonal to any
+     * train/eval statistics mode — eval-mode *backward* is a supported
+     * use elsewhere, so inference must be requested explicitly.
+     */
+    void setInference(bool on) { isInference = on; }
+
+    /** @return whether the inference fast-path is active. */
+    bool inference() const { return isInference; }
+
     std::size_t inputSize() const { return wx.value.rows(); }
     std::size_t hiddenSize() const { return wh.value.rows(); }
 
@@ -65,8 +98,28 @@ class Lstm
     Param wh; ///< (hidden x 4H)
     Param b;  ///< (1 x 4H)
 
-    /** Everything backward needs about one timestep. */
+    bool isInference = false;
+
+    /** Which kernel family produced the caches backward will consume. */
+    bool lastForwardFused = true;
+
+    /**
+     * Per-timestep state kept by the fused forward pass for BPTT:
+     * post-activation gates packed (batch x 4H) in [i|f|g|o] layout,
+     * plus the two state tensors.  c_prev for step t is read from
+     * step t-1's `cell` (zeros at t = 0), so it is not stored.
+     */
     struct StepCache
+    {
+        Matrix input;
+        Matrix hPrev;
+        Matrix gates;
+        Matrix cell;
+        Matrix tanhCell;
+    };
+
+    /** Everything the reference backward needs about one timestep. */
+    struct RefStepCache
     {
         Matrix input;
         Matrix hPrev;
@@ -79,7 +132,40 @@ class Lstm
         Matrix tanhCell;
     };
 
+    /**
+     * Caches persist across calls so steady-state training reuses
+     * their storage instead of reallocating every sequence.
+     */
     std::vector<StepCache> caches;
+    std::vector<RefStepCache> refCaches;
+
+    /**
+     * Persistent workspaces for the fused kernels (DESIGN.md §11).
+     * wsXall stacks the whole input sequence (steps*batch x input) so
+     * all x*Wx products run as one GEMM into wsZx.  wsZx / wsZh hold
+     * the two GEMM products separately — fusing them into one
+     * accumulator would interleave their k-loops and change the
+     * floating-point addition order.  wsDz is the packed (batch x 4H)
+     * pre-activation gradient; wsGradW stages each parameter-gradient
+     * product so accumulation stays compute-then-add, exactly like the
+     * reference path.
+     */
+    Matrix wsXall;
+    Matrix wsZx;
+    Matrix wsZh;
+    Matrix wsC;
+    Matrix wsDz;
+    Matrix wsDhNext;
+    Matrix wsDcNext;
+    Matrix wsGradW;
+
+    std::vector<Matrix> forwardFused(const std::vector<Matrix> &sequence);
+    std::vector<Matrix>
+    forwardReference(const std::vector<Matrix> &sequence);
+    std::vector<Matrix>
+    backwardFused(const std::vector<Matrix> &grad_hidden);
+    std::vector<Matrix>
+    backwardReference(const std::vector<Matrix> &grad_hidden);
 };
 
 } // namespace adrias::ml

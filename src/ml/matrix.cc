@@ -1,10 +1,10 @@
 #include "ml/matrix.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
-#include "common/threadpool.hh"
 
 namespace adrias::ml
 {
@@ -13,26 +13,6 @@ namespace
 {
 
 MatrixParallelConfig g_parallel{};
-
-/**
- * Run `kernel` over [0, rows) — on the global pool when the total work
- * clears `grain`, inline otherwise.  Both paths call the same
- * std::function target, so the compiler emits one body and serial and
- * parallel execution are bitwise identical (DESIGN.md §9); chunk
- * boundaries come from ThreadPool's fixed partition rule and depend
- * only on `rows`.
- */
-void
-runRows(std::size_t rows, std::size_t total_work, std::size_t grain,
-        const std::function<void(std::size_t, std::size_t)> &kernel)
-{
-    if (rows == 0)
-        return;
-    if (rows > 1 && total_work >= grain)
-        ThreadPool::global().parallelFor(rows, kernel);
-    else
-        kernel(0, rows);
-}
 
 } // namespace
 
@@ -75,7 +55,7 @@ Matrix::identity(std::size_t order)
 {
     Matrix m(order, order);
     for (std::size_t i = 0; i < order; ++i)
-        m.at(i, i) = 1.0;
+        m.data[i * order + i] = 1.0;
     return m;
 }
 
@@ -85,20 +65,21 @@ Matrix::rowVector(const std::vector<double> &values)
     return Matrix(1, values.size(), values);
 }
 
-double &
-Matrix::at(std::size_t r, std::size_t c)
+void
+Matrix::resize(std::size_t rows_, std::size_t cols_)
 {
-    if (r >= nRows || c >= nCols)
-        panic("Matrix::at out of range (" + shape() + ")");
-    return data[r * nCols + c];
+    nRows = rows_;
+    nCols = cols_;
+    // assign reuses the existing allocation when capacity suffices.
+    data.assign(rows_ * cols_, 0.0);
 }
 
-double
-Matrix::at(std::size_t r, std::size_t c) const
+void
+Matrix::resizeForOverwrite(std::size_t rows_, std::size_t cols_)
 {
-    if (r >= nRows || c >= nCols)
-        panic("Matrix::at out of range (" + shape() + ")");
-    return data[r * nCols + c];
+    nRows = rows_;
+    nCols = cols_;
+    data.resize(rows_ * cols_);
 }
 
 void
@@ -110,95 +91,272 @@ Matrix::checkSameShape(const Matrix &other, const char *op) const
     }
 }
 
+void
+Matrix::checkNoAlias(const Matrix &out, const char *op) const
+{
+    if (this == &out)
+        panic(std::string("Matrix::") + op + ": destination aliases source");
+}
+
 Matrix
 Matrix::matmul(const Matrix &other) const
+{
+    Matrix out;
+    matmulInto(other, out);
+    return out;
+}
+
+void
+Matrix::matmulInto(const Matrix &other, Matrix &out) const
 {
     if (nCols != other.nRows) {
         panic("Matrix::matmul inner dimension mismatch: " + shape() +
               " * " + other.shape());
     }
-    Matrix out(nRows, other.nCols);
+    checkNoAlias(out, "matmulInto");
+    other.checkNoAlias(out, "matmulInto");
+    out.resize(nRows, other.nCols);
+    const std::size_t inner = nCols;
+    const std::size_t width = other.nCols;
+    const std::size_t block = g_parallel.gemmBlock;
     // Partitioned over output rows: each row accumulates over k in
     // fixed index order, so the result never depends on the partition.
     // i-k-j loop order keeps the inner loop contiguous in both inputs.
-    runRows(nRows, nRows * nCols * other.nCols, g_parallel.gemmGrain,
-            [this, &other, &out](std::size_t begin, std::size_t end) {
+    if (block > 0 && (inner > block || width > block)) {
+        // Cache-blocked variant: tiles over j and k reorder only which
+        // (k, j) pairs are visited together; for any fixed output
+        // element the k tiles and the k indices inside each tile both
+        // increase, so the accumulation order — and hence the result —
+        // is bitwise identical to the streaming loop (DESIGN.md §11).
+        kernels::runRows(
+            nRows, nRows * inner * width, g_parallel.gemmGrain,
+            [this, &other, &out, inner, width,
+             block](std::size_t begin, std::size_t end) {
+                // checkNoAlias guarantees the operands are distinct
+                // objects, so __restrict is sound and lets the j loop
+                // vectorize without runtime alias checks.
+                const double *__restrict rhs_data = other.data.data();
+                double *__restrict out_data = out.data.data();
                 for (std::size_t i = begin; i < end; ++i) {
-                    for (std::size_t k = 0; k < nCols; ++k) {
-                        const double lhs = data[i * nCols + k];
-                        // Exact-zero sparsity skip; a tolerance would
-                        // change results.  NOLINTNEXTLINE(float-equal)
-                        if (lhs == 0.0)
-                            continue;
-                        const double *rhs_row =
-                            &other.data[k * other.nCols];
-                        double *out_row = &out.data[i * other.nCols];
-                        for (std::size_t j = 0; j < other.nCols; ++j)
-                            out_row[j] += lhs * rhs_row[j];
+                    double *out_row = &out_data[i * width];
+                    const double *lhs_row = &data[i * inner];
+                    for (std::size_t jb = 0; jb < width; jb += block) {
+                        const std::size_t jend =
+                            std::min(jb + block, width);
+                        for (std::size_t kb = 0; kb < inner;
+                             kb += block) {
+                            const std::size_t kend =
+                                std::min(kb + block, inner);
+                            for (std::size_t k = kb; k < kend; ++k) {
+                                const double lhs = lhs_row[k];
+                                // Exact-zero sparsity skip.
+                                // NOLINTNEXTLINE(float-equal)
+                                if (lhs == 0.0)
+                                    continue;
+                                const double *rhs_row =
+                                    &rhs_data[k * width];
+                                for (std::size_t j = jb; j < jend; ++j)
+                                    out_row[j] += lhs * rhs_row[j];
+                            }
+                        }
                     }
                 }
             });
-    return out;
+        return;
+    }
+    kernels::runRows(
+        nRows, nRows * inner * width, g_parallel.gemmGrain,
+        [this, &other, &out, inner, width](std::size_t begin,
+                                           std::size_t end) {
+            // checkNoAlias guarantees distinct objects (see above).
+            const double *__restrict lhs_data = data.data();
+            const double *__restrict rhs_data = other.data.data();
+            double *__restrict out_data = out.data.data();
+            for (std::size_t i = begin; i < end; ++i) {
+                const double *lhs_row = &lhs_data[i * inner];
+                double *out_row = &out_data[i * width];
+                // k unrolled by four with the adds parenthesized in k
+                // order: ((((out + l0*r0) + l1*r1) + l2*r2) + l3*r3)
+                // is the exact scalar op sequence of four single-k
+                // iterations, so the result stays bitwise identical
+                // while the destination row round-trips through
+                // registers a quarter as often.  Any exact-zero lhs in
+                // the group falls back to the single-k form so the
+                // sparsity skip stays element-exact.
+                std::size_t k = 0;
+                for (; k + 3 < inner; k += 4) {
+                    const double l0 = lhs_row[k];
+                    const double l1 = lhs_row[k + 1];
+                    const double l2 = lhs_row[k + 2];
+                    const double l3 = lhs_row[k + 3];
+                    const double *r0 = &rhs_data[k * width];
+                    const double *r1 = r0 + width;
+                    const double *r2 = r1 + width;
+                    const double *r3 = r2 + width;
+                    // Exact-zero sparsity skips; a tolerance would
+                    // change results.
+                    const bool dense4 =
+                        l0 != 0.0 && l1 != 0.0 && // NOLINT(float-equal)
+                        l2 != 0.0 && l3 != 0.0;   // NOLINT(float-equal)
+                    if (dense4) {
+                        for (std::size_t j = 0; j < width; ++j)
+                            out_row[j] = ((((out_row[j] + l0 * r0[j]) +
+                                            l1 * r1[j]) +
+                                           l2 * r2[j]) +
+                                          l3 * r3[j]);
+                        continue;
+                    }
+                    for (std::size_t kk = k; kk < k + 4; ++kk) {
+                        const double lhs = lhs_row[kk];
+                        // NOLINTNEXTLINE(float-equal)
+                        if (lhs == 0.0)
+                            continue;
+                        const double *rhs_row = &rhs_data[kk * width];
+                        for (std::size_t j = 0; j < width; ++j)
+                            out_row[j] += lhs * rhs_row[j];
+                    }
+                }
+                for (; k < inner; ++k) {
+                    const double lhs = lhs_row[k];
+                    // NOLINTNEXTLINE(float-equal)
+                    if (lhs == 0.0)
+                        continue;
+                    const double *rhs_row = &rhs_data[k * width];
+                    for (std::size_t j = 0; j < width; ++j)
+                        out_row[j] += lhs * rhs_row[j];
+                }
+            }
+        });
 }
 
 Matrix
 Matrix::transposedMatmul(const Matrix &other) const
+{
+    Matrix out;
+    transposedMatmulInto(other, out);
+    return out;
+}
+
+void
+Matrix::transposedMatmulInto(const Matrix &other, Matrix &out) const
 {
     // (this^T * other): this is (k x m), other (k x n) -> (m x n)
     if (nRows != other.nRows) {
         panic("Matrix::transposedMatmul dimension mismatch: " + shape() +
               "^T * " + other.shape());
     }
-    Matrix out(nCols, other.nCols);
+    checkNoAlias(out, "transposedMatmulInto");
+    other.checkNoAlias(out, "transposedMatmulInto");
+    out.resize(nCols, other.nCols);
+    const std::size_t inner = nRows;
+    const std::size_t width = other.nCols;
+    const std::size_t stride = nCols;
+    const std::size_t block = g_parallel.gemmBlock;
     // Partitioned over output rows i (columns of this).  Every
     // out(i, j) accumulates over k in increasing order — the same
     // per-element order as a k-outer loop — so per-sample gradient
     // contributions (k indexes the sample in backward passes) are
     // summed in fixed index order regardless of thread count.
-    runRows(nCols, nRows * nCols * other.nCols, g_parallel.gemmGrain,
-            [this, &other, &out](std::size_t begin, std::size_t end) {
+    if (block > 0 && (inner > block || width > block)) {
+        // Blocked variant: same tiling argument as matmulInto — per
+        // output element the k order stays globally increasing.
+        kernels::runRows(
+            nCols, inner * nCols * width, g_parallel.gemmGrain,
+            [this, &other, &out, inner, width, stride,
+             block](std::size_t begin, std::size_t end) {
+                // checkNoAlias guarantees distinct objects.
+                const double *__restrict rhs_data = other.data.data();
+                double *__restrict out_data = out.data.data();
                 for (std::size_t i = begin; i < end; ++i) {
-                    double *out_row = &out.data[i * other.nCols];
-                    for (std::size_t k = 0; k < nRows; ++k) {
-                        const double lhs = data[k * nCols + i];
-                        // Exact-zero sparsity skip.
-                        // NOLINTNEXTLINE(float-equal)
-                        if (lhs == 0.0)
-                            continue;
-                        const double *rhs_row =
-                            &other.data[k * other.nCols];
-                        for (std::size_t j = 0; j < other.nCols; ++j)
-                            out_row[j] += lhs * rhs_row[j];
+                    double *out_row = &out_data[i * width];
+                    for (std::size_t jb = 0; jb < width; jb += block) {
+                        const std::size_t jend =
+                            std::min(jb + block, width);
+                        for (std::size_t kb = 0; kb < inner;
+                             kb += block) {
+                            const std::size_t kend =
+                                std::min(kb + block, inner);
+                            for (std::size_t k = kb; k < kend; ++k) {
+                                const double lhs = data[k * stride + i];
+                                // Exact-zero sparsity skip.
+                                // NOLINTNEXTLINE(float-equal)
+                                if (lhs == 0.0)
+                                    continue;
+                                const double *rhs_row =
+                                    &rhs_data[k * width];
+                                for (std::size_t j = jb; j < jend; ++j)
+                                    out_row[j] += lhs * rhs_row[j];
+                            }
+                        }
                     }
                 }
             });
-    return out;
+        return;
+    }
+    kernels::runRows(
+        nCols, inner * nCols * width, g_parallel.gemmGrain,
+        [this, &other, &out, inner, width, stride](std::size_t begin,
+                                                   std::size_t end) {
+            // checkNoAlias guarantees distinct objects.
+            const double *__restrict rhs_data = other.data.data();
+            double *__restrict out_data = out.data.data();
+            for (std::size_t i = begin; i < end; ++i) {
+                double *out_row = &out_data[i * width];
+                for (std::size_t k = 0; k < inner; ++k) {
+                    const double lhs = data[k * stride + i];
+                    // Exact-zero sparsity skip.
+                    // NOLINTNEXTLINE(float-equal)
+                    if (lhs == 0.0)
+                        continue;
+                    const double *rhs_row = &rhs_data[k * width];
+                    for (std::size_t j = 0; j < width; ++j)
+                        out_row[j] += lhs * rhs_row[j];
+                }
+            }
+        });
 }
 
 Matrix
 Matrix::matmulTransposed(const Matrix &other) const
+{
+    Matrix out;
+    matmulTransposedInto(other, out);
+    return out;
+}
+
+void
+Matrix::matmulTransposedInto(const Matrix &other, Matrix &out) const
 {
     // (this * other^T): this is (m x k), other (n x k) -> (m x n)
     if (nCols != other.nCols) {
         panic("Matrix::matmulTransposed dimension mismatch: " + shape() +
               " * " + other.shape() + "^T");
     }
-    Matrix out(nRows, other.nRows);
-    runRows(nRows, nRows * nCols * other.nRows, g_parallel.gemmGrain,
-            [this, &other, &out](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) {
-                    const double *lhs_row = &data[i * nCols];
-                    for (std::size_t j = 0; j < other.nRows; ++j) {
-                        const double *rhs_row =
-                            &other.data[j * other.nCols];
-                        double acc = 0.0;
-                        for (std::size_t k = 0; k < nCols; ++k)
-                            acc += lhs_row[k] * rhs_row[k];
-                        out.data[i * other.nRows + j] = acc;
-                    }
+    checkNoAlias(out, "matmulTransposedInto");
+    other.checkNoAlias(out, "matmulTransposedInto");
+    // Every element is a local dot product written exactly once, so
+    // stale destination contents can never leak into the result.
+    out.resizeForOverwrite(nRows, other.nRows);
+    const std::size_t inner = nCols;
+    const std::size_t width = other.nRows;
+    kernels::runRows(
+        nRows, nRows * inner * width, g_parallel.gemmGrain,
+        [this, &other, &out, inner, width](std::size_t begin,
+                                           std::size_t end) {
+            const double *__restrict lhs_data = data.data();
+            const double *__restrict rhs_data = other.data.data();
+            double *__restrict out_data = out.data.data();
+            for (std::size_t i = begin; i < end; ++i) {
+                const double *lhs_row = &lhs_data[i * inner];
+                for (std::size_t j = 0; j < width; ++j) {
+                    const double *rhs_row = &rhs_data[j * inner];
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < inner; ++k)
+                        acc += lhs_row[k] * rhs_row[k];
+                    out_data[i * width + j] = acc;
                 }
-            });
-    return out;
+            }
+        });
 }
 
 Matrix
@@ -206,12 +364,13 @@ Matrix::transposed() const
 {
     Matrix out(nCols, nRows);
     // Partitioned over output rows (source columns).
-    runRows(nCols, data.size(), g_parallel.elementGrain,
-            [this, &out](std::size_t begin, std::size_t end) {
-                for (std::size_t c = begin; c < end; ++c)
-                    for (std::size_t r = 0; r < nRows; ++r)
-                        out.data[c * nRows + r] = data[r * nCols + c];
-            });
+    kernels::runRows(
+        nCols, data.size(), g_parallel.elementGrain,
+        [this, &out](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c)
+                for (std::size_t r = 0; r < nRows; ++r)
+                    out.data[c * nRows + r] = data[r * nCols + c];
+        });
     return out;
 }
 
@@ -220,11 +379,11 @@ Matrix::operator+(const Matrix &other) const
 {
     checkSameShape(other, "operator+");
     Matrix out = *this;
-    runRows(data.size(), data.size(), g_parallel.elementGrain,
-            [&out, &other](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i)
-                    out.data[i] += other.data[i];
-            });
+    kernels::runRows(data.size(), data.size(), g_parallel.elementGrain,
+                     [&out, &other](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             out.data[i] += other.data[i];
+                     });
     return out;
 }
 
@@ -233,11 +392,11 @@ Matrix::operator-(const Matrix &other) const
 {
     checkSameShape(other, "operator-");
     Matrix out = *this;
-    runRows(data.size(), data.size(), g_parallel.elementGrain,
-            [&out, &other](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i)
-                    out.data[i] -= other.data[i];
-            });
+    kernels::runRows(data.size(), data.size(), g_parallel.elementGrain,
+                     [&out, &other](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             out.data[i] -= other.data[i];
+                     });
     return out;
 }
 
@@ -246,11 +405,11 @@ Matrix::hadamard(const Matrix &other) const
 {
     checkSameShape(other, "hadamard");
     Matrix out = *this;
-    runRows(data.size(), data.size(), g_parallel.elementGrain,
-            [&out, &other](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i)
-                    out.data[i] *= other.data[i];
-            });
+    kernels::runRows(data.size(), data.size(), g_parallel.elementGrain,
+                     [&out, &other](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             out.data[i] *= other.data[i];
+                     });
     return out;
 }
 
@@ -266,22 +425,31 @@ Matrix &
 Matrix::operator+=(const Matrix &other)
 {
     checkSameShape(other, "operator+=");
-    runRows(data.size(), data.size(), g_parallel.elementGrain,
-            [this, &other](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i)
-                    data[i] += other.data[i];
-            });
+    if (this == &other) {
+        // Self-add: x + x rounds exactly (a power-of-two scale), and
+        // the __restrict kernel below must not see aliased operands.
+        for (double &x : data)
+            x += x;
+        return *this;
+    }
+    kernels::runRows(data.size(), data.size(), g_parallel.elementGrain,
+                     [this, &other](std::size_t begin, std::size_t end) {
+                         double *__restrict dst = data.data();
+                         const double *__restrict src = other.data.data();
+                         for (std::size_t i = begin; i < end; ++i)
+                             dst[i] += src[i];
+                     });
     return *this;
 }
 
 Matrix &
 Matrix::operator*=(double scalar)
 {
-    runRows(data.size(), data.size(), g_parallel.elementGrain,
-            [this, scalar](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i)
-                    data[i] *= scalar;
-            });
+    kernels::runRows(data.size(), data.size(), g_parallel.elementGrain,
+                     [this, scalar](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             data[i] *= scalar;
+                     });
     return *this;
 }
 
@@ -291,13 +459,36 @@ Matrix::addRowBroadcast(const Matrix &rowVec) const
     if (rowVec.nRows != 1 || rowVec.nCols != nCols)
         panic("Matrix::addRowBroadcast shape mismatch");
     Matrix out = *this;
-    runRows(nRows, data.size(), g_parallel.elementGrain,
-            [&out, &rowVec, this](std::size_t begin, std::size_t end) {
-                for (std::size_t r = begin; r < end; ++r)
-                    for (std::size_t c = 0; c < nCols; ++c)
-                        out.data[r * nCols + c] += rowVec.data[c];
-            });
+    kernels::runRows(
+        nRows, data.size(), g_parallel.elementGrain,
+        [&out, &rowVec, this](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r)
+                for (std::size_t c = 0; c < nCols; ++c)
+                    out.data[r * nCols + c] += rowVec.data[c];
+        });
     return out;
+}
+
+void
+Matrix::addRowBroadcastInPlace(const Matrix &rowVec)
+{
+    if (rowVec.nRows != 1 || rowVec.nCols != nCols)
+        panic("Matrix::addRowBroadcast shape mismatch");
+    if (this == &rowVec) {
+        // Self-broadcast onto a 1-row matrix is a plain self-add.
+        for (double &x : data)
+            x += x;
+        return;
+    }
+    kernels::runRows(
+        nRows, data.size(), g_parallel.elementGrain,
+        [this, &rowVec](std::size_t begin, std::size_t end) {
+            double *__restrict dst = data.data();
+            const double *__restrict row = rowVec.data.data();
+            for (std::size_t r = begin; r < end; ++r)
+                for (std::size_t c = 0; c < nCols; ++c)
+                    dst[r * nCols + c] += row[c];
+        });
 }
 
 Matrix
@@ -306,13 +497,42 @@ Matrix::sumRows() const
     Matrix out(1, nCols);
     // Partitioned over columns; each column accumulates its rows in
     // increasing row order, exactly as the serial loop nest does.
-    runRows(nCols, data.size(), g_parallel.elementGrain,
-            [this, &out](std::size_t begin, std::size_t end) {
-                for (std::size_t c = begin; c < end; ++c)
-                    for (std::size_t r = 0; r < nRows; ++r)
-                        out.data[c] += data[r * nCols + c];
-            });
+    // Kept separate from sumRowsAddTo: accumulating straight into the
+    // zeroed output skips the local-acc epilogue addition, and adding
+    // that extra 0.0 + acc step would flip the sign of negative-zero
+    // columns relative to this kernel's historical results.
+    kernels::runRows(
+        nCols, data.size(), g_parallel.elementGrain,
+        [this, &out](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c)
+                for (std::size_t r = 0; r < nRows; ++r)
+                    out.data[c] += data[r * nCols + c];
+        });
     return out;
+}
+
+void
+Matrix::sumRowsAddTo(Matrix &dst) const
+{
+    if (dst.nRows != 1 || dst.nCols != nCols) {
+        panic("Matrix::sumRowsAddTo shape mismatch: " + shape() +
+              " into " + dst.shape());
+    }
+    checkNoAlias(dst, "sumRowsAddTo");
+    // Per column: fold the rows into a fresh 0.0 accumulator in row
+    // order, then add once into dst.  That is the exact scalar op
+    // sequence of `dst += this->sumRows()`, so both spellings are
+    // bitwise interchangeable.
+    kernels::runRows(
+        nCols, data.size(), g_parallel.elementGrain,
+        [this, &dst](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+                double acc = 0.0;
+                for (std::size_t r = 0; r < nRows; ++r)
+                    acc += data[r * nCols + c];
+                dst.data[c] += acc;
+            }
+        });
 }
 
 Matrix
@@ -344,13 +564,22 @@ Matrix::hconcat(const Matrix &other) const
 Matrix
 Matrix::colRange(std::size_t begin, std::size_t end) const
 {
+    Matrix out;
+    colRangeInto(begin, end, out);
+    return out;
+}
+
+void
+Matrix::colRangeInto(std::size_t begin, std::size_t end, Matrix &dst) const
+{
     if (begin > end || end > nCols)
         panic("Matrix::colRange out of bounds");
-    Matrix out(nRows, end - begin);
+    checkNoAlias(dst, "colRangeInto");
+    // Every element is assigned, so overwrite-resize is safe.
+    dst.resizeForOverwrite(nRows, end - begin);
     for (std::size_t r = 0; r < nRows; ++r)
         for (std::size_t c = begin; c < end; ++c)
-            out.data[r * out.nCols + (c - begin)] = data[r * nCols + c];
-    return out;
+            dst.data[r * dst.nCols + (c - begin)] = data[r * nCols + c];
 }
 
 Matrix

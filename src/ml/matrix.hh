@@ -6,6 +6,13 @@
  * Everything the Adrias models need (batched dense layers, LSTM cells)
  * is expressible with 2-D matrices; sequences are carried as
  * time-major vectors of (batch x features) matrices.
+ *
+ * Two API families exist for the hot kernels (DESIGN.md §11): the
+ * classic allocating form (`c = a.matmul(b)`) and an into-destination
+ * form (`a.matmulInto(b, c)`) that reuses the destination's storage.
+ * Both run the exact same kernel body, so their results are bitwise
+ * identical; the into-forms exist so the LSTM/GEMM hot path can run
+ * allocation-free over persistent workspaces.
  */
 
 #ifndef ADRIAS_ML_MATRIX_HH
@@ -15,6 +22,9 @@
 #include <functional>
 #include <string>
 #include <vector>
+
+#include "common/invariant.hh"
+#include "common/threadpool.hh"
 
 namespace adrias::ml
 {
@@ -33,6 +43,16 @@ struct MatrixParallelConfig
 
     /** Element count above which element-wise kernels go parallel. */
     std::size_t elementGrain = 256 * 1024;
+
+    /**
+     * Tile edge for the cache-blocked GEMM path (matmul and
+     * transposedMatmul); 0 keeps the streaming i-k-j loop.  Blocking
+     * regroups the loop nest but leaves every output element's
+     * k-accumulation order untouched, so blocked and unblocked results
+     * are bitwise identical (DESIGN.md §11); the knob only trades loop
+     * overhead against cache reuse on shapes wider than the tile.
+     */
+    std::size_t gemmBlock = 0;
 };
 
 /** @return the active kernel-parallelism thresholds. */
@@ -44,6 +64,36 @@ MatrixParallelConfig matrixParallelConfig();
  * only from single-threaded setup code.
  */
 void setMatrixParallelConfig(MatrixParallelConfig config);
+
+namespace kernels
+{
+
+/**
+ * Run `kernel(begin, end)` over [0, rows) — on the global ThreadPool
+ * when `total_work` clears `grain`, inline on the caller otherwise.
+ *
+ * Templated on the kernel so the serial branch (small shapes — the
+ * inference hot case) calls the body directly with no std::function
+ * construction or indirect call; only the parallel branch pays the
+ * type-erasure cost, where it is amortized over pool dispatch anyway.
+ * Chunk boundaries come from ThreadPool's fixed partition rule and
+ * depend only on `rows`, never on the thread count, so serial and
+ * parallel execution stay bitwise identical (DESIGN.md §9).
+ */
+template <typename Kernel>
+inline void
+runRows(std::size_t rows, std::size_t total_work, std::size_t grain,
+        Kernel &&kernel)
+{
+    if (rows == 0)
+        return;
+    if (rows > 1 && total_work >= grain)
+        ThreadPool::global().parallelFor(rows, kernel);
+    else
+        kernel(0, rows);
+}
+
+} // namespace kernels
 
 /** Row-major dense matrix of doubles. */
 class Matrix
@@ -72,22 +122,76 @@ class Matrix
     std::size_t size() const { return data.size(); }
     bool empty() const { return data.empty(); }
 
-    /** Element access (bounds-checked in debug via panic). */
-    double &at(std::size_t r, std::size_t c);
-    double at(std::size_t r, std::size_t c) const;
+    /**
+     * Element access.  Bounds are checked only when ADRIAS_INVARIANT
+     * checks are compiled in (the default outside Release); a
+     * violation routes through the invariant handler, whose default
+     * panics with std::logic_error.  Release builds index directly —
+     * the hot kernels bypass at() through raw() either way.
+     */
+    double &
+    at(std::size_t r, std::size_t c)
+    {
+        ADRIAS_INVARIANT(r < nRows && c < nCols,
+                         "Matrix::at(" + std::to_string(r) + ", " +
+                             std::to_string(c) + ") out of range " +
+                             shape());
+        return data[r * nCols + c];
+    }
+
+    /** Const element access; bounds-checked like the mutable form. */
+    double
+    at(std::size_t r, std::size_t c) const
+    {
+        ADRIAS_INVARIANT(r < nRows && c < nCols,
+                         "Matrix::at(" + std::to_string(r) + ", " +
+                             std::to_string(c) + ") out of range " +
+                             shape());
+        return data[r * nCols + c];
+    }
 
     /** Raw row-major storage. */
     std::vector<double> &raw() { return data; }
     const std::vector<double> &raw() const { return data; }
 
+    /**
+     * Reshape to rows x cols, zero-filling every element.  Reuses the
+     * existing allocation when capacity suffices — the workspace-reuse
+     * primitive behind the allocation-free kernels.
+     */
+    void resize(std::size_t rows_, std::size_t cols_);
+
+    /**
+     * Reshape to rows x cols without clearing: surviving elements keep
+     * their previous values and grown storage is zero-filled.  Only
+     * for destinations the caller overwrites in full before reading —
+     * anything else would leak stale values into results.
+     */
+    void resizeForOverwrite(std::size_t rows_, std::size_t cols_);
+
     /** Matrix product: (m x k) * (k x n) -> (m x n). */
     Matrix matmul(const Matrix &other) const;
+
+    /**
+     * Matrix product into a caller-owned destination (resized and
+     * zeroed here).  Bitwise identical to matmul(); `out` must not
+     * alias either operand.
+     */
+    void matmulInto(const Matrix &other, Matrix &out) const;
 
     /** this^T * other without materializing the transpose. */
     Matrix transposedMatmul(const Matrix &other) const;
 
+    /** Into-destination form of transposedMatmul(); same contract as
+     *  matmulInto(). */
+    void transposedMatmulInto(const Matrix &other, Matrix &out) const;
+
     /** this * other^T without materializing the transpose. */
     Matrix matmulTransposed(const Matrix &other) const;
+
+    /** Into-destination form of matmulTransposed(); same contract as
+     *  matmulInto(). */
+    void matmulTransposedInto(const Matrix &other, Matrix &out) const;
 
     /** @return transposed copy. */
     Matrix transposed() const;
@@ -113,8 +217,18 @@ class Matrix
     /** Add a 1 x cols row vector to every row (bias broadcast). */
     Matrix addRowBroadcast(const Matrix &row) const;
 
+    /** In-place form of addRowBroadcast(); bitwise identical result. */
+    void addRowBroadcastInPlace(const Matrix &row);
+
     /** Column-wise sum producing a 1 x cols row vector. */
     Matrix sumRows() const;
+
+    /**
+     * Accumulate the column-wise sums into an existing 1 x cols row
+     * vector: dst += this->sumRows(), bitwise identical to that
+     * two-step form but with no temporary.
+     */
+    void sumRowsAddTo(Matrix &dst) const;
 
     /**
      * Apply a scalar function to every element (returns a copy).
@@ -128,6 +242,10 @@ class Matrix
 
     /** Slice of columns [begin, end). */
     Matrix colRange(std::size_t begin, std::size_t end) const;
+
+    /** Into-destination form of colRange(); `dst` must not alias this. */
+    void colRangeInto(std::size_t begin, std::size_t end,
+                      Matrix &dst) const;
 
     /** Copy of one row as a 1 x cols matrix. */
     Matrix row(std::size_t r) const;
@@ -150,6 +268,7 @@ class Matrix
     std::vector<double> data;
 
     void checkSameShape(const Matrix &other, const char *op) const;
+    void checkNoAlias(const Matrix &out, const char *op) const;
 };
 
 } // namespace adrias::ml

@@ -56,6 +56,14 @@ Sequential::setTraining(bool training)
 }
 
 void
+Sequential::setInference(bool on)
+{
+    Layer::setInference(on);
+    for (auto &layer : layers)
+        layer->setInference(on);
+}
+
+void
 Sequential::beginStatsEstimation()
 {
     for (auto &layer : layers)

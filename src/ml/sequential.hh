@@ -29,6 +29,7 @@ class Sequential : public Layer
     Matrix backward(const Matrix &grad_output) override;
     std::vector<Param *> params() override;
     void setTraining(bool training) override;
+    void setInference(bool on) override;
     void beginStatsEstimation() override;
     void endStatsEstimation() override;
     std::vector<Matrix *> stateTensors() override;

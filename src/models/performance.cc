@@ -131,18 +131,16 @@ PerformanceModel::backwardBatch(const ml::Matrix &grad_output,
     const ml::Matrix grad_hidden = head->backward(grad_output);
     const std::size_t H = config.hidden;
 
-    const ml::Matrix grad_h_last = grad_hidden.colRange(0, H);
-    const ml::Matrix grad_k_last = grad_hidden.colRange(H, 2 * H);
     // Gradients w.r.t. mode and future inputs are discarded — they are
-    // inputs, not parameters.
-
+    // inputs, not parameters.  The two LSTM-branch slices land directly
+    // in their sequence slots (no intermediate copies).
     const std::size_t bins = scenario::ScenarioRunner::kWindowBins;
     std::vector<ml::Matrix> grad_h2(bins, ml::Matrix(batch_rows, H));
-    grad_h2.back() = grad_h_last;
+    grad_hidden.colRangeInto(0, H, grad_h2.back());
     historyLstm1->backwardSequence(historyLstm2->backwardSequence(grad_h2));
 
     std::vector<ml::Matrix> grad_k2(bins, ml::Matrix(batch_rows, H));
-    grad_k2.back() = grad_k_last;
+    grad_hidden.colRangeInto(H, 2 * H, grad_k2.back());
     signatureLstm1->backwardSequence(
         signatureLstm2->backwardSequence(grad_k2));
 }
@@ -202,6 +200,10 @@ PerformanceModel::fitLoop(
     auto parameters = params();
     ml::Adam optimizer(parameters, learning_rate);
     head->setTraining(true);
+    head->setInference(false);
+    for (ml::Lstm *lstm : {historyLstm1.get(), historyLstm2.get(),
+                           signatureLstm1.get(), signatureLstm2.get()})
+        lstm->setInference(false);
 
     std::vector<std::size_t> order(samples.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
@@ -268,6 +270,12 @@ PerformanceModel::fitLoop(
         epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
     }
 
+    // Training is done with the LSTMs: the stats pass and everything
+    // after only runs forward, so skip their BPTT caches.
+    for (ml::Lstm *lstm : {historyLstm1.get(), historyLstm2.get(),
+                           signatureLstm1.get(), signatureLstm2.get()})
+        lstm->setInference(true);
+
     // Replace BatchNorm running statistics with exact population
     // statistics (clean pass over the training set, no updates).
     head->beginStatsEstimation();
@@ -310,6 +318,7 @@ PerformanceModel::fitLoop(
     head->endStatsEstimation();
 
     head->setTraining(false);
+    head->setInference(true);
     isTrained = true;
     return epoch_loss;
 }
@@ -351,6 +360,12 @@ PerformanceModel::load(const std::string &path)
     ml::loadScaler(in, counterScaler);
     ml::loadScaler(in, targetScaler);
     head->setTraining(false);
+    // A loaded model only predicts until fineTune(), which re-enables
+    // training mode itself.
+    head->setInference(true);
+    for (ml::Lstm *lstm : {historyLstm1.get(), historyLstm2.get(),
+                           signatureLstm1.get(), signatureLstm2.get()})
+        lstm->setInference(true);
     isTrained = true;
 }
 

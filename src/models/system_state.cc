@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
@@ -51,11 +52,11 @@ void
 SystemStateModel::backwardBatch(const ml::Matrix &grad_output,
                                 std::size_t batch_rows) const
 {
-    const ml::Matrix grad_last = head->backward(grad_output);
+    ml::Matrix grad_last = head->backward(grad_output);
     std::vector<ml::Matrix> grad_hidden2(
         scenario::ScenarioRunner::kWindowBins,
         ml::Matrix(batch_rows, config.hidden));
-    grad_hidden2.back() = grad_last;
+    grad_hidden2.back() = std::move(grad_last);
     const auto grad_hidden1 = lstm2->backwardSequence(grad_hidden2);
     lstm1->backwardSequence(grad_hidden1);
 }
@@ -83,6 +84,9 @@ SystemStateModel::train(
     auto parameters = params();
     ml::Adam optimizer(parameters, config.learningRate);
     head->setTraining(true);
+    head->setInference(false);
+    lstm1->setInference(false);
+    lstm2->setInference(false);
 
     std::vector<std::size_t> order(samples.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
@@ -129,6 +133,11 @@ SystemStateModel::train(
         epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
     }
 
+    // Training is done with the LSTMs: every forward from here on is
+    // inference-only, so skip their BPTT caches (outputs unchanged).
+    lstm1->setInference(true);
+    lstm2->setInference(true);
+
     // One clean pass to replace BatchNorm running statistics with exact
     // population statistics — eliminates the train/eval normalization
     // mismatch that spiky channel counters otherwise cause.
@@ -151,6 +160,7 @@ SystemStateModel::train(
     head->endStatsEstimation();
 
     head->setTraining(false);
+    head->setInference(true);
     isTrained = true;
     return epoch_loss;
 }
@@ -180,6 +190,11 @@ SystemStateModel::load(const std::string &path)
     ml::loadScaler(in, inputScaler);
     ml::loadScaler(in, targetScaler);
     head->setTraining(false);
+    // A loaded model only ever predicts (re-training reconstructs it),
+    // so the whole pipeline runs the inference fast-path.
+    head->setInference(true);
+    lstm1->setInference(true);
+    lstm2->setInference(true);
     isTrained = true;
 }
 

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Equivalence suite for the fused LSTM/GEMM kernels (DESIGN.md §11):
+ * the fused hot path must produce results bitwise identical to the
+ * retained reference formulation — forward outputs, backward
+ * gradients, and weights after whole training loops — over ragged
+ * shapes and at every thread count, and the inference fast-path must
+ * match training-mode outputs exactly while skipping the caches.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/threadpool.hh"
+#include "ml/lstm.hh"
+#include "ml/matrix.hh"
+
+namespace
+{
+
+using adrias::Rng;
+using adrias::ScopedThreadOverride;
+using adrias::ml::Lstm;
+using adrias::ml::lstmFusedKernels;
+using adrias::ml::Matrix;
+using adrias::ml::MatrixParallelConfig;
+using adrias::ml::matrixParallelConfig;
+using adrias::ml::Param;
+using adrias::ml::setLstmFusedKernels;
+using adrias::ml::setMatrixParallelConfig;
+
+/**
+ * Saves and restores the global kernel knobs, and forces every kernel
+ * onto the parallel path so thread-count sweeps mean something.
+ */
+class FusedEquivalenceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        savedConfig = matrixParallelConfig();
+        savedFused = lstmFusedKernels();
+        setMatrixParallelConfig({0, 0});
+    }
+
+    void
+    TearDown() override
+    {
+        setMatrixParallelConfig(savedConfig);
+        setLstmFusedKernels(savedFused);
+    }
+
+    MatrixParallelConfig savedConfig;
+    bool savedFused = true;
+};
+
+Matrix
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    Matrix m(rows, cols);
+    for (double &value : m.raw())
+        value = rng.uniform(-2.0, 2.0);
+    // Sprinkle exact zeros so the GEMM zero-skip branch is exercised.
+    for (double &value : m.raw())
+        if (rng.bernoulli(0.1))
+            value = 0.0;
+    return m;
+}
+
+std::vector<Matrix>
+randomSequence(Rng &rng, std::size_t steps, std::size_t batch,
+               std::size_t input)
+{
+    std::vector<Matrix> sequence;
+    sequence.reserve(steps);
+    for (std::size_t t = 0; t < steps; ++t)
+        sequence.push_back(randomMatrix(rng, batch, input));
+    return sequence;
+}
+
+void
+expectIdentical(const Matrix &expected, const Matrix &actual,
+                const char *what)
+{
+    ASSERT_EQ(expected.rows(), actual.rows()) << what;
+    ASSERT_EQ(expected.cols(), actual.cols()) << what;
+    // Bitwise, not approximate: the contract is exact equality.
+    ASSERT_EQ(expected.raw(), actual.raw()) << what;
+}
+
+void
+expectIdentical(const std::vector<Matrix> &expected,
+                const std::vector<Matrix> &actual, const char *what)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << what;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        expectIdentical(expected[i], actual[i], what);
+}
+
+std::vector<unsigned>
+threadCounts()
+{
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    return {1u, 2u, 7u, hw};
+}
+
+/** Ragged sweep: degenerate, small, and training-realistic shapes. */
+struct LstmShape
+{
+    std::size_t steps, batch, input, hidden;
+};
+
+constexpr LstmShape kShapes[] = {
+    {1, 1, 1, 1},   {3, 2, 5, 4},   {5, 7, 3, 13},
+    {2, 1, 9, 6},   {12, 32, 7, 24}, {4, 3, 16, 5},
+};
+
+/** Fresh layer with weights deterministic in the seed. */
+Lstm
+makeLstm(const LstmShape &shape, unsigned seed)
+{
+    Rng rng(seed);
+    return Lstm(shape.input, shape.hidden, rng);
+}
+
+TEST_F(FusedEquivalenceTest, ForwardOutputsBitwiseEqual)
+{
+    Rng rng(0xFA57ED);
+    for (const auto &shape : kShapes) {
+        const auto sequence =
+            randomSequence(rng, shape.steps, shape.batch, shape.input);
+
+        std::vector<Matrix> reference;
+        {
+            ScopedThreadOverride serial(1);
+            setLstmFusedKernels(false);
+            Lstm lstm = makeLstm(shape, 7001);
+            reference = lstm.forwardSequence(sequence);
+        }
+
+        for (unsigned threads : threadCounts()) {
+            ScopedThreadOverride override_(threads);
+            for (bool fused : {true, false}) {
+                setLstmFusedKernels(fused);
+                Lstm lstm = makeLstm(shape, 7001);
+                expectIdentical(reference,
+                                lstm.forwardSequence(sequence),
+                                fused ? "fused forward"
+                                      : "reference forward");
+            }
+        }
+    }
+}
+
+TEST_F(FusedEquivalenceTest, BackwardGradientsBitwiseEqual)
+{
+    Rng rng(0xBACC1);
+    for (const auto &shape : kShapes) {
+        const auto sequence =
+            randomSequence(rng, shape.steps, shape.batch, shape.input);
+        const auto grad_hidden =
+            randomSequence(rng, shape.steps, shape.batch, shape.hidden);
+
+        std::vector<Matrix> ref_inputs;
+        std::vector<Matrix> ref_grads;
+        {
+            ScopedThreadOverride serial(1);
+            setLstmFusedKernels(false);
+            Lstm lstm = makeLstm(shape, 7002);
+            lstm.forwardSequence(sequence);
+            ref_inputs = lstm.backwardSequence(grad_hidden);
+            for (Param *param : lstm.params())
+                ref_grads.push_back(param->grad);
+        }
+
+        for (unsigned threads : threadCounts()) {
+            ScopedThreadOverride override_(threads);
+            for (bool fused : {true, false}) {
+                setLstmFusedKernels(fused);
+                Lstm lstm = makeLstm(shape, 7002);
+                lstm.forwardSequence(sequence);
+                expectIdentical(ref_inputs,
+                                lstm.backwardSequence(grad_hidden),
+                                "grad inputs");
+                const auto params = lstm.params();
+                ASSERT_EQ(params.size(), ref_grads.size());
+                for (std::size_t i = 0; i < params.size(); ++i)
+                    expectIdentical(ref_grads[i], params[i]->grad,
+                                    "param grad");
+            }
+        }
+    }
+}
+
+TEST_F(FusedEquivalenceTest, TrainedWeightsBitwiseEqual)
+{
+    // A whole training loop — repeated forward/backward/SGD — must
+    // leave identical weights: any divergence anywhere would compound.
+    const LstmShape shape{6, 5, 4, 9};
+    constexpr int kSteps = 8;
+    constexpr double kLr = 0.05;
+
+    auto train = [&](bool fused, unsigned threads) {
+        ScopedThreadOverride override_(threads);
+        setLstmFusedKernels(fused);
+        Rng data_rng(0x7EA1);
+        Lstm lstm = makeLstm(shape, 7003);
+        const auto sequence = randomSequence(data_rng, shape.steps,
+                                             shape.batch, shape.input);
+        const auto target = randomSequence(data_rng, shape.steps,
+                                           shape.batch, shape.hidden);
+        for (int iter = 0; iter < kSteps; ++iter) {
+            const auto outputs = lstm.forwardSequence(sequence);
+            std::vector<Matrix> grad;
+            grad.reserve(outputs.size());
+            for (std::size_t t = 0; t < outputs.size(); ++t)
+                grad.push_back(outputs[t] - target[t]);
+            lstm.backwardSequence(grad);
+            for (Param *param : lstm.params()) {
+                param->value += param->grad * -kLr;
+                param->zeroGrad();
+            }
+        }
+        std::vector<Matrix> weights;
+        for (Param *param : lstm.params())
+            weights.push_back(param->value);
+        return weights;
+    };
+
+    const auto reference = train(false, 1);
+    for (unsigned threads : threadCounts()) {
+        for (bool fused : {true, false}) {
+            const auto weights = train(fused, threads);
+            ASSERT_EQ(reference.size(), weights.size());
+            for (std::size_t i = 0; i < weights.size(); ++i)
+                expectIdentical(reference[i], weights[i],
+                                "trained weight");
+        }
+    }
+}
+
+TEST_F(FusedEquivalenceTest, InferenceFastPathMatchesTrainingOutputs)
+{
+    Rng rng(0x1FE5);
+    for (const auto &shape : kShapes) {
+        const auto sequence =
+            randomSequence(rng, shape.steps, shape.batch, shape.input);
+        for (bool fused : {true, false}) {
+            setLstmFusedKernels(fused);
+            Lstm lstm = makeLstm(shape, 7004);
+            const auto trained = lstm.forwardSequence(sequence);
+            lstm.setInference(true);
+            expectIdentical(trained, lstm.forwardSequence(sequence),
+                            "inference forward");
+            lstm.setInference(false);
+        }
+    }
+}
+
+TEST_F(FusedEquivalenceTest, BackwardAfterInferenceForwardPanics)
+{
+    const LstmShape shape{3, 2, 4, 5};
+    Rng rng(0xDEAD5);
+    const auto sequence =
+        randomSequence(rng, shape.steps, shape.batch, shape.input);
+    const auto grad =
+        randomSequence(rng, shape.steps, shape.batch, shape.hidden);
+    for (bool fused : {true, false}) {
+        setLstmFusedKernels(fused);
+        Lstm lstm = makeLstm(shape, 7005);
+        lstm.setInference(true);
+        lstm.forwardSequence(sequence);
+        // No caches were built, so BPTT has nothing to consume.
+        EXPECT_THROW(lstm.backwardSequence(grad), std::logic_error);
+    }
+}
+
+TEST_F(FusedEquivalenceTest, BlockedGemmBitwiseIdentical)
+{
+    // Cache-blocked tiling must not change any output bit: per output
+    // element the k-accumulation order is unchanged (DESIGN.md §11).
+    Rng rng(0xB10C);
+    const std::size_t dims[][3] = {
+        {40, 33, 29}, {7, 64, 7}, {64, 64, 64}, {1, 100, 3},
+    };
+    for (const auto &d : dims) {
+        const Matrix a = randomMatrix(rng, d[0], d[1]);
+        const Matrix b = randomMatrix(rng, d[1], d[2]);
+        const Matrix at = randomMatrix(rng, d[1], d[0]);
+
+        setMatrixParallelConfig({0, 0, 0});
+        Matrix ref_mm, ref_tm;
+        {
+            ScopedThreadOverride serial(1);
+            ref_mm = a.matmul(b);
+            ref_tm = at.transposedMatmul(b);
+        }
+        for (std::size_t block : {4u, 16u, 256u}) {
+            setMatrixParallelConfig({0, 0, block});
+            for (unsigned threads : threadCounts()) {
+                ScopedThreadOverride override_(threads);
+                expectIdentical(ref_mm, a.matmul(b), "blocked matmul");
+                expectIdentical(ref_tm, at.transposedMatmul(b),
+                                "blocked transposedMatmul");
+            }
+        }
+    }
+}
+
+TEST_F(FusedEquivalenceTest, FusedLstmUnderBlockedGemm)
+{
+    // The full fused layer with tiling enabled still matches the
+    // unblocked reference bit for bit.
+    const LstmShape shape{5, 6, 11, 17};
+    Rng rng(0xB10C2);
+    const auto sequence =
+        randomSequence(rng, shape.steps, shape.batch, shape.input);
+    const auto grad_hidden =
+        randomSequence(rng, shape.steps, shape.batch, shape.hidden);
+
+    setLstmFusedKernels(false);
+    setMatrixParallelConfig({0, 0, 0});
+    Lstm reference = makeLstm(shape, 7006);
+    const auto ref_out = reference.forwardSequence(sequence);
+    const auto ref_grad = reference.backwardSequence(grad_hidden);
+
+    setLstmFusedKernels(true);
+    setMatrixParallelConfig({0, 0, 8});
+    for (unsigned threads : threadCounts()) {
+        ScopedThreadOverride override_(threads);
+        Lstm fused = makeLstm(shape, 7006);
+        expectIdentical(ref_out, fused.forwardSequence(sequence),
+                        "fused+blocked forward");
+        expectIdentical(ref_grad, fused.backwardSequence(grad_hidden),
+                        "fused+blocked backward");
+        const auto ref_params = reference.params();
+        const auto fused_params = fused.params();
+        for (std::size_t i = 0; i < fused_params.size(); ++i)
+            expectIdentical(ref_params[i]->grad, fused_params[i]->grad,
+                            "fused+blocked param grad");
+    }
+}
+
+} // namespace

@@ -32,11 +32,19 @@ TEST(Matrix, InitializerShapeMismatchPanics)
     EXPECT_THROW(Matrix(2, 2, {1.0, 2.0, 3.0}), std::logic_error);
 }
 
-TEST(Matrix, AtBoundsChecked)
+TEST(Matrix, AtBoundsCheckedUnderInvariants)
 {
+    // at() bounds checks live under ADRIAS_INVARIANT: active in
+    // Debug/RelWithDebInfo (where the default handler panics), compiled
+    // out entirely in Release.
+    if (!invariant::kEnabled)
+        GTEST_SKIP() << "invariant checks compiled out in this build";
     Matrix m(2, 2);
     EXPECT_THROW(m.at(2, 0), std::logic_error);
     EXPECT_THROW(m.at(0, 2), std::logic_error);
+    const Matrix &cm = m;
+    EXPECT_THROW(cm.at(2, 0), std::logic_error);
+    EXPECT_THROW(cm.at(0, 2), std::logic_error);
 }
 
 TEST(Matrix, MatmulKnownProduct)
@@ -205,6 +213,96 @@ TEST(Matrix, RowVectorFactory)
     ASSERT_EQ(v.rows(), 1u);
     ASSERT_EQ(v.cols(), 3u);
     EXPECT_DOUBLE_EQ(v.at(0, 1), 2.0);
+}
+
+TEST(Matrix, IntoOverloadsMatchAllocatingBitwise)
+{
+    Matrix a(2, 3, {1, -2, 3, 0, 5, -6});
+    Matrix b(3, 4, {1, 0, 2, 1, 0, 1, 1, 2, 3, 1, 0, 1});
+    Matrix at(3, 2, {1, 4, -2, 5, 3, 0});
+    Matrix bt(4, 3, {1, 0, 2, 1, 0, 1, 1, 2, 3, 1, 0, 1});
+
+    Matrix out;
+    a.matmulInto(b, out);
+    EXPECT_EQ(out.raw(), a.matmul(b).raw());
+
+    at.transposedMatmulInto(b, out);
+    EXPECT_EQ(out.raw(), at.transposedMatmul(b).raw());
+
+    a.matmulTransposedInto(bt, out);
+    EXPECT_EQ(out.raw(), a.matmulTransposed(bt).raw());
+}
+
+TEST(Matrix, IntoOverloadsReshapeTheDestination)
+{
+    // A destination from a previous, differently-shaped product must be
+    // fully reset — no stale elements may survive.
+    Matrix big(4, 4, std::vector<double>(16, 7.0));
+    Matrix a(1, 2, {1, 2});
+    Matrix b(2, 1, {3, 4});
+    a.matmulInto(b, big);
+    ASSERT_EQ(big.rows(), 1u);
+    ASSERT_EQ(big.cols(), 1u);
+    EXPECT_DOUBLE_EQ(big.at(0, 0), 11.0);
+}
+
+TEST(Matrix, IntoOverloadsRejectAliasing)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {5, 6, 7, 8});
+    EXPECT_THROW(a.matmulInto(b, a), std::logic_error);
+    EXPECT_THROW(a.matmulInto(b, b), std::logic_error);
+    EXPECT_THROW(a.transposedMatmulInto(b, a), std::logic_error);
+    EXPECT_THROW(a.matmulTransposedInto(b, b), std::logic_error);
+    EXPECT_THROW(a.colRangeInto(0, 1, a), std::logic_error);
+}
+
+TEST(Matrix, SumRowsAddToAccumulates)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix dst(1, 3, {10, 20, 30});
+    const Matrix expected = dst + a.sumRows();
+    a.sumRowsAddTo(dst);
+    EXPECT_EQ(dst.raw(), expected.raw());
+
+    Matrix wrong(2, 3);
+    EXPECT_THROW(a.sumRowsAddTo(wrong), std::logic_error);
+}
+
+TEST(Matrix, ColRangeIntoMatchesColRange)
+{
+    Matrix a(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+    Matrix dst(5, 5, std::vector<double>(25, 9.0));
+    a.colRangeInto(1, 3, dst);
+    EXPECT_EQ(dst.raw(), a.colRange(1, 3).raw());
+    EXPECT_THROW(a.colRangeInto(3, 1, dst), std::logic_error);
+    EXPECT_THROW(a.colRangeInto(0, 5, dst), std::logic_error);
+}
+
+TEST(Matrix, AddRowBroadcastInPlaceMatches)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix bias(1, 2, {10, 20});
+    const Matrix expected = a.addRowBroadcast(bias);
+    a.addRowBroadcastInPlace(bias);
+    EXPECT_EQ(a.raw(), expected.raw());
+    Matrix bad(1, 3);
+    EXPECT_THROW(a.addRowBroadcastInPlace(bad), std::logic_error);
+}
+
+TEST(Matrix, ResizeZeroFillsAndReusesStorage)
+{
+    Matrix m(4, 4, std::vector<double>(16, 3.0));
+    m.resize(2, 3);
+    ASSERT_EQ(m.rows(), 2u);
+    ASSERT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.maxAbs(), 0.0);
+
+    // resizeForOverwrite keeps surviving elements (linear order).
+    Matrix k(1, 4, {1, 2, 3, 4});
+    k.resizeForOverwrite(2, 2);
+    EXPECT_DOUBLE_EQ(k.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(k.at(1, 1), 4.0);
 }
 
 } // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the perf-regression gate (tools/bench_compare): the
+ * adrias-bench-v1 parser and the tolerance/missing/added policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_compare/bench_compare.hh"
+
+namespace
+{
+
+using namespace adrias::bench_compare;
+
+std::string
+benchJson(const std::string &entries)
+{
+    return std::string("{\"schema\":\"adrias-bench-v1\","
+                       "\"suite\":\"ml_kernels\",\"benchmarks\":[") +
+           entries + "]}";
+}
+
+std::string
+entry(const std::string &name, double median)
+{
+    return "{\"name\":\"" + name +
+           "\",\"median_ns\":" + std::to_string(median) +
+           ",\"min_ns\":1,\"mean_ns\":2,\"iterations\":30,\"warmup\":5}";
+}
+
+TEST(BenchCompareParser, ExtractsNameAndMedian)
+{
+    std::string error;
+    const auto entries = parseBenchJson(
+        benchJson(entry("matmul_64", 1000.5) + "," +
+                  entry("lstm_forward", 2e6)),
+        &error);
+    ASSERT_EQ(entries.size(), 2u) << error;
+    EXPECT_EQ(entries[0].name, "matmul_64");
+    EXPECT_DOUBLE_EQ(entries[0].medianNs, 1000.5);
+    EXPECT_EQ(entries[1].name, "lstm_forward");
+    EXPECT_DOUBLE_EQ(entries[1].medianNs, 2e6);
+}
+
+TEST(BenchCompareParser, IgnoresSummaryAndUnknownKeys)
+{
+    const std::string text =
+        "{\"schema\":\"adrias-bench-v1\",\"future_key\":{\"a\":[1,2]},"
+        "\"benchmarks\":[{\"name\":\"x\",\"extra\":true,"
+        "\"median_ns\":42,\"nested\":{\"deep\":[null,\"s\"]}}],"
+        "\"summary\":[{\"name\":\"sp\",\"before_ns\":2,\"after_ns\":1,"
+        "\"speedup\":2.0}]}";
+    std::string error;
+    const auto entries = parseBenchJson(text, &error);
+    ASSERT_EQ(entries.size(), 1u) << error;
+    EXPECT_EQ(entries[0].name, "x");
+    EXPECT_DOUBLE_EQ(entries[0].medianNs, 42.0);
+}
+
+TEST(BenchCompareParser, RejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_TRUE(parseBenchJson("not json", &error).empty());
+    EXPECT_FALSE(error.empty());
+
+    EXPECT_TRUE(parseBenchJson("{\"suite\":\"x\"}", &error).empty());
+    EXPECT_EQ(error, "no benchmarks array");
+
+    // An entry without median_ns must be an error, not silently zero.
+    EXPECT_TRUE(parseBenchJson(
+                    benchJson("{\"name\":\"x\",\"min_ns\":1}"), &error)
+                    .empty());
+    EXPECT_FALSE(error.empty());
+
+    // Truncated document.
+    EXPECT_TRUE(
+        parseBenchJson("{\"benchmarks\":[{\"name\":\"x\",", &error)
+            .empty());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchComparePolicy, PassesWithinTolerance)
+{
+    const std::vector<BenchEntry> baseline{{"a", 1000.0}, {"b", 500.0}};
+    const std::vector<BenchEntry> current{{"a", 1900.0}, {"b", 400.0}};
+    const CompareResult result = compare(baseline, current, 2.0);
+    EXPECT_TRUE(result.pass);
+    ASSERT_EQ(result.rows.size(), 2u);
+    EXPECT_FALSE(result.rows[0].regressed);
+    EXPECT_DOUBLE_EQ(result.rows[0].ratio, 1.9);
+    EXPECT_FALSE(result.rows[1].regressed);
+    EXPECT_TRUE(result.missing.empty());
+    EXPECT_TRUE(result.added.empty());
+}
+
+TEST(BenchComparePolicy, FailsOnGrossRegression)
+{
+    const std::vector<BenchEntry> baseline{{"a", 1000.0}, {"b", 500.0}};
+    const std::vector<BenchEntry> current{{"a", 2100.0}, {"b", 500.0}};
+    const CompareResult result = compare(baseline, current, 2.0);
+    EXPECT_FALSE(result.pass);
+    EXPECT_TRUE(result.rows[0].regressed);
+    EXPECT_FALSE(result.rows[1].regressed);
+
+    const std::string report = formatReport(result, 2.0);
+    EXPECT_NE(report.find("REGRESSED a"), std::string::npos);
+    EXPECT_NE(report.find("FAIL"), std::string::npos);
+}
+
+TEST(BenchComparePolicy, ExactlyAtToleranceStillPasses)
+{
+    const std::vector<BenchEntry> baseline{{"a", 1000.0}};
+    const std::vector<BenchEntry> current{{"a", 2000.0}};
+    EXPECT_TRUE(compare(baseline, current, 2.0).pass);
+}
+
+TEST(BenchComparePolicy, MissingBenchmarkFailsAddedIsInformational)
+{
+    const std::vector<BenchEntry> baseline{{"a", 1000.0}, {"b", 500.0}};
+    const std::vector<BenchEntry> current{{"a", 1000.0},
+                                          {"c", 100.0}};
+    const CompareResult result = compare(baseline, current, 2.0);
+    EXPECT_FALSE(result.pass);
+    ASSERT_EQ(result.missing.size(), 1u);
+    EXPECT_EQ(result.missing[0], "b");
+    ASSERT_EQ(result.added.size(), 1u);
+    EXPECT_EQ(result.added[0], "c");
+
+    // Added-only (baseline fully covered) passes: new benchmarks land
+    // before their baseline snapshot is refreshed.
+    const std::vector<BenchEntry> current2{{"a", 1000.0},
+                                           {"b", 500.0},
+                                           {"c", 100.0}};
+    EXPECT_TRUE(compare(baseline, current2, 2.0).pass);
+}
+
+TEST(BenchComparePolicy, CheckedInBaselinesParse)
+{
+    // The real snapshots the CI gate consumes must stay parseable.
+    for (const char *name : {"BENCH_ml.json", "BENCH_sim.json"}) {
+        const std::string path =
+            std::string(ADRIAS_BENCH_BASELINE_DIR) + "/" + name;
+        std::ifstream in(path);
+        ASSERT_TRUE(in) << path;
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::string error;
+        const auto entries = parseBenchJson(buf.str(), &error);
+        EXPECT_FALSE(entries.empty()) << path << ": " << error;
+        const CompareResult self = compare(entries, entries, 2.0);
+        EXPECT_TRUE(self.pass) << path;
+    }
+}
+
+} // namespace

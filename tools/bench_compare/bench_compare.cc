@@ -1,0 +1,347 @@
+#include "bench_compare/bench_compare.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+namespace adrias::bench_compare
+{
+
+namespace
+{
+
+/**
+ * Cursor over the JSON text.  The grammar subset accepted here is the
+ * full JSON value grammar (objects, arrays, strings with escapes,
+ * numbers, true/false/null); values we do not care about are skipped
+ * structurally so future additive schema changes cannot break the
+ * gate.
+ */
+struct Cursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error.empty()) {
+            error = why + " at byte " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    peekIs(char c)
+    {
+        skipWs();
+        return pos < text.size() && text[pos] == c;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        std::string s;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  default:
+                    // \uXXXX and the rest are not produced by the
+                    // bench writers; keep the raw escape readable.
+                    s += e;
+                    break;
+                }
+            } else {
+                s += c;
+            }
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        if (out)
+            *out = s;
+        return true;
+    }
+
+    bool
+    parseNumber(double *out)
+    {
+        skipWs();
+        const std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E')) {
+            ++pos;
+        }
+        if (pos == start)
+            return fail("expected number");
+        const std::string tok = text.substr(start, pos - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number '" + tok + "'");
+        if (out)
+            *out = v;
+        return true;
+    }
+
+    bool
+    parseLiteral(const std::string &lit)
+    {
+        skipWs();
+        if (text.compare(pos, lit.size(), lit) != 0)
+            return fail("expected '" + lit + "'");
+        pos += lit.size();
+        return true;
+    }
+
+    /** Parse and discard any JSON value. */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '"')
+            return parseString(nullptr);
+        if (c == '{')
+            return skipObject();
+        if (c == '[')
+            return skipArray();
+        if (c == 't')
+            return parseLiteral("true");
+        if (c == 'f')
+            return parseLiteral("false");
+        if (c == 'n')
+            return parseLiteral("null");
+        return parseNumber(nullptr);
+    }
+
+    bool
+    skipObject()
+    {
+        if (!consume('{'))
+            return false;
+        if (peekIs('}'))
+            return consume('}');
+        while (true) {
+            if (!parseString(nullptr) || !consume(':') || !skipValue())
+                return false;
+            if (peekIs(','))
+                consume(',');
+            else
+                break;
+        }
+        return consume('}');
+    }
+
+    bool
+    skipArray()
+    {
+        if (!consume('['))
+            return false;
+        if (peekIs(']'))
+            return consume(']');
+        while (true) {
+            if (!skipValue())
+                return false;
+            if (peekIs(','))
+                consume(',');
+            else
+                break;
+        }
+        return consume(']');
+    }
+
+    /** Parse one benchmarks[] element into an entry. */
+    bool
+    parseBenchObject(BenchEntry *entry, bool *sawName, bool *sawMedian)
+    {
+        if (!consume('{'))
+            return false;
+        if (peekIs('}'))
+            return consume('}');
+        while (true) {
+            std::string key;
+            if (!parseString(&key) || !consume(':'))
+                return false;
+            if (key == "name") {
+                if (!parseString(&entry->name))
+                    return false;
+                *sawName = true;
+            } else if (key == "median_ns") {
+                if (!parseNumber(&entry->medianNs))
+                    return false;
+                *sawMedian = true;
+            } else {
+                if (!skipValue())
+                    return false;
+            }
+            if (peekIs(','))
+                consume(',');
+            else
+                break;
+        }
+        return consume('}');
+    }
+};
+
+} // namespace
+
+std::vector<BenchEntry>
+parseBenchJson(const std::string &text, std::string *error)
+{
+    Cursor cur{text, 0, {}};
+    std::vector<BenchEntry> entries;
+    bool sawBenchmarks = false;
+
+    auto failOut = [&](const std::string &why) {
+        if (error)
+            *error = cur.error.empty() ? why : cur.error;
+        return std::vector<BenchEntry>{};
+    };
+
+    if (!cur.consume('{'))
+        return failOut("not a JSON object");
+    if (cur.peekIs('}'))
+        return failOut("no benchmarks array");
+    while (true) {
+        std::string key;
+        if (!cur.parseString(&key) || !cur.consume(':'))
+            return failOut("malformed object");
+        if (key == "benchmarks") {
+            sawBenchmarks = true;
+            if (!cur.consume('['))
+                return failOut("benchmarks is not an array");
+            if (cur.peekIs(']')) {
+                cur.consume(']');
+            } else {
+                while (true) {
+                    BenchEntry entry;
+                    bool saw_name = false;
+                    bool saw_median = false;
+                    if (!cur.parseBenchObject(&entry, &saw_name,
+                                              &saw_median)) {
+                        return failOut("malformed benchmark entry");
+                    }
+                    if (!saw_name || !saw_median) {
+                        return failOut(
+                            "benchmark entry missing name/median_ns");
+                    }
+                    entries.push_back(std::move(entry));
+                    if (cur.peekIs(','))
+                        cur.consume(',');
+                    else
+                        break;
+                }
+                if (!cur.consume(']'))
+                    return failOut("unterminated benchmarks array");
+            }
+        } else {
+            if (!cur.skipValue())
+                return failOut("malformed value for key '" + key + "'");
+        }
+        if (cur.peekIs(','))
+            cur.consume(',');
+        else
+            break;
+    }
+    if (!cur.consume('}'))
+        return failOut("unterminated top-level object");
+    if (!sawBenchmarks)
+        return failOut("no benchmarks array");
+    if (error)
+        error->clear();
+    return entries;
+}
+
+CompareResult
+compare(const std::vector<BenchEntry> &baseline,
+        const std::vector<BenchEntry> &current, double tolerance)
+{
+    CompareResult result;
+    std::unordered_map<std::string, double> current_by_name;
+    for (const BenchEntry &e : current)
+        current_by_name.emplace(e.name, e.medianNs);
+
+    for (const BenchEntry &base : baseline) {
+        auto it = current_by_name.find(base.name);
+        if (it == current_by_name.end()) {
+            result.missing.push_back(base.name);
+            result.pass = false;
+            continue;
+        }
+        CompareRow row;
+        row.name = base.name;
+        row.baselineNs = base.medianNs;
+        row.currentNs = it->second;
+        row.ratio = base.medianNs > 0.0 ? it->second / base.medianNs
+                                        : 0.0;
+        row.regressed = row.ratio > tolerance;
+        if (row.regressed)
+            result.pass = false;
+        result.rows.push_back(row);
+        current_by_name.erase(it);
+    }
+    // Preserve current-file order for the leftovers.
+    for (const BenchEntry &e : current) {
+        if (current_by_name.count(e.name))
+            result.added.push_back(e.name);
+    }
+    return result;
+}
+
+std::string
+formatReport(const CompareResult &result, double tolerance)
+{
+    std::ostringstream out;
+    out << "bench_compare: tolerance " << tolerance << "x\n";
+    for (const CompareRow &row : result.rows) {
+        out << "  " << (row.regressed ? "REGRESSED " : "ok        ")
+            << row.name << "  " << row.baselineNs << " ns -> "
+            << row.currentNs << " ns  (" << row.ratio << "x)\n";
+    }
+    for (const std::string &name : result.missing)
+        out << "  MISSING   " << name << " (in baseline, not in run)\n";
+    for (const std::string &name : result.added)
+        out << "  new       " << name << " (not in baseline)\n";
+    out << (result.pass ? "PASS" : "FAIL") << "\n";
+    return out.str();
+}
+
+} // namespace adrias::bench_compare

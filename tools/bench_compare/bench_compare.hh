@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Perf-regression gate over adrias-bench-v1 JSON files.
+ *
+ * The micro-benchmarks (bench/micro_ml_kernels, bench/micro_sim_speed)
+ * emit a stable JSON schema; checked-in snapshots live under
+ * bench/baselines/.  This tool compares a current run against such a
+ * baseline and fails only on *gross* regressions — the tolerance is
+ * deliberately generous (default 2x) because CI machines are noisy and
+ * the goal is catching accidental O(n^2)s and dropped optimizations,
+ * not 5% drift (DESIGN.md §11).
+ *
+ * The parser is a minimal, dependency-free reader of the
+ * adrias-bench-v1 shape: it extracts benchmarks[*].name and
+ * benchmarks[*].median_ns and ignores everything else (including the
+ * summary block, which records speedup bookkeeping, not gate input).
+ */
+
+#ifndef ADRIAS_TOOLS_BENCH_COMPARE_HH
+#define ADRIAS_TOOLS_BENCH_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+namespace adrias::bench_compare
+{
+
+/** One benchmark entry extracted from an adrias-bench-v1 file. */
+struct BenchEntry
+{
+    std::string name;
+    double medianNs = 0.0;
+};
+
+/**
+ * Extract benchmarks[*].{name, median_ns} from adrias-bench-v1 JSON.
+ *
+ * @param text full JSON document.
+ * @param error on failure, receives a one-line reason.
+ * @return entries in file order; empty with *error set on failure.
+ */
+std::vector<BenchEntry> parseBenchJson(const std::string &text,
+                                       std::string *error);
+
+/** Verdict for one benchmark present in the baseline. */
+struct CompareRow
+{
+    std::string name;
+    double baselineNs = 0.0;
+    double currentNs = 0.0;
+    /** currentNs / baselineNs; > tolerance means regressed. */
+    double ratio = 0.0;
+    bool regressed = false;
+};
+
+/** Full comparison outcome. */
+struct CompareResult
+{
+    std::vector<CompareRow> rows;
+    /** Baseline names absent from the current run: gate failure. */
+    std::vector<std::string> missing;
+    /** Current names absent from the baseline: informational only. */
+    std::vector<std::string> added;
+    /** True iff no row regressed and nothing is missing. */
+    bool pass = true;
+};
+
+/**
+ * Gate a current run against a baseline.
+ *
+ * @param baseline entries from the checked-in snapshot.
+ * @param current entries from the run under test.
+ * @param tolerance allowed slowdown factor (e.g. 2.0 = up to 2x
+ *        slower passes).  Must be >= 1.
+ */
+CompareResult compare(const std::vector<BenchEntry> &baseline,
+                      const std::vector<BenchEntry> &current,
+                      double tolerance);
+
+/** Render a human-readable report of a comparison. */
+std::string formatReport(const CompareResult &result, double tolerance);
+
+} // namespace adrias::bench_compare
+
+#endif // ADRIAS_TOOLS_BENCH_COMPARE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * CLI for the perf-regression gate:
+ *   bench_compare <baseline.json> <current.json> [--tolerance X]
+ *
+ * Exit codes: 0 pass, 1 gross regression or missing benchmark,
+ * 2 usage/parse error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_compare/bench_compare.hh"
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path;
+    std::string current_path;
+    double tolerance = 2.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tolerance") {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_compare: --tolerance needs a value\n";
+                return 2;
+            }
+            tolerance = std::stod(argv[++i]);
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            std::cerr << "bench_compare: unexpected argument '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+        std::cerr << "usage: bench_compare <baseline.json> "
+                     "<current.json> [--tolerance X]\n";
+        return 2;
+    }
+    if (tolerance < 1.0) {
+        std::cerr << "bench_compare: tolerance must be >= 1\n";
+        return 2;
+    }
+
+    std::string baseline_text;
+    std::string current_text;
+    if (!readFile(baseline_path, &baseline_text)) {
+        std::cerr << "bench_compare: cannot read " << baseline_path
+                  << "\n";
+        return 2;
+    }
+    if (!readFile(current_path, &current_text)) {
+        std::cerr << "bench_compare: cannot read " << current_path
+                  << "\n";
+        return 2;
+    }
+
+    using namespace adrias::bench_compare;
+    std::string error;
+    const auto baseline = parseBenchJson(baseline_text, &error);
+    if (baseline.empty()) {
+        std::cerr << "bench_compare: " << baseline_path << ": " << error
+                  << "\n";
+        return 2;
+    }
+    const auto current = parseBenchJson(current_text, &error);
+    if (current.empty()) {
+        std::cerr << "bench_compare: " << current_path << ": " << error
+                  << "\n";
+        return 2;
+    }
+
+    const CompareResult result = compare(baseline, current, tolerance);
+    std::cout << formatReport(result, tolerance);
+    return result.pass ? 0 : 1;
+}
