@@ -1,0 +1,110 @@
+/**
+ * @file
+ * micro — crash-safety costs (DESIGN.md §12): how much a snapshot
+ * write, a newest-snapshot restore, a write-ahead journal append and a
+ * raw atomic file publish cost on this machine.  Feeds the
+ * perf-regression gate (tools/bench_compare against
+ * bench/baselines/BENCH_recovery.json); the same latencies are exported
+ * at runtime through the obs layer (recovery.checkpoint_write_ms,
+ * recovery.restore_ms).
+ *
+ * The checkpointed state is a ScenarioEngine warmed with two simulated
+ * minutes of a congested scenario plus a policy section — the realistic
+ * mid-run payload, not an empty toy.
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/microbench.hh"
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+#include "recovery/checkpoint.hh"
+#include "recovery/journal.hh"
+#include "scenario/engine.hh"
+
+namespace
+{
+
+using namespace adrias;
+
+} // namespace
+
+int
+main()
+{
+    ScopedThreadOverride serial(1);
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "adrias_micro_ckpt")
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    // Two simulated minutes of evolving state: running instances,
+    // watcher history, partial results, advanced RNG streams.
+    scenario::ScenarioConfig config;
+    config.durationSec = 600;
+    config.spawnMinSec = 5;
+    config.spawnMaxSec = 20;
+    config.seed = 4242;
+    scenario::ScenarioEngine engine(config);
+    scenario::RandomPlacement policy(777);
+    for (int t = 0; t < 120; ++t)
+        engine.stepTick(policy);
+
+    recovery::CheckpointConfig checkpointConfig;
+    checkpointConfig.dir = dir;
+    checkpointConfig.intervalSec = 60;
+    checkpointConfig.keep = 2;
+    recovery::CheckpointManager manager(checkpointConfig);
+    manager.attach(engine);
+    manager.attach(policy);
+
+    std::vector<bench::micro::Result> results;
+
+    SimTime tick = 1000;
+    results.push_back(bench::micro::measure("checkpoint_write", [&] {
+        if (!manager.checkpointNow(tick++).ok())
+            fatal("micro_checkpoint: checkpointNow failed");
+    }));
+
+    results.push_back(bench::micro::measure("snapshot_restore", [&] {
+        Result<recovery::RestoreOutcome> outcome =
+            manager.restoreLatest();
+        if (!outcome.ok() || !outcome.value().restored)
+            fatal("micro_checkpoint: restoreLatest failed");
+    }));
+
+    recovery::DecisionJournal journal;
+    if (!journal.open(dir + "/journal-bench.adj").ok())
+        fatal("micro_checkpoint: journal open failed");
+    scenario::PlacementDecision decision;
+    decision.tick = 120;
+    decision.id = 7;
+    decision.specName = "spark-gmm";
+    decision.mode = MemoryMode::Remote;
+    results.push_back(bench::micro::measure("journal_append", [&] {
+        decision.tick++;
+        journal.onDecision(decision);
+    }));
+    journal.close();
+
+    const std::string payload(64 * 1024, 'x');
+    const std::string target = dir + "/atomic-64k.bin";
+    results.push_back(bench::micro::measure("atomic_write_64k", [&] {
+        if (!io::atomicWriteFile(target, payload).ok())
+            fatal("micro_checkpoint: atomicWriteFile failed");
+    }));
+
+    std::filesystem::remove_all(dir);
+
+    bench::micro::printResults("recovery", results);
+    const std::string path =
+        bench::micro::jsonPath("BENCH_recovery.json");
+    bench::micro::writeJson(path, "recovery", results);
+    std::cout << "JSON written to " << path << "\n";
+    return 0;
+}

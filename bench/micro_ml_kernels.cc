@@ -144,7 +144,7 @@ main()
     // are below the parallel grain anyway.
     ScopedThreadOverride serial(1);
 
-    std::vector<Result> results;
+    std::vector<bench::micro::Result> results;
     results.push_back(benchMatmul(64, 0));
     results.push_back(benchMatmul(128, 0));
     results.push_back(benchMatmul(384, 0));

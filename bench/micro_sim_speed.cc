@@ -77,7 +77,7 @@ main()
 {
     ScopedThreadOverride serial(1);
 
-    std::vector<Result> results;
+    std::vector<bench::micro::Result> results;
     results.push_back(benchTestbedTick(1));
     results.push_back(benchTestbedTick(8));
     results.push_back(benchTestbedTick(35));

@@ -1,17 +1,35 @@
 #include "common/csv.hh"
 
+#include <fstream>
 #include <sstream>
 
+#include "common/io/durable_file.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
 namespace adrias
 {
 
-CsvWriter::CsvWriter(const std::string &path) : out(path)
+CsvWriter::CsvWriter(const std::string &path_) : path(path_)
 {
-    if (!out)
-        fatal("CsvWriter: cannot open '" + path + "' for writing");
+    // Fail fast like the streaming writer did (and truncate any stale
+    // file): an atomic empty write probes the directory and the temp
+    // path the final publication will use.
+    Result<void> probe = io::atomicWriteFile(path, "");
+    if (!probe.ok())
+        fatal("CsvWriter: cannot open '" + path +
+              "' for writing: " + probe.error().toString());
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (!openForWriting)
+        return;
+    // Destructors must not throw; close() is the error-checked path.
+    if (Result<void> published = io::atomicWriteFile(path, buffer);
+        !published.ok())
+        logError("CsvWriter: dropping " + std::to_string(rowsWritten) +
+                 " rows: " + published.error().toString());
 }
 
 std::string
@@ -34,12 +52,14 @@ CsvWriter::escape(const std::string &cell)
 void
 CsvWriter::writeRow(const std::vector<std::string> &cells)
 {
+    if (!openForWriting)
+        panic("CsvWriter::writeRow after close()");
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        out << escape(cells[i]);
+        buffer += escape(cells[i]);
         if (i + 1 < cells.size())
-            out << ',';
+            buffer += ',';
     }
-    out << '\n';
+    buffer += '\n';
     ++rowsWritten;
 }
 
@@ -58,7 +78,13 @@ CsvWriter::writeRow(const std::string &label,
 void
 CsvWriter::close()
 {
-    out.close();
+    if (!openForWriting)
+        return;
+    openForWriting = false;
+    Result<void> published = io::atomicWriteFile(path, buffer);
+    if (!published.ok())
+        fatal("CsvWriter: cannot publish '" + path +
+              "': " + published.error().toString());
 }
 
 Result<std::vector<std::string>>

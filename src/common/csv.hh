@@ -7,7 +7,6 @@
 #ifndef ADRIAS_COMMON_CSV_HH
 #define ADRIAS_COMMON_CSV_HH
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -17,7 +16,11 @@ namespace adrias
 {
 
 /**
- * Streaming CSV writer.
+ * CSV writer with atomic publication.
+ *
+ * Rows accumulate in memory and the whole file is published with one
+ * DurableFile temp-write + rename on close() (or destruction), so a
+ * crash mid-dump never leaves a half-written CSV behind.
  *
  * Cells containing commas, quotes or newlines are quoted per RFC 4180.
  */
@@ -25,11 +28,18 @@ class CsvWriter
 {
   public:
     /**
-     * Open the target file for writing (truncates).
+     * Claim the target path (truncates it, like the historical
+     * streaming writer, so a stale file never outlives a new run).
      *
-     * @throws std::runtime_error when the file cannot be opened.
+     * @throws std::runtime_error when the path cannot be written.
      */
     explicit CsvWriter(const std::string &path);
+
+    /** Publishes pending rows (best effort; close() to observe errors). */
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
 
     /** Write one row of raw string cells. */
     void writeRow(const std::vector<std::string> &cells);
@@ -38,7 +48,12 @@ class CsvWriter
     void writeRow(const std::string &label,
                   const std::vector<double> &values);
 
-    /** Flush and close; further writes are invalid. */
+    /**
+     * Atomically publish the accumulated rows; further writes are
+     * invalid.
+     *
+     * @throws std::runtime_error when the write fails.
+     */
     void close();
 
     /** @return number of rows written so far. */
@@ -48,7 +63,9 @@ class CsvWriter
     static std::string escape(const std::string &cell);
 
   private:
-    std::ofstream out;
+    std::string path;
+    std::string buffer;
+    bool openForWriting = true;
     std::size_t rowsWritten = 0;
 };
 

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Checkpointable interface: anything that participates in a
+ * crash-consistent snapshot (scenario engine, placement policies,
+ * predictor guard, ...) implements it and gets serialized as one
+ * tagged section of a CheckpointManager snapshot.
+ *
+ * Contracts:
+ *  - saveState() must capture *all* state that influences future
+ *    behaviour — including RNG stream positions — so a restore is
+ *    bitwise-faithful.
+ *  - restoreState() reads exactly what saveState() wrote and reports
+ *    version/shape skew as a typed error (never a partial silent
+ *    restore: the CheckpointManager then falls back to an older
+ *    snapshot).
+ *  - checkpointTag() is stable across versions; the snapshot format
+ *    matches sections by tag, in attach order.
+ */
+
+#ifndef ADRIAS_COMMON_IO_CHECKPOINTABLE_HH
+#define ADRIAS_COMMON_IO_CHECKPOINTABLE_HH
+
+#include <string>
+
+#include "common/error.hh"
+#include "common/io/binary.hh"
+
+namespace adrias::io
+{
+
+/** One restorable section of a checkpoint snapshot. */
+class Checkpointable
+{
+  public:
+    virtual ~Checkpointable() = default;
+
+    /** Stable section tag ("scenario-engine", "random-placement"...). */
+    virtual std::string checkpointTag() const = 0;
+
+    /** Serialize the complete behavioural state. */
+    virtual void saveState(BinaryWriter &out) const = 0;
+
+    /** Restore from a payload produced by saveState(). */
+    [[nodiscard]] virtual Result<void>
+    restoreState(BinaryReader &in) = 0;
+};
+
+} // namespace adrias::io
+
+#endif // ADRIAS_COMMON_IO_CHECKPOINTABLE_HH

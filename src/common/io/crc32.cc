@@ -1,0 +1,47 @@
+#include "common/io/crc32.hh"
+
+#include <array>
+
+namespace adrias::io
+{
+
+namespace
+{
+
+/** Reflected CRC-32 lookup table, built once at first use. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    const auto &table = crcTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32(std::string_view data, std::uint32_t seed)
+{
+    return crc32(data.data(), data.size(), seed);
+}
+
+} // namespace adrias::io

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial, reflected) used to checksum every
+ * persisted record in the DurableFile layer so torn or bit-flipped
+ * files are detected instead of silently parsed.
+ */
+
+#ifndef ADRIAS_COMMON_IO_CRC32_HH
+#define ADRIAS_COMMON_IO_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace adrias::io
+{
+
+/**
+ * CRC-32 of a byte span.
+ *
+ * @param data bytes to checksum.
+ * @param size number of bytes.
+ * @param seed running CRC from a previous chunk (0 to start).
+ * @return the (final) CRC value; feed back as `seed` to continue.
+ */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/** Convenience overload over a string/string_view payload. */
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+} // namespace adrias::io
+
+#endif // ADRIAS_COMMON_IO_CRC32_HH

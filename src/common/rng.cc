@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/io/binary.hh"
 #include "common/logging.hh"
 
 namespace adrias
@@ -154,6 +155,24 @@ Rng
 Rng::split()
 {
     return Rng(nextU64());
+}
+
+void
+Rng::saveState(io::BinaryWriter &out) const
+{
+    for (std::uint64_t word : state)
+        out.writeU64(word);
+    out.writeF64(cachedGaussian);
+    out.writeBool(hasCachedGaussian);
+}
+
+void
+Rng::restoreState(io::BinaryReader &in)
+{
+    for (auto &word : state)
+        word = in.readU64();
+    cachedGaussian = in.readF64();
+    hasCachedGaussian = in.readBool();
 }
 
 } // namespace adrias

@@ -17,6 +17,12 @@
 namespace adrias
 {
 
+namespace io
+{
+class BinaryWriter;
+class BinaryReader;
+} // namespace io
+
 /**
  * A small, fast, seedable random number generator (xoshiro256**).
  *
@@ -68,6 +74,17 @@ class Rng
 
     /** Derive an independent child generator (for parallel streams). */
     Rng split();
+
+    /**
+     * Serialize the exact stream position: the four xoshiro256** state
+     * words plus the cached Box-Muller variate.  A restored generator
+     * continues the sequence bit-for-bit where the saved one stopped —
+     * gaussian() draws included.
+     */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Restore a position saved with saveState(). */
+    void restoreState(io::BinaryReader &in);
 
     /** Fisher-Yates shuffle of an index container. */
     template <typename Container>

@@ -222,4 +222,49 @@ AdriasOrchestrator::onCompletion(const scenario::DeploymentRecord &record)
         signatures->put(record.name, record.executionWindow);
 }
 
+void
+AdriasOrchestrator::saveState(io::BinaryWriter &out) const
+{
+    out.writeU64(decisionStats.localPlacements);
+    out.writeU64(decisionStats.remotePlacements);
+    out.writeU64(decisionStats.bootstrapPlacements);
+    out.writeU64(decisionStats.fallbackPlacements);
+    out.writeU64(decisionStats.predictionFailures);
+    out.writeU64(decisionStats.breakerTrips);
+    out.writeU64(decisionStats.breakerRecoveries);
+    out.writeU64(decisionStats.samplesRepaired);
+    out.writeU64(decisionStats.samplesDropped);
+    out.writeU64(lastWatcherHealth.samplesAccepted);
+    out.writeU64(lastWatcherHealth.samplesRepaired);
+    out.writeU64(lastWatcherHealth.eventsRepaired);
+    out.writeU64(lastWatcherHealth.samplesDropped);
+    out.writeU64(lastWatcherHealth.stalenessSec);
+    out.writeU64(lastWatcherHealth.maxStalenessSec);
+    signatures->saveState(out);
+}
+
+Result<void>
+AdriasOrchestrator::restoreState(io::BinaryReader &in)
+{
+    decisionStats.localPlacements = in.readU64();
+    decisionStats.remotePlacements = in.readU64();
+    decisionStats.bootstrapPlacements = in.readU64();
+    decisionStats.fallbackPlacements = in.readU64();
+    decisionStats.predictionFailures = in.readU64();
+    decisionStats.breakerTrips = in.readU64();
+    decisionStats.breakerRecoveries = in.readU64();
+    decisionStats.samplesRepaired = in.readU64();
+    decisionStats.samplesDropped = in.readU64();
+    lastWatcherHealth.samplesAccepted = in.readU64();
+    lastWatcherHealth.samplesRepaired = in.readU64();
+    lastWatcherHealth.eventsRepaired = in.readU64();
+    lastWatcherHealth.samplesDropped = in.readU64();
+    lastWatcherHealth.stalenessSec = in.readU64();
+    lastWatcherHealth.maxStalenessSec = in.readU64();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "AdriasOrchestrator: truncated snapshot section");
+    return signatures->restoreState(in);
+}
+
 } // namespace adrias::core

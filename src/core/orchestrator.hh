@@ -116,6 +116,16 @@ class AdriasOrchestrator : public scenario::PlacementPolicy
     /** QoS threshold applied to one LC application. */
     double qosFor(const std::string &name) const;
 
+    /**
+     * Serialize the decision tallies, last-seen watcher health and the
+     * (borrowed, bootstrap-grown) signature store.  The guard — when
+     * attached — checkpoints separately under its own tag.
+     */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Restore a payload written by saveState(). */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
+
   private:
     const models::PredictorBase *predictor;
     models::GuardedPredictor *guard = nullptr;

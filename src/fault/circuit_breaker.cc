@@ -121,4 +121,70 @@ CircuitBreaker::reset()
     backoffSec = knobs.backoffStartSec;
 }
 
+BreakerSnapshot
+CircuitBreaker::exportState() const
+{
+    BreakerSnapshot snapshot;
+    snapshot.state = current;
+    snapshot.stats = tallies;
+    snapshot.consecutiveFailures = consecutiveFailures;
+    snapshot.probeSuccesses = probeSuccesses;
+    snapshot.openedAt = openedAt;
+    snapshot.backoffSec = backoffSec;
+    return snapshot;
+}
+
+void
+CircuitBreaker::restoreState(const BreakerSnapshot &snapshot)
+{
+    current = snapshot.state;
+    tallies = snapshot.stats;
+    consecutiveFailures = snapshot.consecutiveFailures;
+    probeSuccesses = snapshot.probeSuccesses;
+    openedAt = snapshot.openedAt;
+    backoffSec = std::clamp(snapshot.backoffSec, knobs.backoffStartSec,
+                            knobs.backoffMaxSec);
+}
+
+void
+CircuitBreaker::saveState(io::BinaryWriter &out) const
+{
+    const BreakerSnapshot snapshot = exportState();
+    out.writeU8(static_cast<std::uint8_t>(snapshot.state));
+    out.writeU64(snapshot.stats.successes);
+    out.writeU64(snapshot.stats.failures);
+    out.writeU64(snapshot.stats.trips);
+    out.writeU64(snapshot.stats.recoveries);
+    out.writeU64(snapshot.stats.rejected);
+    out.writeU64(snapshot.consecutiveFailures);
+    out.writeU64(snapshot.probeSuccesses);
+    out.writeI64(snapshot.openedAt);
+    out.writeI64(snapshot.backoffSec);
+}
+
+Result<void>
+CircuitBreaker::restoreState(io::BinaryReader &in)
+{
+    BreakerSnapshot snapshot;
+    const std::uint8_t rawState = in.readU8();
+    if (rawState > static_cast<std::uint8_t>(BreakerState::HalfOpen))
+        return makeError(ErrorCode::BadNumber,
+                         "CircuitBreaker: invalid breaker state in snapshot");
+    snapshot.state = static_cast<BreakerState>(rawState);
+    snapshot.stats.successes = in.readU64();
+    snapshot.stats.failures = in.readU64();
+    snapshot.stats.trips = in.readU64();
+    snapshot.stats.recoveries = in.readU64();
+    snapshot.stats.rejected = in.readU64();
+    snapshot.consecutiveFailures = in.readU64();
+    snapshot.probeSuccesses = in.readU64();
+    snapshot.openedAt = in.readI64();
+    snapshot.backoffSec = in.readI64();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "CircuitBreaker: truncated breaker snapshot");
+    restoreState(snapshot);
+    return {};
+}
+
 } // namespace adrias::fault

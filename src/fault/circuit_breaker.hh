@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/error.hh"
+#include "common/io/binary.hh"
 #include "common/types.hh"
 
 namespace adrias::fault
@@ -65,6 +67,22 @@ struct BreakerStats
     std::size_t rejected = 0;   ///< requests refused while Open
 };
 
+/**
+ * Complete exportable state of one breaker: the state machine
+ * position, lifetime tallies and backoff bookkeeping.  A breaker
+ * restored from a snapshot behaves exactly as the original would —
+ * including a HalfOpen breaker's pending probe count.
+ */
+struct BreakerSnapshot
+{
+    BreakerState state = BreakerState::Closed;
+    BreakerStats stats;
+    std::size_t consecutiveFailures = 0;
+    std::size_t probeSuccesses = 0;
+    SimTime openedAt = 0;
+    SimTime backoffSec = 0;
+};
+
 /** Deterministic, sim-time-driven circuit breaker. */
 class CircuitBreaker
 {
@@ -95,6 +113,23 @@ class CircuitBreaker
 
     /** Forget all state and tallies. */
     void reset();
+
+    /** Export the full state machine + tallies (checkpointing). */
+    BreakerSnapshot exportState() const;
+
+    /**
+     * Restore a state exported with exportState().  The configured
+     * knobs are not part of the snapshot (they come from code, not
+     * from runtime evolution), but the restored backoff is re-clamped
+     * against them.
+     */
+    void restoreState(const BreakerSnapshot &snapshot);
+
+    /** Serialize exportState() through the DurableFile layer. */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Binary counterpart of restoreState(). */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
     CircuitBreakerConfig knobs;

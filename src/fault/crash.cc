@@ -1,0 +1,34 @@
+#include "fault/crash.hh"
+
+#include "common/logging.hh"
+
+namespace adrias::fault
+{
+
+std::string
+toString(CrashSite site)
+{
+    switch (site) {
+      case CrashSite::MidCheckpoint:
+        return "mid-checkpoint";
+      case CrashSite::BeforeCheckpointRename:
+        return "before-checkpoint-rename";
+      case CrashSite::MidJournalAppend:
+        return "mid-journal-append";
+      case CrashSite::BetweenTicks:
+        return "between-ticks";
+    }
+    panic("unknown CrashSite");
+}
+
+void
+CrashInjector::maybeCrash(CrashSite site, SimTime now)
+{
+    if (!pending() || site != plan.site || now < plan.tick)
+        return;
+    hasFired = true;
+    throw InjectedCrash("injected crash at " + toString(site) + " (t=" +
+                        std::to_string(now) + ")");
+}
+
+} // namespace adrias::fault

@@ -186,4 +186,30 @@ FaultInjector::predictorLatencyMsAt(SimTime now, std::uint64_t call_salt,
     return magnitudeAt(FaultKind::PredictorLatency, now);
 }
 
+void
+FaultInjector::saveState(io::BinaryWriter &out) const
+{
+    out.writeU64(counters.linkFaultTicks);
+    out.writeU64(counters.samplesDropped);
+    out.writeU64(counters.samplesStale);
+    out.writeU64(counters.samplesCorrupted);
+    out.writeU64(counters.predictorCrashes);
+    out.writeU64(counters.predictorLatencySpikes);
+}
+
+Result<void>
+FaultInjector::restoreState(io::BinaryReader &in)
+{
+    counters.linkFaultTicks = in.readU64();
+    counters.samplesDropped = in.readU64();
+    counters.samplesStale = in.readU64();
+    counters.samplesCorrupted = in.readU64();
+    counters.predictorCrashes = in.readU64();
+    counters.predictorLatencySpikes = in.readU64();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "FaultInjector: truncated snapshot section");
+    return {};
+}
+
 } // namespace adrias::fault

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
+#include "common/io/binary.hh"
 #include "common/types.hh"
 #include "testbed/counters.hh"
 
@@ -205,6 +207,15 @@ class FaultInjector
 
     /** @return injection tallies so far. */
     const FaultStats &stats() const { return counters; }
+
+    /**
+     * Serialize the accumulated tallies (the schedule itself is
+     * configuration and pure queries need no state).
+     */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Restore tallies saved with saveState(). */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
     FaultSchedule plan;

@@ -4,7 +4,9 @@
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "common/io/durable_file.hh"
 #include "common/logging.hh"
 #include "ml/scaler.hh"
 
@@ -205,10 +207,11 @@ void
 saveParamsToFile(const std::string &path,
                  const std::vector<Param *> &params)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("saveParamsToFile: cannot open '" + path + "'");
+    // Atomic replace: a crash mid-save must never leave a torn
+    // parameter file behind a valid-looking path.
+    std::ostringstream out;
     saveParams(out, params);
+    io::atomicWriteFile(path, out.str()).expect();
 }
 
 void

@@ -205,4 +205,41 @@ GuardedPredictor::predictPerformance(
     return prediction;
 }
 
+void
+GuardedPredictor::saveState(io::BinaryWriter &out) const
+{
+    breakerGate.saveState(out);
+    out.writeU64(tallies.calls);
+    out.writeU64(tallies.served);
+    out.writeU64(tallies.failures);
+    out.writeU64(tallies.deadlineExceeded);
+    out.writeU64(tallies.invalidInputs);
+    out.writeU64(tallies.rejectedByBreaker);
+    out.writeU64(tallies.injectedCrashes);
+    out.writeU64(callCounter);
+    out.writeI64(decisionTime);
+}
+
+Result<void>
+GuardedPredictor::restoreState(io::BinaryReader &in)
+{
+    if (Result<void> restored = breakerGate.restoreState(in); !restored)
+        return restored;
+    tallies.calls = in.readU64();
+    tallies.served = in.readU64();
+    tallies.failures = in.readU64();
+    tallies.deadlineExceeded = in.readU64();
+    tallies.invalidInputs = in.readU64();
+    tallies.rejectedByBreaker = in.readU64();
+    tallies.injectedCrashes = in.readU64();
+    callCounter = in.readU64();
+    decisionTime = in.readI64();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "GuardedPredictor: truncated snapshot section");
+    // obs transition detection restarts from the restored state.
+    obsBreakerState = breakerGate.state();
+    return {};
+}
+
 } // namespace adrias::models

@@ -105,6 +105,17 @@ class GuardedPredictor : public PredictorBase
     const PredictorGuardStats &stats() const { return tallies; }
     const PredictorGuardConfig &config() const { return knobs; }
 
+    /**
+     * Serialize the guard's evolving state: breaker machine, tallies,
+     * fault-salt call counter and decision clock.  The call counter
+     * feeds the FaultInjector's crash-window hash, so restoring it is
+     * required for bit-identical fault behaviour after recovery.
+     */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Restore a payload written by saveState(). */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
+
   private:
     const PredictorBase *wrapped;
     PredictorGuardConfig knobs;

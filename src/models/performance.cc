@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <numeric>
+#include <sstream>
 
 #include "ml/serialize.hh"
 
+#include "common/io/durable_file.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "ml/loss.hh"
@@ -324,13 +325,10 @@ PerformanceModel::fitLoop(
 }
 
 void
-PerformanceModel::save(const std::string &path)
+PerformanceModel::saveToStream(std::ostream &out)
 {
     if (!isTrained)
         fatal("PerformanceModel::save before train()");
-    std::ofstream out(path);
-    if (!out)
-        fatal("PerformanceModel::save: cannot open '" + path + "'");
     out << "adrias-perf " << toString(future) << " "
         << (config.logTarget ? 1 : 0) << "\n";
     ml::saveParams(out, params());
@@ -340,11 +338,16 @@ PerformanceModel::save(const std::string &path)
 }
 
 void
-PerformanceModel::load(const std::string &path)
+PerformanceModel::save(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("PerformanceModel::load: cannot open '" + path + "'");
+    std::ostringstream out;
+    saveToStream(out);
+    io::atomicWriteFile(path, out.str()).expect();
+}
+
+void
+PerformanceModel::loadFromStream(std::istream &in)
+{
     std::string magic, kind;
     int log_flag = 0;
     in >> magic >> kind >> log_flag;
@@ -367,6 +370,16 @@ PerformanceModel::load(const std::string &path)
                            signatureLstm1.get(), signatureLstm2.get()})
         lstm->setInference(true);
     isTrained = true;
+}
+
+void
+PerformanceModel::load(const std::string &path)
+{
+    const Result<std::string> content = io::readFile(path);
+    if (!content)
+        fatal("PerformanceModel::load: " + content.error().toString());
+    std::istringstream in(content.value());
+    loadFromStream(in);
 }
 
 double

@@ -11,6 +11,7 @@
 #ifndef ADRIAS_MODELS_PERFORMANCE_HH
 #define ADRIAS_MODELS_PERFORMANCE_HH
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -116,7 +117,10 @@ class PerformanceModel
     /** All trainable parameters (for persistence). */
     std::vector<ml::Param *> params();
 
-    /** Persist the full model (weights, norm state, scalers). */
+    /**
+     * Persist the full model (weights, norm state, scalers).  The file
+     * is replaced atomically (temp-write + rename).
+     */
     void save(const std::string &path);
 
     /**
@@ -124,6 +128,12 @@ class PerformanceModel
      * must match the constructor arguments.  Marks the model trained.
      */
     void load(const std::string &path);
+
+    /** Stream-based core of save() (checkpoint sections reuse it). */
+    void saveToStream(std::ostream &out);
+
+    /** Stream-based core of load(). */
+    void loadFromStream(std::istream &in);
 
     /** Resolve the Ŝ input for one sample given this model's kind. */
     ml::Matrix resolveFuture(const scenario::PerformanceSample &sample,

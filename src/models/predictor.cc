@@ -1,5 +1,7 @@
 #include "models/predictor.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "obs/obs.hh"
 #include "scenario/runner.hh"
@@ -79,6 +81,59 @@ Predictor::predictPerformance(WorkloadClass cls,
         fatal("Predictor: no performance model for trashers");
     }
     panic("unknown WorkloadClass");
+}
+
+void
+Predictor::saveState(io::BinaryWriter &out) const
+{
+    out.writeBool(isTrained);
+    out.writeBool(lcTrained);
+    if (!isTrained)
+        return;
+    const auto streamModel = [&out](auto &model) {
+        std::ostringstream text;
+        model.saveToStream(text);
+        out.writeString(text.str());
+    };
+    streamModel(*system);
+    streamModel(*bestEffort);
+    if (lcTrained)
+        streamModel(*lc);
+}
+
+Result<void>
+Predictor::restoreState(io::BinaryReader &in)
+{
+    const bool trainedFlag = in.readBool();
+    const bool lcFlag = in.readBool();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "Predictor: truncated snapshot flags");
+    if (!trainedFlag) {
+        if (lcFlag)
+            return makeError(ErrorCode::BadNumber,
+                             "Predictor: LC trained without base stack");
+        isTrained = false;
+        lcTrained = false;
+        return {};
+    }
+    const auto restoreModel = [&in](auto &model) {
+        const std::string text = in.readString();
+        if (!in.ok())
+            return false;
+        std::istringstream stream(text);
+        model.loadFromStream(stream);
+        return true;
+    };
+    if (!restoreModel(*system) || !restoreModel(*bestEffort))
+        return makeError(ErrorCode::Truncated,
+                         "Predictor: truncated model checkpoint");
+    if (lcFlag && !restoreModel(*lc))
+        return makeError(ErrorCode::Truncated,
+                         "Predictor: truncated LC model checkpoint");
+    isTrained = true;
+    lcTrained = lcFlag;
+    return {};
 }
 
 } // namespace adrias::models

@@ -11,6 +11,8 @@
 
 #include <memory>
 
+#include "common/error.hh"
+#include "common/io/binary.hh"
 #include "models/performance.hh"
 #include "models/system_state.hh"
 #include "scenario/signature.hh"
@@ -97,6 +99,16 @@ class Predictor : public PredictorBase
     const PerformanceModel &latencyCriticalModel() const { return *lc; }
 
     bool trained() const override { return isTrained; }
+
+    /**
+     * Serialize the trained-model stack: flags plus each model's full
+     * text checkpoint (17-significant-digit weights round-trip doubles
+     * exactly, so a restored stack predicts bit-identically).
+     */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Restore a payload written by saveState(). */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
     std::unique_ptr<SystemStateModel> system;

@@ -1,10 +1,11 @@
 #include "models/system_state.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <utility>
 
+#include "common/io/durable_file.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "ml/loss.hh"
@@ -166,13 +167,10 @@ SystemStateModel::train(
 }
 
 void
-SystemStateModel::save(const std::string &path)
+SystemStateModel::saveToStream(std::ostream &out)
 {
     if (!isTrained)
         fatal("SystemStateModel::save before train()");
-    std::ofstream out(path);
-    if (!out)
-        fatal("SystemStateModel::save: cannot open '" + path + "'");
     ml::saveParams(out, params());
     ml::saveStateTensors(out, head->stateTensors());
     ml::saveScaler(out, inputScaler);
@@ -180,11 +178,16 @@ SystemStateModel::save(const std::string &path)
 }
 
 void
-SystemStateModel::load(const std::string &path)
+SystemStateModel::save(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("SystemStateModel::load: cannot open '" + path + "'");
+    std::ostringstream out;
+    saveToStream(out);
+    io::atomicWriteFile(path, out.str()).expect();
+}
+
+void
+SystemStateModel::loadFromStream(std::istream &in)
+{
     ml::loadParams(in, params());
     ml::loadStateTensors(in, head->stateTensors());
     ml::loadScaler(in, inputScaler);
@@ -196,6 +199,16 @@ SystemStateModel::load(const std::string &path)
     lstm1->setInference(true);
     lstm2->setInference(true);
     isTrained = true;
+}
+
+void
+SystemStateModel::load(const std::string &path)
+{
+    const Result<std::string> content = io::readFile(path);
+    if (!content)
+        fatal("SystemStateModel::load: " + content.error().toString());
+    std::istringstream in(content.value());
+    loadFromStream(in);
 }
 
 ml::Matrix

@@ -9,6 +9,7 @@
 #ifndef ADRIAS_MODELS_SYSTEM_STATE_HH
 #define ADRIAS_MODELS_SYSTEM_STATE_HH
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -69,7 +70,9 @@ class SystemStateModel
 
     /**
      * Persist the full model (weights, normalization state, scalers)
-     * so a serving process can reload it without retraining.
+     * so a serving process can reload it without retraining.  The file
+     * is replaced atomically (temp-write + rename): a crash mid-save
+     * leaves either the old file or the new one, never a torn mix.
      */
     void save(const std::string &path);
 
@@ -78,6 +81,12 @@ class SystemStateModel
      * match the constructor arguments.  Marks the model trained.
      */
     void load(const std::string &path);
+
+    /** Stream-based core of save() (checkpoint sections reuse it). */
+    void saveToStream(std::ostream &out);
+
+    /** Stream-based core of load(). */
+    void loadFromStream(std::istream &in);
 
   private:
     ModelConfig config;

@@ -2,10 +2,10 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "common/io/durable_file.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 
@@ -172,19 +172,30 @@ finishRun()
             const auto path = [&dir](const char *name) {
                 return (std::filesystem::path(dir) / name).string();
             };
+            // Atomic publication: a run killed mid-export never
+            // leaves a truncated trace for tooling to choke on.
+            const auto publish = [&path](const char *name,
+                                         const std::string &content) {
+                if (Result<void> written =
+                        io::atomicWriteFile(path(name), content);
+                    !written.ok())
+                    logWarn("obs::finishRun: " +
+                            written.error().toString());
+            };
             {
-                std::ofstream out(path("trace.json"), std::ios::binary);
+                std::ostringstream out;
                 Tracer::global().writeChromeTrace(out);
+                publish("trace.json", out.str());
             }
             {
-                std::ofstream out(path("events.jsonl"),
-                                  std::ios::binary);
+                std::ostringstream out;
                 Tracer::global().writeJsonl(out);
+                publish("events.jsonl", out.str());
             }
             {
-                std::ofstream out(path("metrics.jsonl"),
-                                  std::ios::binary);
+                std::ostringstream out;
                 MetricsRegistry::global().writeJsonl(out);
+                publish("metrics.jsonl", out.str());
             }
             report << "artifacts: " << path("trace.json") << " (load in "
                    << "chrome://tracing), " << path("events.jsonl")

@@ -1,0 +1,131 @@
+#include "recovery/journal.hh"
+
+#include <utility>
+
+#include "common/io/binary.hh"
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace adrias::recovery
+{
+
+using scenario::PlacementDecision;
+
+Result<void>
+DecisionJournal::open(const std::string &path_, bool append)
+{
+    path = path_;
+    return writer.open(path_, append);
+}
+
+void
+DecisionJournal::close()
+{
+    writer.close();
+}
+
+void
+DecisionJournal::onDecision(const PlacementDecision &decision)
+{
+    Result<void> appended = writer.append(encode(decision));
+    if (!appended.ok())
+        fatal("DecisionJournal: write-ahead append to '" + path +
+              "' failed: " + appended.error().toString());
+#if ADRIAS_OBS_ENABLED
+    if (obs::enabled()) {
+        static obs::Counter &appends_c =
+            obs::MetricsRegistry::global().counter(
+                "recovery.journal_appends");
+        appends_c.add();
+    }
+#endif
+}
+
+std::string
+DecisionJournal::encode(const PlacementDecision &decision)
+{
+    io::BinaryWriter out;
+    out.writeI64(decision.tick);
+    out.writeU64(decision.id);
+    out.writeString(decision.specName);
+    out.writeU8(static_cast<std::uint8_t>(decision.mode));
+    return out.take();
+}
+
+Result<PlacementDecision>
+DecisionJournal::decode(std::string_view payload)
+{
+    io::BinaryReader in(payload);
+    PlacementDecision decision;
+    decision.tick = in.readI64();
+    decision.id = in.readU64();
+    decision.specName = in.readString();
+    const std::uint8_t rawMode = in.readU8();
+    if (Result<void> status = in.status(); !status.ok())
+        return status.error();
+    if (rawMode > static_cast<std::uint8_t>(MemoryMode::Remote))
+        return makeError(ErrorCode::BadNumber,
+                         "DecisionJournal: invalid memory mode " +
+                             std::to_string(rawMode));
+    decision.mode = static_cast<MemoryMode>(rawMode);
+    return decision;
+}
+
+Result<DecisionJournal::LoadResult>
+DecisionJournal::loadAndCompact(const std::string &path)
+{
+    Result<io::RecordReadResult> read = io::readRecordFile(path);
+    if (!read.ok()) {
+        // A zero-length or sub-header file is what a kill between
+        // creating the epoch file and flushing its magic leaves
+        // behind.  The journal only verifies decisions the policy
+        // re-derives anyway, so an empty epoch is safe: rewrite a
+        // clean header and replay nothing.
+        if (read.error().code == ErrorCode::Truncated) {
+            if (Result<void> rewritten = io::atomicWriteFile(
+                    path, io::beginRecordFileImage());
+                !rewritten.ok())
+                return rewritten.error();
+            LoadResult emptied;
+            emptied.tornTail = true;
+            return emptied;
+        }
+        return read.error();
+    }
+
+    LoadResult loaded;
+    loaded.tornTail = read.value().tornTail;
+    loaded.droppedBytes = read.value().droppedBytes;
+    loaded.decisions.reserve(read.value().records.size());
+    for (const std::string &record : read.value().records) {
+        Result<PlacementDecision> decision = decode(record);
+        if (!decision.ok())
+            return decision.error();
+        loaded.decisions.push_back(std::move(decision.value()));
+    }
+
+    if (loaded.tornTail) {
+        // Drop the torn bytes from disk too, so reopening the epoch in
+        // append mode continues from a clean frame boundary.
+        std::string image = io::beginRecordFileImage();
+        for (const std::string &record : read.value().records)
+            io::appendFramedRecord(image, record);
+        if (Result<void> rewritten = io::atomicWriteFile(path, image);
+            !rewritten.ok())
+            return rewritten.error();
+        logWarn("DecisionJournal: compacted torn tail of '" + path +
+                "' (" + std::to_string(loaded.droppedBytes) +
+                " bytes dropped)");
+#if ADRIAS_OBS_ENABLED
+        if (obs::enabled()) {
+            static obs::Counter &torn_c =
+                obs::MetricsRegistry::global().counter(
+                    "recovery.journal_torn_tails");
+            torn_c.add();
+        }
+#endif
+    }
+    return loaded;
+}
+
+} // namespace adrias::recovery

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "obs/obs.hh"
+#include "scenario/engine.hh"
 #include "telemetry/watcher.hh"
 
 namespace adrias::scenario
@@ -63,189 +64,13 @@ ScenarioRunner::run(PlacementPolicy &policy, RuntimePolicy *runtime)
                   static_cast<std::int64_t>(config.durationSec)),
          obs::arg("policy", policy.name())});
 #endif
-    Rng rng(config.seed);
-    testbed::Testbed bed(testbedParams, rng.nextU64());
-    bed.setNoise(config.counterNoise);
-    telemetry::Watcher watcher(kWindowSec * 4);
-    fault::FaultInjector injector(config.faults);
-
-    ScenarioResult result;
-    result.trace.reserve(static_cast<std::size_t>(config.durationSec));
-    result.concurrency.reserve(
-        static_cast<std::size_t>(config.durationSec));
-
-    std::vector<std::unique_ptr<WorkloadInstance>> running;
-    DeploymentId next_id = 1;
-    SimTime next_arrival =
-        rng.uniformInt(config.spawnMinSec, config.spawnMaxSec);
-
-    const auto &sparks = workloads::sparkBenchmarks();
-    const auto &lcs = workloads::latencyCriticalBenchmarks();
-    const IBenchKind ibench_kinds[] = {IBenchKind::Cpu, IBenchKind::L2,
-                                       IBenchKind::L3, IBenchKind::MemBw};
-
-    for (SimTime now = 0; now < config.durationSec; ++now) {
-        // --- arrivals -------------------------------------------------
-        while (now >= next_arrival) {
-            next_arrival +=
-                rng.uniformInt(config.spawnMinSec, config.spawnMaxSec);
-            if (running.size() >= config.maxConcurrent) {
-#if ADRIAS_OBS_ENABLED
-                if (obs::enabled())
-                    obs::MetricsRegistry::global()
-                        .counter("scenario.dropped_arrivals")
-                        .add();
-#endif
-                continue; // testbed full: drop, as the prototype would
-            }
-
-            const double draw = rng.uniform();
-            const WorkloadSpec *spec = nullptr;
-            bool is_ibench = false;
-            if (draw < config.ibenchFraction) {
-                spec = &workloads::ibenchSpec(
-                    ibench_kinds[rng.uniformInt(0, 3)]);
-                is_ibench = true;
-            } else if (draw < config.ibenchFraction + config.lcFraction) {
-                spec = &lcs[static_cast<std::size_t>(
-                    rng.uniformInt(0,
-                                   static_cast<std::int64_t>(lcs.size()) -
-                                       1))];
-            } else {
-                spec = &sparks[static_cast<std::size_t>(rng.uniformInt(
-                    0, static_cast<std::int64_t>(sparks.size()) - 1))];
-            }
-
-            // Trashers model background interference and are always
-            // placed randomly; applications go through the policy.
-            const MemoryMode mode =
-                is_ibench ? (rng.bernoulli(0.5) ? MemoryMode::Remote
-                                                : MemoryMode::Local)
-                          : policy.place(*spec, watcher, now);
-
-            auto instance = std::make_unique<WorkloadInstance>(
-                next_id++, *spec, mode, now, rng.nextU64());
-            running.push_back(std::move(instance));
-
-#if ADRIAS_OBS_ENABLED
-            if (obs::enabled()) {
-                obs::MetricsRegistry::global()
-                    .counter("scenario.arrivals")
-                    .add();
-                if (obs::Tracer::global().enabled()) {
-                    obs::Tracer::global().simInstant(
-                        "arrival:" + spec->name, "scenario", now,
-                        {obs::arg("class", toString(spec->cls)),
-                         obs::arg("mode", toString(mode))});
-                }
-            }
-#endif
-        }
-
-        // --- one second of contention ----------------------------------
-        // Injected link faults derate the channel before the tick
-        // resolves contention.
-        const fault::LinkState link = injector.linkStateAt(now);
-        bed.setChannelFault(link.bwScale, link.latencyScale);
-
-        std::vector<testbed::LoadDescriptor> loads;
-        loads.reserve(running.size());
-        for (const auto &instance : running)
-            loads.push_back(instance->load());
-        const testbed::TickResult tick = bed.tick(loads);
-
-        // --- telemetry, through the fault injector ---------------------
-        // The Watcher sees what a real deployment would: dropped,
-        // stale or corrupted samples; it repairs what it can and the
-        // trace records its observed (post-repair) view.
-        testbed::CounterSample observed = tick.counters;
-        const fault::CounterAction action = injector.applyCounterFaults(
-            observed,
-            result.trace.empty() ? nullptr : &result.trace.back(), now);
-        if (action == fault::CounterAction::Drop)
-            watcher.recordDropped(now);
-        else
-            watcher.record(observed, now);
-        result.trace.push_back(watcher.latest());
-        result.concurrency.push_back(static_cast<int>(running.size()));
-        result.totalRemoteTrafficGB += tick.remoteTrafficGBps;
-
-#if ADRIAS_OBS_ENABLED
-        if (obs::enabled()) {
-            static obs::Counter &ticks_c =
-                obs::MetricsRegistry::global().counter("scenario.ticks");
-            ticks_c.add();
-            if (obs::Tracer::global().enabled()) {
-                obs::Tracer::global().simSpan(
-                    "tick", "scenario", now, now + 1,
-                    {obs::arg("concurrency", static_cast<std::int64_t>(
-                                                 running.size())),
-                     obs::arg("pressure", tick.channelPressure)});
-            }
-        }
-#endif
-
-        // --- progress & completion -------------------------------------
-        for (std::size_t i = 0; i < running.size(); ++i)
-            running[i]->advance(tick.outcomes[i], now + 1);
-
-        // --- L2 runtime management ---------------------------------------
-        if (runtime) {
-            std::vector<WorkloadInstance *> live;
-            live.reserve(running.size());
-            for (const auto &instance : running)
-                live.push_back(instance.get());
-            runtime->onTick(live, tick, now + 1);
-        }
-
-        for (std::size_t i = running.size(); i-- > 0;) {
-            if (!running[i]->finished())
-                continue;
-            const WorkloadInstance &done = *running[i];
-            DeploymentRecord record;
-            record.id = done.id();
-            record.name = done.spec().name;
-            record.cls = done.spec().cls;
-            record.mode = done.mode();
-            record.arrival = done.arrivalTime();
-            record.completion = now + 1;
-            record.execTimeSec = done.executionTimeSec();
-            if (record.cls == WorkloadClass::LatencyCritical) {
-                record.p99Ms = done.tailLatencyMs(0.99);
-                record.p999Ms = done.tailLatencyMs(0.999);
-                record.meanLatencyMs = done.meanLatencyMs();
-            }
-            record.meanSlowdown = done.meanSlowdown();
-            record.remoteTrafficGB = done.remoteTrafficGB();
-            record.migrations = done.migrationCount();
-            record.historyWindow =
-                historyWindowAt(result.trace, record.arrival);
-            record.executionWindow = telemetry::binSpan(
-                result.trace, static_cast<std::size_t>(record.arrival),
-                result.trace.size(), kWindowBins);
-            policy.onCompletion(record);
-#if ADRIAS_OBS_ENABLED
-            if (obs::enabled()) {
-                obs::MetricsRegistry::global()
-                    .counter("scenario.completions")
-                    .add();
-                if (obs::Tracer::global().enabled()) {
-                    obs::Tracer::global().simInstant(
-                        "complete:" + record.name, "scenario", now + 1,
-                        {obs::arg("mode", toString(record.mode)),
-                         obs::arg("exec_s", record.execTimeSec),
-                         obs::arg("slowdown", record.meanSlowdown)});
-                }
-            }
-#endif
-            result.records.push_back(std::move(record));
-            running.erase(running.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-        }
-    }
-    result.faultSummary = injector.stats();
-    result.watcherHealth = watcher.health();
-    return result;
+    // The tick loop lives in ScenarioEngine (checkpointable for the
+    // crash-recovery layer); driving it to completion here reproduces
+    // the historical monolithic loop byte for byte.
+    ScenarioEngine engine(config, testbedParams);
+    while (!engine.finished())
+        engine.stepTick(policy, runtime);
+    return engine.finish();
 }
 
 std::vector<ScenarioResult>

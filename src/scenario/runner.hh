@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/io/binary.hh"
+#include "common/io/checkpointable.hh"
 #include "common/rng.hh"
 #include "fault/fault.hh"
 #include "scenario/placement.hh"
@@ -84,8 +86,9 @@ struct ScenarioResult
 };
 
 /** A random placement hook used for trace collection (paper: apps are
- *  deployed "randomly on local or remote memory"). */
-class RandomPlacement : public PlacementPolicy
+ *  deployed "randomly on local or remote memory").  Checkpointable so
+ *  a crash-recovered run re-derives the exact same placements. */
+class RandomPlacement : public PlacementPolicy, public io::Checkpointable
 {
   public:
     explicit RandomPlacement(std::uint64_t seed = 99) : rng(seed) {}
@@ -97,6 +100,25 @@ class RandomPlacement : public PlacementPolicy
           SimTime) override
     {
         return rng.bernoulli(0.5) ? MemoryMode::Remote : MemoryMode::Local;
+    }
+
+    std::string checkpointTag() const override
+    {
+        return "random-placement";
+    }
+
+    /** Serialize the policy's exact RNG stream position. */
+    void saveState(io::BinaryWriter &out) const override
+    {
+        rng.saveState(out);
+    }
+
+    /** Restore a position saved with saveState(). */
+    [[nodiscard]] Result<void>
+    restoreState(io::BinaryReader &in) override
+    {
+        rng.restoreState(in);
+        return in.status();
     }
 
   private:

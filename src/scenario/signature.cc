@@ -50,6 +50,51 @@ SignatureStore::names() const
     return all;
 }
 
+void
+SignatureStore::saveState(io::BinaryWriter &out) const
+{
+    out.writeU64(signatures.size());
+    for (const auto &[name, signature] : signatures) {
+        out.writeString(name);
+        out.writeU64(signature.size());
+        for (const ml::Matrix &step : signature) {
+            out.writeU64(step.rows());
+            out.writeU64(step.cols());
+            out.writeF64Vector(step.raw());
+        }
+    }
+}
+
+Result<void>
+SignatureStore::restoreState(io::BinaryReader &in)
+{
+    std::map<std::string, std::vector<ml::Matrix>> restored;
+    const std::uint64_t count = in.readU64();
+    for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
+        const std::string name = in.readString();
+        const std::uint64_t steps = in.readU64();
+        std::vector<ml::Matrix> signature;
+        for (std::uint64_t s = 0; s < steps && in.ok(); ++s) {
+            const std::uint64_t rows = in.readU64();
+            const std::uint64_t cols = in.readU64();
+            std::vector<double> values = in.readF64Vector();
+            if (!in.ok())
+                break;
+            if (values.size() != rows * cols)
+                return makeError(ErrorCode::Geometry,
+                                 "SignatureStore: matrix data size does "
+                                 "not match its declared shape");
+            signature.emplace_back(rows, cols, std::move(values));
+        }
+        restored.emplace(name, std::move(signature));
+    }
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "SignatureStore: truncated snapshot section");
+    signatures = std::move(restored);
+    return {};
+}
+
 std::vector<ml::Matrix>
 collectSignature(const workloads::WorkloadSpec &spec,
                  testbed::TestbedParams params, std::uint64_t seed,

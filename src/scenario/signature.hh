@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
+#include "common/io/binary.hh"
 #include "ml/matrix.hh"
 #include "testbed/params.hh"
 #include "workloads/spec.hh"
@@ -40,6 +42,12 @@ class SignatureStore
 
     /** @return all stored app names. */
     std::vector<std::string> names() const;
+
+    /** Serialize every signature (name + matrix shapes + raw data). */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Replace the store's contents with a saveState() payload. */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
     std::map<std::string, std::vector<ml::Matrix>> signatures;

@@ -178,6 +178,66 @@ Watcher::clear()
     lastStamp = kNoStamp;
 }
 
+void
+Watcher::saveState(io::BinaryWriter &out) const
+{
+    MutexLock lock(mu);
+    out.writeU64(history.capacity());
+    out.writeU64(history.size());
+    for (std::size_t i = 0; i < history.size(); ++i)
+        for (double event : history.at(i))
+            out.writeF64(event);
+    out.writeU64(state.samplesAccepted);
+    out.writeU64(state.samplesRepaired);
+    out.writeU64(state.eventsRepaired);
+    out.writeU64(state.samplesDropped);
+    out.writeU64(state.stalenessSec);
+    out.writeU64(state.maxStalenessSec);
+    for (double event : lastGood)
+        out.writeF64(event);
+    out.writeBool(haveGood);
+    out.writeI64(lastStamp);
+}
+
+Result<void>
+Watcher::restoreState(io::BinaryReader &in)
+{
+    MutexLock lock(mu);
+    const std::uint64_t capacity = in.readU64();
+    if (capacity != history.capacity())
+        return makeError(ErrorCode::Geometry,
+                         "Watcher snapshot capacity " +
+                             std::to_string(capacity) +
+                             " != configured capacity " +
+                             std::to_string(history.capacity()));
+    const std::uint64_t samples = in.readU64();
+    if (samples > capacity)
+        return makeError(ErrorCode::BadNumber,
+                         "Watcher snapshot holds more samples than its "
+                         "capacity");
+    history.clear();
+    for (std::uint64_t i = 0; i < samples; ++i) {
+        CounterSample sample{};
+        for (double &event : sample)
+            event = in.readF64();
+        history.push(sample);
+    }
+    state.samplesAccepted = in.readU64();
+    state.samplesRepaired = in.readU64();
+    state.eventsRepaired = in.readU64();
+    state.samplesDropped = in.readU64();
+    state.stalenessSec = in.readU64();
+    state.maxStalenessSec = in.readU64();
+    for (double &event : lastGood)
+        event = in.readF64();
+    haveGood = in.readBool();
+    lastStamp = in.readI64();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "Watcher: truncated snapshot section");
+    return {};
+}
+
 std::vector<ml::Matrix>
 Watcher::binnedWindow(std::size_t window_seconds, std::size_t bins) const
 {

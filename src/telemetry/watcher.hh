@@ -10,6 +10,8 @@
 
 #include <vector>
 
+#include "common/error.hh"
+#include "common/io/binary.hh"
 #include "common/mutex.hh"
 #include "common/ring_buffer.hh"
 #include "common/thread_annotations.hh"
@@ -131,6 +133,19 @@ class Watcher
 
     /** Drop all history, health tallies and the timestamp watermark. */
     void clear() ADRIAS_EXCLUDES(mu);
+
+    /**
+     * Serialize the retained history (chronological), health tallies,
+     * repair source and timestamp watermark.  Capacity is not part of
+     * the payload — it is configuration, re-supplied on construction —
+     * but it is recorded so a restore into a differently-sized Watcher
+     * is rejected instead of silently truncating history.
+     */
+    void saveState(io::BinaryWriter &out) const ADRIAS_EXCLUDES(mu);
+
+    /** Restore a payload from saveState(); replaces all state. */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in)
+        ADRIAS_EXCLUDES(mu);
 
   private:
     /** Guards every member below. */

@@ -134,6 +134,37 @@ Testbed::setChannelFault(double bw_scale, double latency_scale)
     channelLatencyScale = latency_scale;
 }
 
+void
+Testbed::saveState(io::BinaryWriter &out) const
+{
+    rng.saveState(out);
+    out.writeF64(noiseSigma);
+    out.writeF64(channelBwScale);
+    out.writeF64(channelLatencyScale);
+    out.writeI64(obsTickCount);
+    out.writeBool(obsBackpressured);
+}
+
+Result<void>
+Testbed::restoreState(io::BinaryReader &in)
+{
+    rng.restoreState(in);
+    noiseSigma = in.readF64();
+    channelBwScale = in.readF64();
+    channelLatencyScale = in.readF64();
+    obsTickCount = in.readI64();
+    obsBackpressured = in.readBool();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "Testbed: truncated snapshot section");
+    if (!(channelBwScale > 0.0 && channelBwScale <= 1.0) ||
+        channelLatencyScale < 1.0)
+        return makeError(ErrorCode::BadNumber,
+                         "Testbed: snapshot carries invalid channel fault "
+                         "scales");
+    return {};
+}
+
 double
 Testbed::noisy(double value)
 {

@@ -15,6 +15,8 @@
 
 #include <vector>
 
+#include "common/error.hh"
+#include "common/io/binary.hh"
 #include "common/rng.hh"
 #include "testbed/counters.hh"
 #include "testbed/load.hh"
@@ -140,6 +142,16 @@ class Testbed
     {
         return channelBwScale < 1.0 || channelLatencyScale > 1.0;
     }
+
+    /**
+     * Serialize the evolving state: noise RNG position, noise sigma,
+     * channel fault scales and observability bookkeeping.  Calibration
+     * (TestbedParams) is configuration and stays out of the payload.
+     */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Restore a payload written by saveState(). */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
     TestbedParams parameters;

@@ -214,4 +214,23 @@ latencyCriticalBenchmarks()
     return specs;
 }
 
+const WorkloadSpec *
+findSpec(const std::string &name)
+{
+    for (const WorkloadSpec &spec : sparkBenchmarks())
+        if (spec.name == name)
+            return &spec;
+    for (const WorkloadSpec &spec : latencyCriticalBenchmarks())
+        if (spec.name == name)
+            return &spec;
+    for (IBenchKind kind :
+         {IBenchKind::Cpu, IBenchKind::L2, IBenchKind::L3,
+          IBenchKind::MemBw}) {
+        const WorkloadSpec &spec = ibenchSpec(kind);
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
 } // namespace adrias::workloads

@@ -107,6 +107,15 @@ const WorkloadSpec &ibenchSpec(IBenchKind kind);
 /** @return all LC specs (Redis, Memcached). */
 const std::vector<WorkloadSpec> &latencyCriticalBenchmarks();
 
+/**
+ * Look up any registered spec (Spark, LC or iBench) by its canonical
+ * name — the reverse mapping used when restoring checkpointed workload
+ * instances, which serialize the spec by name only.
+ *
+ * @return pointer into the static registry, or nullptr when unknown.
+ */
+const WorkloadSpec *findSpec(const std::string &name);
+
 } // namespace adrias::workloads
 
 #endif // ADRIAS_WORKLOADS_SPEC_HH

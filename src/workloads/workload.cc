@@ -64,6 +64,83 @@ WorkloadInstance::operator=(WorkloadInstance &&other) noexcept
     return *this;
 }
 
+void
+WorkloadInstance::saveState(io::BinaryWriter &out) const
+{
+    MutexLock lock(mu);
+    out.writeU64(deploymentId);
+    out.writeString(specification->name);
+    out.writeI64(arrival);
+    out.writeF64(loadFactor);
+    out.writeU8(static_cast<std::uint8_t>(memoryMode));
+    rng.saveState(out);
+    out.writeBool(done);
+    out.writeI64(completion);
+    out.writeF64(progressSec);
+    out.writeF64(elapsedSec);
+    out.writeF64(requestsServed);
+    out.writeF64Vector(latencies.values());
+    out.writeF64(slowdownSum);
+    out.writeU64(ticks);
+    out.writeF64(remoteGb);
+    out.writeF64(migrationRemaining);
+    out.writeF64(migrationPauseTotal);
+    out.writeU8(static_cast<std::uint8_t>(migrationTarget));
+    out.writeU64(migrationsDone);
+}
+
+Result<std::unique_ptr<WorkloadInstance>>
+WorkloadInstance::restoreFromState(io::BinaryReader &in)
+{
+    const DeploymentId id = in.readU64();
+    const std::string specName = in.readString();
+    const SimTime arrivedAt = in.readI64();
+    const double loadFactor = in.readF64();
+    const std::uint8_t rawMode = in.readU8();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "WorkloadInstance: truncated identity fields");
+    const WorkloadSpec *spec = findSpec(specName);
+    if (spec == nullptr)
+        return makeError(ErrorCode::BadToken,
+                         "WorkloadInstance: unknown spec '" + specName +
+                             "' in snapshot");
+    if (rawMode > static_cast<std::uint8_t>(MemoryMode::Remote))
+        return makeError(ErrorCode::BadNumber,
+                         "WorkloadInstance: invalid memory mode");
+    if (loadFactor <= 0.0)
+        return makeError(ErrorCode::BadNumber,
+                         "WorkloadInstance: non-positive load factor");
+
+    auto instance = std::make_unique<WorkloadInstance>(
+        id, *spec, static_cast<MemoryMode>(rawMode), arrivedAt,
+        /*seed=*/0, loadFactor);
+    MutexLock lock(instance->mu);
+    instance->rng.restoreState(in);
+    instance->done = in.readBool();
+    instance->completion = in.readI64();
+    instance->progressSec = in.readF64();
+    instance->elapsedSec = in.readF64();
+    instance->requestsServed = in.readF64();
+    for (double sample : in.readF64Vector())
+        instance->latencies.add(sample);
+    instance->slowdownSum = in.readF64();
+    instance->ticks = in.readU64();
+    instance->remoteGb = in.readF64();
+    instance->migrationRemaining = in.readF64();
+    instance->migrationPauseTotal = in.readF64();
+    const std::uint8_t rawTarget = in.readU8();
+    instance->migrationsDone = in.readU64();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "WorkloadInstance: truncated run state");
+    if (rawTarget > static_cast<std::uint8_t>(MemoryMode::Remote))
+        return makeError(ErrorCode::BadNumber,
+                         "WorkloadInstance: invalid migration target");
+    instance->migrationTarget = static_cast<MemoryMode>(rawTarget);
+    return instance;
+}
+
 testbed::LoadDescriptor
 WorkloadInstance::load() const
 {

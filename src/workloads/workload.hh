@@ -12,8 +12,11 @@
 #ifndef ADRIAS_WORKLOADS_WORKLOAD_HH
 #define ADRIAS_WORKLOADS_WORKLOAD_HH
 
+#include <memory>
 #include <optional>
 
+#include "common/error.hh"
+#include "common/io/binary.hh"
 #include "common/mutex.hh"
 #include "common/rng.hh"
 #include "common/thread_annotations.hh"
@@ -148,6 +151,22 @@ class WorkloadInstance
         MutexLock lock(mu);
         return migrationsDone;
     }
+
+    /**
+     * Serialize the complete run state.  The spec is recorded by name
+     * (specs are static registry entries, not runtime state) and the
+     * latency samples are dumped in full so restored tail percentiles
+     * are exact.
+     */
+    void saveState(io::BinaryWriter &out) const ADRIAS_EXCLUDES(mu);
+
+    /**
+     * Rebuild an instance from a saveState() payload.  Fails (typed)
+     * when the payload is truncated, carries an unknown spec name or an
+     * out-of-range enum value.
+     */
+    [[nodiscard]] static Result<std::unique_ptr<WorkloadInstance>>
+    restoreFromState(io::BinaryReader &in);
 
   private:
     // Immutable identity (set at construction, never guarded).

@@ -149,6 +149,97 @@ TEST(CircuitBreaker, ResetRestoresPristineState)
     EXPECT_TRUE(breaker.allowRequest(0));
 }
 
+TEST(CircuitBreaker, ExportRestoreRoundTripsMidProbe)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 3; ++t) {
+        breaker.allowRequest(t);
+        breaker.recordFailure(t);
+    }
+    ASSERT_TRUE(breaker.allowRequest(12)); // HalfOpen, probe 0 of 2
+    breaker.recordSuccess(12);             // 1 of 2 probe successes
+    ASSERT_EQ(breaker.state(), BreakerState::HalfOpen);
+
+    const BreakerSnapshot snapshot = breaker.exportState();
+    CircuitBreaker restored(testConfig());
+    restored.restoreState(snapshot);
+
+    EXPECT_EQ(restored.state(), BreakerState::HalfOpen);
+    EXPECT_EQ(restored.stats().failures, breaker.stats().failures);
+    EXPECT_EQ(restored.stats().trips, breaker.stats().trips);
+    EXPECT_EQ(restored.currentBackoffSec(),
+              breaker.currentBackoffSec());
+
+    // The restored breaker resumes the probe sequence exactly where
+    // the original stood: one more success closes it.
+    EXPECT_TRUE(restored.allowRequest(13));
+    restored.recordSuccess(13);
+    EXPECT_EQ(restored.state(), BreakerState::Closed);
+    EXPECT_EQ(restored.stats().recoveries, 1u);
+}
+
+TEST(CircuitBreaker, BinarySaveRestoreMatchesExport)
+{
+    CircuitBreaker breaker(testConfig());
+    for (SimTime t = 0; t < 3; ++t) {
+        breaker.allowRequest(t);
+        breaker.recordFailure(t);
+    }
+    breaker.allowRequest(5); // rejected while Open
+
+    io::BinaryWriter out;
+    breaker.saveState(out);
+
+    CircuitBreaker restored(testConfig());
+    io::BinaryReader in(out.data());
+    ASSERT_TRUE(restored.restoreState(in).ok());
+
+    EXPECT_EQ(restored.state(), BreakerState::Open);
+    EXPECT_EQ(restored.stats().failures, 3u);
+    EXPECT_EQ(restored.stats().rejected, 1u);
+    EXPECT_EQ(restored.currentBackoffSec(),
+              breaker.currentBackoffSec());
+    // Same backoff clock: the restored breaker opens its probe window
+    // at the same tick the original would.
+    EXPECT_FALSE(restored.allowRequest(11));
+    EXPECT_TRUE(restored.allowRequest(12));
+}
+
+TEST(CircuitBreaker, BinaryRestoreRejectsCorruptState)
+{
+    CircuitBreaker breaker(testConfig());
+    io::BinaryWriter out;
+    breaker.saveState(out);
+
+    // Truncated payload.
+    {
+        const std::string whole = out.data();
+        io::BinaryReader in(
+            std::string_view(whole).substr(0, whole.size() / 2));
+        CircuitBreaker victim(testConfig());
+        EXPECT_FALSE(victim.restoreState(in).ok());
+    }
+    // Invalid state enum.
+    {
+        std::string mangled = out.data();
+        mangled[0] = 9;
+        io::BinaryReader in(mangled);
+        CircuitBreaker victim(testConfig());
+        const Result<void> restored = victim.restoreState(in);
+        ASSERT_FALSE(restored.ok());
+        EXPECT_EQ(restored.error().code, ErrorCode::BadNumber);
+    }
+}
+
+TEST(CircuitBreaker, RestoreClampsBackoffToConfiguredRange)
+{
+    CircuitBreaker breaker(testConfig());
+    BreakerSnapshot snapshot = breaker.exportState();
+    snapshot.backoffSec = 10000; // beyond backoffMaxSec = 40
+    breaker.restoreState(snapshot);
+    EXPECT_EQ(breaker.currentBackoffSec(), 40);
+}
+
 TEST(CircuitBreaker, StateNames)
 {
     EXPECT_EQ(toString(BreakerState::Closed), "closed");

@@ -45,7 +45,7 @@ linesOf(const std::vector<Finding> &findings, const std::string &rule)
 TEST(LintRules, EveryRuleHasMetadata)
 {
     const auto &rules = adrias::lint::rules();
-    ASSERT_EQ(rules.size(), 6u);
+    ASSERT_EQ(rules.size(), 7u);
     std::vector<std::string> ids;
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.description.empty()) << rule.id;
@@ -53,7 +53,8 @@ TEST(LintRules, EveryRuleHasMetadata)
     }
     for (const char *expected :
          {"raw-rand", "wall-clock", "unordered-container",
-          "nodiscard-result", "float-equal", "iostream-include"}) {
+          "nodiscard-result", "float-equal", "iostream-include",
+          "raw-ofstream"}) {
         EXPECT_NE(std::find(ids.begin(), ids.end(), expected),
                   ids.end())
             << expected;
@@ -109,6 +110,40 @@ TEST(LintRules, IostreamFixture)
                                    "src/core/bad_iostream.cc");
     EXPECT_EQ(linesOf(findings, "iostream-include"),
               (std::vector<std::size_t>{3}));
+}
+
+TEST(LintRules, RawOfstreamFixture)
+{
+    const auto findings = lintFile(fixture("bad_ofstream.cc"),
+                                   "src/scenario/bad_ofstream.cc");
+    EXPECT_EQ(linesOf(findings, "raw-ofstream"),
+              (std::vector<std::size_t>{7, 14}));
+    // The NOLINTNEXTLINE on fixture line 20 must suppress line 21.
+    for (const auto &f : findings)
+        EXPECT_NE(f.line, 21u);
+}
+
+TEST(LintScopes, RawOfstreamNotEnforcedOutsideSrc)
+{
+    for (const char *label :
+         {"tests/common/bad_ofstream.cc", "bench/bad_ofstream.cc",
+          "tools/bad_ofstream.cc"}) {
+        const auto findings =
+            lintFile(fixture("bad_ofstream.cc"), label);
+        EXPECT_TRUE(linesOf(findings, "raw-ofstream").empty())
+            << label;
+    }
+}
+
+TEST(LintScopes, DurableFileLayerUsesEscapes)
+{
+    // The one sanctioned writer carries explicit NOLINT escapes
+    // rather than a scope carve-out, so new raw streams inside
+    // common/io still get flagged.
+    const std::string code = "std::" + std::string("ofstream") +
+                             " out(path);\n";
+    EXPECT_EQ(lintContent("src/common/io/new_writer.cc", code).size(),
+              1u);
 }
 
 TEST(LintRules, CleanFixtureHasNoFindings)

@@ -1,0 +1,25 @@
+// Lint fixture: deliberate raw-ofstream violations.  Never compiled.
+#include <fstream>
+
+void
+dumpTorn()
+{
+    std::ofstream out("dump.txt"); // line 7: raw-ofstream
+    out << 1;
+}
+
+void
+alias()
+{
+    using std::ofstream; // line 14: raw-ofstream (alias counts too)
+}
+
+void
+sanctionedLayer()
+{
+    // NOLINTNEXTLINE(raw-ofstream): pretend DurableFile internals.
+    std::ofstream out("layer.bin");
+    out << 2;
+    std::ifstream in("layer.bin"); // reads are fine
+    (void)in;
+}

@@ -253,6 +253,12 @@ inIostreamScope(const std::string &label)
            label != "src/common/logging.cc";
 }
 
+bool
+inOfstreamScope(const std::string &label)
+{
+    return startsWith(label, "src/");
+}
+
 // --------------------------------------------------------------------------
 // Literal classification (float-equal)
 // --------------------------------------------------------------------------
@@ -544,6 +550,28 @@ checkIostreamInclude(const std::string &label,
     }
 }
 
+void
+checkRawOfstream(const std::string &label,
+                 const std::vector<std::string> &raw,
+                 const std::vector<std::string> &stripped,
+                 std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        for (const auto &[id, col] : identifiersIn(stripped[i])) {
+            (void)col;
+            if (id == "ofstream" &&
+                !suppressed(raw, i, "raw-ofstream")) {
+                findings.push_back(
+                    {label, i + 1, "raw-ofstream",
+                     "'ofstream': persistence must go through "
+                     "common/io/durable_file.hh (atomic temp-write + "
+                     "rename) so a crash never leaves a torn file"});
+                break;
+            }
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -565,6 +593,9 @@ rules()
          "no ==/!= against floating-point literals in src"},
         {"iostream-include",
          "no #include <iostream> in src outside common/logging.cc"},
+        {"raw-ofstream",
+         "no raw std::ofstream persistence in src; write through the "
+         "DurableFile layer (common/io)"},
     };
     return kRules;
 }
@@ -589,6 +620,8 @@ lintContent(const std::string &label, const std::string &content)
         checkFloatEqual(label, raw, stripped, findings);
     if (inIostreamScope(label))
         checkIostreamInclude(label, raw, stripped, findings);
+    if (inOfstreamScope(label))
+        checkRawOfstream(label, raw, stripped, findings);
 
     std::stable_sort(findings.begin(), findings.end(),
                      [](const Finding &a, const Finding &b) {
