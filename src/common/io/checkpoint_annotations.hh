@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Checkpoint-coverage annotations for the tools/analyze static pass.
+ *
+ * The checkpoint-coverage pass (tools/analyze, DESIGN.md §13) demands
+ * that every non-static data member of a class implementing the
+ * saveState/restoreState pair is referenced in *both* bodies — a
+ * forgotten field is a silent, hours-later divergence after recovery.
+ * Members that are deliberately not part of the snapshot (immutable
+ * configuration, runtime wiring, transient replay scaffolding) carry
+ * this marker, with the reason in the source:
+ *
+ *   ScenarioConfig config ADRIAS_NOT_CHECKPOINTED(
+ *       "construction-time configuration, re-supplied on restore");
+ *
+ * The macro expands to nothing — it exists purely for the analyzer
+ * (and the reader).  Header kept dependency-free so any class can
+ * include it.
+ */
+
+#ifndef ADRIAS_COMMON_IO_CHECKPOINT_ANNOTATIONS_HH
+#define ADRIAS_COMMON_IO_CHECKPOINT_ANNOTATIONS_HH
+
+/** Waive one data member from checkpoint-coverage, with a reason. */
+#define ADRIAS_NOT_CHECKPOINTED(reason)
+
+#endif // ADRIAS_COMMON_IO_CHECKPOINT_ANNOTATIONS_HH

@@ -3,7 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <thread>
+#include <thread> // NOLINT(raw-thread): retry backoff sleep, no parallelism
 
 #include "common/io/crc32.hh"
 #include "common/logging.hh"
@@ -35,7 +35,7 @@ getU32(const std::string &data, std::size_t at)
 }
 
 /** One attempt of the temp-write + rename protocol. */
-Result<void>
+[[nodiscard]] Result<void>
 atomicWriteOnce(const std::string &path, const std::string &content,
                 const WriteChaosHook &chaos)
 {

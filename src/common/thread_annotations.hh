@@ -64,4 +64,19 @@
 #define ADRIAS_NO_THREAD_SAFETY_ANALYSIS \
     ADRIAS_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/**
+ * Waive one data member from the tools/analyze lock-discipline pass,
+ * with a reason.  In a class owning a Mutex every mutable member must
+ * either be ADRIAS_GUARDED_BY-annotated or carry this marker — for
+ * state that is genuinely safe without the lock (set once before any
+ * thread is spawned, intrinsically synchronized primitives, ...):
+ *
+ *   std::condition_variable_any available ADRIAS_LOCK_FREE(
+ *       "intrinsically synchronized; waited on under `mutex`");
+ *
+ * Expands to nothing on every compiler — it is read by the analyzer
+ * (and the reviewer), not the toolchain.
+ */
+#define ADRIAS_LOCK_FREE(reason)
+
 #endif // ADRIAS_COMMON_THREAD_ANNOTATIONS_HH

@@ -154,8 +154,12 @@ class ThreadPool
     /** Swap the global pool; used only by ScopedThreadOverride. */
     static ThreadPool *swapGlobal(ThreadPool *next);
 
-    unsigned configured;
-    std::vector<std::thread> workers;
+    unsigned configured ADRIAS_LOCK_FREE(
+        "written only in configure()/shutdown, which are "
+        "single-threaded phases");
+    std::vector<std::thread> workers ADRIAS_LOCK_FREE(
+        "mutated only in configure()/shutdown, before workers run "
+        "or after they join");
 
     Mutex mutex;
     std::condition_variable_any available;

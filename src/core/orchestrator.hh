@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "common/io/checkpoint_annotations.hh"
 #include "models/guard.hh"
 #include "models/predictor.hh"
 #include "scenario/placement.hh"
@@ -127,10 +128,13 @@ class AdriasOrchestrator : public scenario::PlacementPolicy
     [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
-    const models::PredictorBase *predictor;
-    models::GuardedPredictor *guard = nullptr;
+    const models::PredictorBase *predictor ADRIAS_NOT_CHECKPOINTED(
+        "borrowed model wiring, re-attached at construction");
+    models::GuardedPredictor *guard ADRIAS_NOT_CHECKPOINTED(
+        "the guard checkpoints separately under its own tag") = nullptr;
     scenario::SignatureStore *signatures;
-    AdriasConfig policy;
+    AdriasConfig policy ADRIAS_NOT_CHECKPOINTED(
+        "construction-time configuration, re-supplied on restore");
     OrchestratorStats decisionStats;
     telemetry::WatcherHealth lastWatcherHealth;
 

@@ -22,6 +22,7 @@
 
 #include "common/error.hh"
 #include "common/io/binary.hh"
+#include "common/io/checkpoint_annotations.hh"
 #include "common/types.hh"
 
 namespace adrias::fault
@@ -132,7 +133,9 @@ class CircuitBreaker
     [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
-    CircuitBreakerConfig knobs;
+    CircuitBreakerConfig knobs ADRIAS_NOT_CHECKPOINTED(
+        "construction-time tuning; the payload holds only the "
+        "evolving breaker state");
     BreakerState current = BreakerState::Closed;
     BreakerStats tallies;
 

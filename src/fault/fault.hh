@@ -21,6 +21,7 @@
 
 #include "common/error.hh"
 #include "common/io/binary.hh"
+#include "common/io/checkpoint_annotations.hh"
 #include "common/types.hh"
 #include "testbed/counters.hh"
 
@@ -218,7 +219,9 @@ class FaultInjector
     [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
-    FaultSchedule plan;
+    FaultSchedule plan ADRIAS_NOT_CHECKPOINTED(
+        "the schedule is construction-time configuration; only the "
+        "tallies evolve");
     FaultStats counters;
 
     /** Uniform [0,1) draw, pure in (seed, kind, now, salt). */

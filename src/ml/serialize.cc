@@ -23,7 +23,7 @@ constexpr std::size_t kMaxScalerWidth = 1 << 16;
 
 /** Read one whitespace-delimited double, with a typed diagnosis:
  *  eof ⇒ Truncated, non-numeric token ⇒ BadNumber. */
-Result<void>
+[[nodiscard]] Result<void>
 readValue(std::istream &in, double &value, const std::string &context)
 {
     if (in >> value)

@@ -21,6 +21,7 @@
 
 #include <stdexcept>
 
+#include "common/io/checkpoint_annotations.hh"
 #include "fault/circuit_breaker.hh"
 #include "fault/fault.hh"
 #include "models/predictor.hh"
@@ -117,9 +118,12 @@ class GuardedPredictor : public PredictorBase
     [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
-    const PredictorBase *wrapped;
-    PredictorGuardConfig knobs;
-    fault::FaultInjector *faults;
+    const PredictorBase *wrapped ADRIAS_NOT_CHECKPOINTED(
+        "borrowed predictor wiring, re-attached at construction");
+    PredictorGuardConfig knobs ADRIAS_NOT_CHECKPOINTED(
+        "construction-time configuration, re-supplied on restore");
+    fault::FaultInjector *faults ADRIAS_NOT_CHECKPOINTED(
+        "runtime wiring; the injector checkpoints under its own tag");
 
     // The PredictorBase interface is const; the guard's bookkeeping is
     // logically observational state.
@@ -129,8 +133,10 @@ class GuardedPredictor : public PredictorBase
     SimTime decisionTime = 0;
 
     /** Breaker state last reported to obs (transition detection). */
-    mutable fault::BreakerState obsBreakerState =
-        fault::BreakerState::Closed;
+    mutable fault::BreakerState obsBreakerState
+        ADRIAS_NOT_CHECKPOINTED(
+            "obs transition-detection cache; restoreState resyncs it "
+            "from the restored breaker") = fault::BreakerState::Closed;
 
     /** Common gate for both prediction entry points. */
     void admitCall(std::uint64_t salt) const;

@@ -158,7 +158,9 @@ class Tracer
     std::size_t dropped ADRIAS_GUARDED_BY(mu) = 0;
 
     /** wallNow() epoch, seconds (monotonic source, set at startup). */
-    double epochSeconds = 0.0;
+    double epochSeconds ADRIAS_LOCK_FREE(
+        "set once in the constructor, before any recording thread "
+        "exists") = 0.0;
 };
 
 /** @return the calling thread's trace lane (0 = main). */

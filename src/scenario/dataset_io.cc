@@ -32,7 +32,7 @@ appendSequence(std::vector<double> &row,
 }
 
 /** Strictly parse the cell at `cursor`, advancing it on success. */
-Result<double>
+[[nodiscard]] Result<double>
 readCell(const std::vector<std::string> &cells, std::size_t &cursor,
          const std::string &context)
 {
@@ -50,7 +50,7 @@ readCell(const std::vector<std::string> &cells, std::size_t &cursor,
 }
 
 /** Read a sequence back from a flat cell span. */
-Result<std::vector<ml::Matrix>>
+[[nodiscard]] Result<std::vector<ml::Matrix>>
 readSequence(const std::vector<std::string> &cells, std::size_t &cursor,
              const std::string &context)
 {
@@ -69,7 +69,7 @@ readSequence(const std::vector<std::string> &cells, std::size_t &cursor,
     return sequence;
 }
 
-Result<ml::Matrix>
+[[nodiscard]] Result<ml::Matrix>
 readRowVector(const std::vector<std::string> &cells, std::size_t &cursor,
               const std::string &context)
 {
@@ -109,7 +109,7 @@ classToken(WorkloadClass cls)
     panic("unknown WorkloadClass");
 }
 
-Result<WorkloadClass>
+[[nodiscard]] Result<WorkloadClass>
 classFromToken(const std::string &token, const std::string &context)
 {
     if (token == "be")
@@ -126,7 +126,7 @@ classFromToken(const std::string &token, const std::string &context)
  * Open `path` and validate the "# <magic>,<bins>,<events>" header.
  * On success the stream is positioned at the first data row.
  */
-Result<void>
+[[nodiscard]] Result<void>
 openWithHeader(std::ifstream &in, const std::string &path,
                const std::string &magic, const std::string &context)
 {

@@ -28,7 +28,7 @@ saveMatrixSequence(io::BinaryWriter &out,
     }
 }
 
-Result<std::vector<ml::Matrix>>
+[[nodiscard]] Result<std::vector<ml::Matrix>>
 loadMatrixSequence(io::BinaryReader &in)
 {
     std::vector<ml::Matrix> sequence;
@@ -71,7 +71,7 @@ saveRecord(io::BinaryWriter &out, const DeploymentRecord &record)
     saveMatrixSequence(out, record.executionWindow);
 }
 
-Result<DeploymentRecord>
+[[nodiscard]] Result<DeploymentRecord>
 loadRecord(io::BinaryReader &in)
 {
     DeploymentRecord record;

@@ -31,6 +31,7 @@
 
 #include "common/error.hh"
 #include "common/io/binary.hh"
+#include "common/io/checkpoint_annotations.hh"
 #include "common/io/checkpointable.hh"
 #include "common/rng.hh"
 #include "fault/fault.hh"
@@ -160,8 +161,11 @@ class ScenarioEngine : public io::Checkpointable
         ScenarioRunner::kWindowBins;
 
   private:
-    ScenarioConfig config;
-    testbed::TestbedParams testbedParams;
+    ScenarioConfig config ADRIAS_NOT_CHECKPOINTED(
+        "construction-time configuration; restoreState validates the "
+        "snapshot against it");
+    testbed::TestbedParams testbedParams ADRIAS_NOT_CHECKPOINTED(
+        "construction-time calibration, re-supplied on restore");
 
     // Evolving state, in the exact construction order of the
     // historical ScenarioRunner::run() preamble (the Testbed seed is
@@ -177,8 +181,10 @@ class ScenarioEngine : public io::Checkpointable
     SimTime nextArrival = 0;
     SimTime now_ = 0;
 
-    DecisionSink *decisionSink = nullptr;
-    std::deque<PlacementDecision> replayQueue;
+    DecisionSink *decisionSink ADRIAS_NOT_CHECKPOINTED(
+        "runtime observer wiring, re-attached after restore") = nullptr;
+    std::deque<PlacementDecision> replayQueue ADRIAS_NOT_CHECKPOINTED(
+        "transient replay scaffolding; saveState panics mid-replay");
 
     /** Deploy arrivals scheduled at or before now_. */
     void admitArrivals(PlacementPolicy &policy);

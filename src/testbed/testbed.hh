@@ -17,6 +17,7 @@
 
 #include "common/error.hh"
 #include "common/io/binary.hh"
+#include "common/io/checkpoint_annotations.hh"
 #include "common/rng.hh"
 #include "testbed/counters.hh"
 #include "testbed/load.hh"
@@ -154,7 +155,9 @@ class Testbed
     [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
 
   private:
-    TestbedParams parameters;
+    TestbedParams parameters ADRIAS_NOT_CHECKPOINTED(
+        "calibration configuration; stays out of the payload (see "
+        "saveState doc)");
     Rng rng;
     double noiseSigma = 0.01;
     double channelBwScale = 1.0;

@@ -94,7 +94,7 @@ WorkloadInstance::restoreFromState(io::BinaryReader &in)
 {
     const DeploymentId id = in.readU64();
     const std::string specName = in.readString();
-    const SimTime arrivedAt = in.readI64();
+    const SimTime arrival = in.readI64();
     const double loadFactor = in.readF64();
     const std::uint8_t rawMode = in.readU8();
     if (!in.ok())
@@ -112,8 +112,9 @@ WorkloadInstance::restoreFromState(io::BinaryReader &in)
         return makeError(ErrorCode::BadNumber,
                          "WorkloadInstance: non-positive load factor");
 
+    const MemoryMode memoryMode = static_cast<MemoryMode>(rawMode);
     auto instance = std::make_unique<WorkloadInstance>(
-        id, *spec, static_cast<MemoryMode>(rawMode), arrivedAt,
+        id, *spec, memoryMode, arrival,
         /*seed=*/0, loadFactor);
     MutexLock lock(instance->mu);
     instance->rng.restoreState(in);

@@ -170,10 +170,13 @@ class WorkloadInstance
 
   private:
     // Immutable identity (set at construction, never guarded).
-    DeploymentId deploymentId;
+    DeploymentId deploymentId ADRIAS_LOCK_FREE(
+        "immutable identity, set at construction");
     const WorkloadSpec *specification;
-    SimTime arrival;
-    double loadFactor;
+    SimTime arrival ADRIAS_LOCK_FREE(
+        "immutable identity, set at construction");
+    double loadFactor ADRIAS_LOCK_FREE(
+        "immutable identity, set at construction");
 
     /** Guards every mutable member below. */
     mutable Mutex mu;

@@ -1,8 +1,10 @@
 /**
  * @file
  * Self-tests for the project lint (tools/lint): every rule is proven
- * against a deliberately violating fixture, the NOLINT escapes and
- * scope boundaries are exercised, and the real tree must scan clean.
+ * against a deliberately violating fixture, the NOLINT escapes
+ * (single- and multi-rule lists, NOLINTNEXTLINE, NOLINTBEGIN/END
+ * regions) and scope boundaries are exercised, and the real tree must
+ * scan clean.
  *
  * All violating code lives in string literals or under
  * tools/lint/fixtures/ — the scanner strips string literals before
@@ -45,7 +47,7 @@ linesOf(const std::vector<Finding> &findings, const std::string &rule)
 TEST(LintRules, EveryRuleHasMetadata)
 {
     const auto &rules = adrias::lint::rules();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 8u);
     std::vector<std::string> ids;
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.description.empty()) << rule.id;
@@ -54,7 +56,7 @@ TEST(LintRules, EveryRuleHasMetadata)
     for (const char *expected :
          {"raw-rand", "wall-clock", "unordered-container",
           "nodiscard-result", "float-equal", "iostream-include",
-          "raw-ofstream"}) {
+          "raw-ofstream", "raw-thread"}) {
         EXPECT_NE(std::find(ids.begin(), ids.end(), expected),
                   ids.end())
             << expected;
@@ -123,6 +125,38 @@ TEST(LintRules, RawOfstreamFixture)
         EXPECT_NE(f.line, 21u);
 }
 
+TEST(LintRules, RawThreadFixture)
+{
+    const auto findings = lintFile(fixture("bad_thread.cc"),
+                                   "src/scenario/bad_thread.cc");
+    EXPECT_EQ(linesOf(findings, "raw-thread"),
+              (std::vector<std::size_t>{3, 4, 9, 10}));
+    // The NOLINTNEXTLINE(raw-thread) on fixture line 17 must
+    // suppress line 18.
+    for (const auto &f : findings)
+        EXPECT_NE(f.line, 18u);
+}
+
+TEST(LintScopes, ThreadPoolImplementationIsExempt)
+{
+    // The deterministic pool is the one sanctioned std::thread user.
+    for (const char *label :
+         {"src/common/threadpool.cc", "src/common/threadpool.hh"}) {
+        const auto findings = lintFile(fixture("bad_thread.cc"), label);
+        EXPECT_TRUE(linesOf(findings, "raw-thread").empty()) << label;
+    }
+}
+
+TEST(LintScopes, RawThreadNotEnforcedOutsideSrc)
+{
+    for (const char *label :
+         {"tests/common/bad_thread.cc", "bench/bad_thread.cc",
+          "tools/bad_thread.cc"}) {
+        const auto findings = lintFile(fixture("bad_thread.cc"), label);
+        EXPECT_TRUE(linesOf(findings, "raw-thread").empty()) << label;
+    }
+}
+
 TEST(LintScopes, RawOfstreamNotEnforcedOutsideSrc)
 {
     for (const char *label :
@@ -166,6 +200,111 @@ TEST(LintEscapes, NolintForOtherRuleDoesNotSuppress)
     const std::string code = "int x = std::" + std::string("rand") +
                              "(); // NOLINT(float-equal)\n";
     EXPECT_EQ(lintContent("src/core/x.cc", code).size(), 1u);
+}
+
+TEST(LintEscapes, MultiRuleListSuppressesEveryNamedRule)
+{
+    const std::string code = "int x = std::" + std::string("rand") +
+                             "(); // NOLINT(raw-rand,float-equal)\n";
+    EXPECT_TRUE(lintContent("src/core/x.cc", code).empty());
+}
+
+TEST(LintEscapes, RuleNamesMatchExactlyNotBySubstring)
+{
+    // "rand" is not "raw-rand" — no suppression.
+    const std::string code = "int x = std::" + std::string("rand") +
+                             "(); // NOLINT(rand)\n";
+    EXPECT_EQ(lintContent("src/core/x.cc", code).size(), 1u);
+}
+
+TEST(LintEscapes, BeginEndRegionSuppressesOnlyItsLines)
+{
+    const std::string rand_call = "int a = std::" +
+                                  std::string("rand") + "();\n";
+    const std::string code = "// NOLINTBEGIN(raw-rand)\n" + rand_call +
+                             "// NOLINTEND(raw-rand)\n" + rand_call;
+    const auto findings = lintContent("src/core/x.cc", code);
+    EXPECT_EQ(linesOf(findings, "raw-rand"),
+              (std::vector<std::size_t>{4}));
+}
+
+TEST(LintEscapes, BeginEndRegionForOtherRuleDoesNotSuppress)
+{
+    const std::string code = "// NOLINTBEGIN(float-equal)\n"
+                             "int a = std::" +
+                             std::string("rand") +
+                             "();\n"
+                             "// NOLINTEND(float-equal)\n";
+    EXPECT_EQ(lintContent("src/core/x.cc", code).size(), 1u);
+}
+
+TEST(LintEscapes, UnmatchedBeginExtendsToEndOfFile)
+{
+    const std::string code = "// NOLINTBEGIN(raw-rand)\n"
+                             "int a = std::" +
+                             std::string("rand") +
+                             "();\n"
+                             "int b = std::" +
+                             std::string("rand") + "();\n";
+    EXPECT_TRUE(lintContent("src/core/x.cc", code).empty());
+}
+
+TEST(LintEscapes, BlanketBeginEndSuppressesEveryRule)
+{
+    const std::string code = "// NOLINTBEGIN\n"
+                             "int a = std::" +
+                             std::string("rand") +
+                             "();\n"
+                             "#include <iostream>\n"
+                             "// NOLINTEND\n";
+    EXPECT_TRUE(lintContent("src/core/x.cc", code).empty());
+}
+
+TEST(LintRules, NodiscardCoversAnonymousNamespaceCcHelpers)
+{
+    const std::string code = "namespace\n"
+                             "{\n"
+                             "Result<int>\n"
+                             "parseHeader(const std::string &text)\n"
+                             "{\n"
+                             "    return {};\n"
+                             "}\n"
+                             "} // namespace\n";
+    const auto findings = lintContent("src/scenario/x.cc", code);
+    EXPECT_EQ(linesOf(findings, "nodiscard-result"),
+              (std::vector<std::size_t>{3}));
+}
+
+TEST(LintRules, NodiscardCoversStaticCcHelpers)
+{
+    const std::string code = "static Result<void> flushAll();\n";
+    const auto findings = lintContent("src/scenario/x.cc", code);
+    EXPECT_EQ(linesOf(findings, "nodiscard-result"),
+              (std::vector<std::size_t>{1}));
+}
+
+TEST(LintRules, NodiscardSkipsAnnotatedAndExternCcDeclarations)
+{
+    // Already annotated: clean.
+    const std::string annotated = "namespace\n"
+                                  "{\n"
+                                  "[[nodiscard]] Result<int>\n"
+                                  "parseHeader(const std::string &text)\n"
+                                  "{\n"
+                                  "    return {};\n"
+                                  "}\n"
+                                  "} // namespace\n";
+    EXPECT_TRUE(lintContent("src/scenario/x.cc", annotated).empty());
+
+    // Extern-linkage definitions in a .cc belong to a header
+    // declaration — the header side of the rule owns those.
+    const std::string external = "Result<int>\n"
+                                 "adrias::parseHeader(const std::string "
+                                 "&text)\n"
+                                 "{\n"
+                                 "    return {};\n"
+                                 "}\n";
+    EXPECT_TRUE(lintContent("src/scenario/x.cc", external).empty());
 }
 
 TEST(LintScopes, WallClockNotEnforcedInBench)

@@ -1,0 +1,54 @@
+// Analyzer fixture: checkpoint-coverage violations.  Never compiled —
+// parsed by tools/analyze self-tests.  The bodies live in
+// bad_checkpoint_impl.cc to prove cross-file merging.
+
+#ifndef ADRIAS_ANALYZE_FIXTURE_BAD_CHECKPOINT_HH
+#define ADRIAS_ANALYZE_FIXTURE_BAD_CHECKPOINT_HH
+
+#include "common/io/checkpoint_annotations.hh"
+#include "common/io/checkpointable.hh"
+
+namespace adrias::fixture
+{
+
+struct TelemeterConfig
+{
+    int windowSec = 120;
+};
+
+class Telemeter final : public io::Checkpointable
+{
+  public:
+    explicit Telemeter(TelemeterConfig cfg);
+
+    std::string checkpointTag() const override { return "telemeter"; }
+
+    void saveState(io::BinaryWriter &out) const override;
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in) override;
+
+  private:
+    /** Covered on both sides (save goes through writeCore()). */
+    std::uint64_t samples = 0;
+
+    /** Saved but never restored: must be flagged. */
+    double ema = 0.0;
+
+    /** Neither saved nor restored: must be flagged. */
+    int window = 0;
+
+    /** Waived with a reason: must NOT be flagged. */
+    TelemeterConfig cfg ADRIAS_NOT_CHECKPOINTED(
+        "construction-time configuration, re-supplied on restore");
+
+    /** Synchronization, not state: auto-exempt. */
+    mutable Mutex mu;
+
+    /** Shared, not per-instance state: auto-exempt. */
+    static int instances;
+
+    void writeCore(io::BinaryWriter &out) const;
+};
+
+} // namespace adrias::fixture
+
+#endif // ADRIAS_ANALYZE_FIXTURE_BAD_CHECKPOINT_HH

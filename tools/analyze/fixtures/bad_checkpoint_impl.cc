@@ -1,0 +1,33 @@
+// Analyzer fixture: out-of-line bodies for bad_checkpoint.hh.  The
+// checkpoint-coverage pass must merge these with the header's class.
+
+#include "bad_checkpoint.hh"
+
+namespace adrias::fixture
+{
+
+int Telemeter::instances = 0;
+
+void
+Telemeter::writeCore(io::BinaryWriter &out) const
+{
+    out.writeU64(samples);
+}
+
+void
+Telemeter::saveState(io::BinaryWriter &out) const
+{
+    // Delegation: `samples` is covered through writeCore().
+    writeCore(out);
+    out.writeF64(ema);
+}
+
+Result<void>
+Telemeter::restoreState(io::BinaryReader &in)
+{
+    samples = in.readU64();
+    // `ema` is deliberately forgotten here, and `window` everywhere.
+    return {};
+}
+
+} // namespace adrias::fixture

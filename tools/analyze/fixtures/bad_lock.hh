@@ -1,0 +1,36 @@
+// Analyzer fixture: lock-discipline violation.  Never compiled —
+// parsed by tools/analyze self-tests.
+
+#ifndef ADRIAS_ANALYZE_FIXTURE_BAD_LOCK_HH
+#define ADRIAS_ANALYZE_FIXTURE_BAD_LOCK_HH
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace adrias::fixture
+{
+
+class HitCache
+{
+  public:
+    void record(bool hit);
+
+  private:
+    mutable Mutex mu;
+
+    /** Annotated: must NOT be flagged. */
+    std::size_t hits ADRIAS_GUARDED_BY(mu) = 0;
+
+    /** Unannotated mutable member of a Mutex owner: must be flagged. */
+    double rate = 0.0;
+
+    /** Intrinsically synchronized: auto-exempt. */
+    std::atomic<bool> warm{false};
+
+    /** Immutable: auto-exempt. */
+    const int capacity = 8;
+};
+
+} // namespace adrias::fixture
+
+#endif // ADRIAS_ANALYZE_FIXTURE_BAD_LOCK_HH

@@ -1,0 +1,50 @@
+// Analyzer fixture: a checkpoint-coverage-clean class.  Never
+// compiled — parsed by tools/analyze self-tests.
+
+#ifndef ADRIAS_ANALYZE_FIXTURE_GOOD_CHECKPOINT_HH
+#define ADRIAS_ANALYZE_FIXTURE_GOOD_CHECKPOINT_HH
+
+#include "common/io/checkpoint_annotations.hh"
+#include "common/io/checkpointable.hh"
+
+namespace adrias::fixture
+{
+
+class Odometer final : public io::Checkpointable
+{
+  public:
+    std::string checkpointTag() const override { return "odometer"; }
+
+    void
+    saveState(io::BinaryWriter &out) const override
+    {
+        writeCore(out);
+    }
+
+    [[nodiscard]] Result<void>
+    restoreState(io::BinaryReader &in) override
+    {
+        ticks = in.readU64();
+        distance = in.readF64();
+        return {};
+    }
+
+  private:
+    std::uint64_t ticks = 0;
+    double distance = 0.0;
+
+    /** Waived with a reason. */
+    int reportEvery ADRIAS_NOT_CHECKPOINTED(
+        "construction-time cadence, re-supplied on restore") = 10;
+
+    void
+    writeCore(io::BinaryWriter &out) const
+    {
+        out.writeU64(ticks);
+        out.writeF64(distance);
+    }
+};
+
+} // namespace adrias::fixture
+
+#endif // ADRIAS_ANALYZE_FIXTURE_GOOD_CHECKPOINT_HH

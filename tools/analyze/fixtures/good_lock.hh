@@ -1,0 +1,35 @@
+// Analyzer fixture: a lock-discipline-clean class.  Never compiled —
+// parsed by tools/analyze self-tests.
+
+#ifndef ADRIAS_ANALYZE_FIXTURE_GOOD_LOCK_HH
+#define ADRIAS_ANALYZE_FIXTURE_GOOD_LOCK_HH
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace adrias::fixture
+{
+
+class HitCache
+{
+  public:
+    void record(bool hit);
+
+  private:
+    mutable Mutex mu;
+
+    std::size_t hits ADRIAS_GUARDED_BY(mu) = 0;
+    double rate ADRIAS_GUARDED_BY(mu) = 0.0;
+
+    /** Waived with a reason: must NOT be flagged. */
+    std::size_t capacityHint ADRIAS_LOCK_FREE(
+        "set once before any worker thread is spawned") = 0;
+
+    std::atomic<bool> warm{false};
+    std::condition_variable_any refreshed;
+    const int capacity = 8;
+};
+
+} // namespace adrias::fixture
+
+#endif // ADRIAS_ANALYZE_FIXTURE_GOOD_LOCK_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * checkpoint-coverage pass: every non-static data member of a class
+ * implementing the Checkpointable saveState/restoreState pair must be
+ * referenced in *both* bodies, or carry ADRIAS_NOT_CHECKPOINTED.
+ *
+ * Mechanics: the save side is the transitive closure of `saveState`
+ * over same-class calls (a saveState that delegates to exportState()
+ * still covers the members exportState touches); the restore side
+ * closes over `restoreState` and `restoreFromState` (the static
+ * factory-style spelling).  Classes where either side has no body in
+ * the indexed tree — pure interfaces, forward declarations — are
+ * skipped.  Mutex members are synchronization, not state, and are
+ * exempt, as are static members (shared, not per-instance state).
+ */
+
+#include "analyze/passes.hh"
+
+#include "lint/source.hh"
+
+namespace adrias::analyze
+{
+
+void
+runCheckpointCoverage(const Index &index, std::vector<Finding> &findings)
+{
+    for (const Class &cls : index.classes) {
+        const std::string save =
+            index.transitiveBodies(cls, {"saveState"});
+        const std::string restore = index.transitiveBodies(
+            cls, {"restoreState", "restoreFromState"});
+        if (lint::trimmed(save).empty() ||
+            lint::trimmed(restore).empty())
+            continue; // not a (concrete) checkpointable class
+
+        const std::set<std::string> saveIds = identifierSet(save);
+        const std::set<std::string> restoreIds = identifierSet(restore);
+        for (const Member &member : cls.members) {
+            if (member.isStatic || member.notCheckpointed)
+                continue;
+            const std::set<std::string> typeIds =
+                identifierSet(member.type);
+            if (typeIds.count("Mutex") || typeIds.count("mutex"))
+                continue; // synchronization primitive, not state
+            const bool inSave = saveIds.count(member.name) > 0;
+            const bool inRestore = restoreIds.count(member.name) > 0;
+            if (inSave && inRestore)
+                continue;
+            const std::string missing =
+                (!inSave && !inRestore) ? "saveState or restoreState"
+                : !inSave               ? "saveState"
+                                        : "restoreState";
+            findings.push_back(
+                {member.file, member.line, "checkpoint-coverage",
+                 "member '" + member.name + "' of checkpointable class '" +
+                     cls.name + "' is not referenced in " + missing +
+                     "; serialize it in both, or mark it "
+                     "ADRIAS_NOT_CHECKPOINTED(reason)"});
+        }
+    }
+}
+
+} // namespace adrias::analyze

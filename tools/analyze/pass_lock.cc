@@ -1,0 +1,81 @@
+/**
+ * @file
+ * lock-discipline pass: in a class that owns an adrias::Mutex (a
+ * Mutex-typed data member, by value), every mutable data member must
+ * either carry ADRIAS_GUARDED_BY / ADRIAS_PT_GUARDED_BY or the
+ * reasoned ADRIAS_LOCK_FREE waiver.  An unannotated member of a
+ * lock-carrying class is either a data race or an undocumented
+ * invariant — both are findings.
+ *
+ * Auto-exempt (intrinsically safe without the lock):
+ *  - the mutex members themselves,
+ *  - static and const/constexpr members (immutable after init),
+ *  - std::atomic<...> members,
+ *  - condition variables (synchronized by construction; they pair
+ *    with the mutex rather than being guarded by it).
+ */
+
+#include "analyze/passes.hh"
+
+#include <algorithm>
+
+namespace adrias::analyze
+{
+
+namespace
+{
+
+bool
+isMutexMember(const Member &member)
+{
+    const std::set<std::string> ids = identifierSet(member.type);
+    if (!ids.count("Mutex") && !ids.count("mutex") &&
+        !ids.count("shared_mutex"))
+        return false;
+    // References/pointers to someone else's mutex don't make this
+    // class the owner.
+    return member.type.find('*') == std::string::npos &&
+           !member.isReference;
+}
+
+bool
+isIntrinsicallySynchronized(const Member &member)
+{
+    const std::set<std::string> ids = identifierSet(member.type);
+    return ids.count("atomic") || ids.count("atomic_bool") ||
+           ids.count("atomic_flag") || ids.count("condition_variable") ||
+           ids.count("condition_variable_any");
+}
+
+} // namespace
+
+void
+runLockDiscipline(const Index &index, std::vector<Finding> &findings)
+{
+    for (const Class &cls : index.classes) {
+        const bool ownsMutex =
+            std::any_of(cls.members.begin(), cls.members.end(),
+                        [](const Member &m) { return isMutexMember(m); });
+        if (!ownsMutex)
+            continue;
+
+        for (const Member &member : cls.members) {
+            if (isMutexMember(member))
+                continue;
+            if (member.isStatic || member.isConst)
+                continue;
+            if (member.guarded || member.lockFree)
+                continue;
+            if (isIntrinsicallySynchronized(member))
+                continue;
+            findings.push_back(
+                {member.file, member.line, "lock-discipline",
+                 "member '" + member.name + "' of Mutex-owning class '" +
+                     cls.name +
+                     "' is neither ADRIAS_GUARDED_BY-annotated nor "
+                     "waived with ADRIAS_LOCK_FREE(reason)"});
+        }
+    }
+}
+
+} // namespace adrias::analyze

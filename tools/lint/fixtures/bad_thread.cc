@@ -1,0 +1,19 @@
+// Lint fixture: raw-thread violations.  Parsed, never compiled.
+
+#include <thread>
+#include <future>
+
+void
+spawn()
+{
+    std::thread worker([] {});
+    auto result = std::async([] { return 1; });
+    worker.join();
+}
+
+void
+sanctioned()
+{
+    // NOLINTNEXTLINE(raw-thread)
+    std::thread other([] {});
+}

@@ -7,6 +7,8 @@
 #include <set>
 #include <sstream>
 
+#include "lint/source.hh"
+
 namespace adrias::lint
 {
 
@@ -14,202 +16,8 @@ namespace
 {
 
 // --------------------------------------------------------------------------
-// Source preprocessing
-// --------------------------------------------------------------------------
-
-/** Split into lines, keeping no terminators. */
-std::vector<std::string>
-splitLines(const std::string &content)
-{
-    std::vector<std::string> lines;
-    std::string current;
-    for (char c : content) {
-        if (c == '\n') {
-            lines.push_back(current);
-            current.clear();
-        } else if (c != '\r') {
-            current.push_back(c);
-        }
-    }
-    lines.push_back(current);
-    return lines;
-}
-
-/**
- * Blank out comments and string/char literals, preserving line and
- * column structure so findings report accurate positions.  Raw string
- * literals are not understood.
- */
-std::vector<std::string>
-stripCommentsAndStrings(const std::vector<std::string> &lines)
-{
-    enum class State
-    {
-        Code,
-        BlockComment,
-        String,
-        Char,
-    };
-
-    std::vector<std::string> out;
-    out.reserve(lines.size());
-    State state = State::Code;
-
-    for (const std::string &line : lines) {
-        std::string stripped(line.size(), ' ');
-        for (std::size_t i = 0; i < line.size(); ++i) {
-            const char c = line[i];
-            const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-            switch (state) {
-              case State::Code:
-                if (c == '/' && next == '/') {
-                    i = line.size(); // rest of line is comment
-                } else if (c == '/' && next == '*') {
-                    state = State::BlockComment;
-                    ++i;
-                } else if (c == '"') {
-                    state = State::String;
-                } else if (c == '\'') {
-                    state = State::Char;
-                } else {
-                    stripped[i] = c;
-                }
-                break;
-              case State::BlockComment:
-                if (c == '*' && next == '/') {
-                    state = State::Code;
-                    ++i;
-                }
-                break;
-              case State::String:
-                if (c == '\\')
-                    ++i; // skip escaped char
-                else if (c == '"')
-                    state = State::Code;
-                break;
-              case State::Char:
-                if (c == '\\')
-                    ++i;
-                else if (c == '\'')
-                    state = State::Code;
-                break;
-            }
-        }
-        // Unterminated string/char at EOL: treat as closed (the
-        // compiler would reject it anyway).
-        if (state == State::String || state == State::Char)
-            state = State::Code;
-        out.push_back(std::move(stripped));
-    }
-    return out;
-}
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** All identifiers in a stripped line, with their start columns. */
-std::vector<std::pair<std::string, std::size_t>>
-identifiersIn(const std::string &line)
-{
-    std::vector<std::pair<std::string, std::size_t>> ids;
-    std::size_t i = 0;
-    while (i < line.size()) {
-        if (isIdentChar(line[i]) &&
-            !std::isdigit(static_cast<unsigned char>(line[i]))) {
-            const std::size_t start = i;
-            while (i < line.size() && isIdentChar(line[i]))
-                ++i;
-            ids.emplace_back(line.substr(start, i - start), start);
-        } else {
-            ++i;
-        }
-    }
-    return ids;
-}
-
-/** First non-whitespace character at/after `pos`, or '\0'. */
-char
-nextNonSpace(const std::string &line, std::size_t pos)
-{
-    while (pos < line.size()) {
-        if (!std::isspace(static_cast<unsigned char>(line[pos])))
-            return line[pos];
-        ++pos;
-    }
-    return '\0';
-}
-
-std::string
-trimmed(const std::string &line)
-{
-    std::size_t begin = 0;
-    std::size_t end = line.size();
-    while (begin < end &&
-           std::isspace(static_cast<unsigned char>(line[begin])))
-        ++begin;
-    while (end > begin &&
-           std::isspace(static_cast<unsigned char>(line[end - 1])))
-        --end;
-    return line.substr(begin, end - begin);
-}
-
-// --------------------------------------------------------------------------
-// NOLINT escapes
-// --------------------------------------------------------------------------
-
-/** Does this raw line carry NOLINT/NOLINTNEXTLINE for `rule`? */
-bool
-lineHasEscape(const std::string &raw, const std::string &marker,
-              const std::string &rule)
-{
-    const std::size_t at = raw.find(marker);
-    if (at == std::string::npos)
-        return false;
-    const std::size_t after = at + marker.size();
-    // Bare "NOLINT" must not also match "NOLINTNEXTLINE".
-    if (after < raw.size() && isIdentChar(raw[after]))
-        return false;
-    if (after >= raw.size() || raw[after] != '(')
-        return true; // blanket escape
-    const std::size_t close = raw.find(')', after);
-    const std::string list =
-        raw.substr(after + 1, close == std::string::npos
-                                  ? std::string::npos
-                                  : close - after - 1);
-    return list.find(rule) != std::string::npos;
-}
-
-/** NOLINT on line `index`, or NOLINTNEXTLINE on the line above. */
-bool
-suppressed(const std::vector<std::string> &raw_lines, std::size_t index,
-           const std::string &rule)
-{
-    if (lineHasEscape(raw_lines[index], "NOLINT", rule))
-        return true;
-    return index > 0 &&
-           lineHasEscape(raw_lines[index - 1], "NOLINTNEXTLINE", rule);
-}
-
-// --------------------------------------------------------------------------
 // Scopes
 // --------------------------------------------------------------------------
-
-bool
-startsWith(const std::string &text, const std::string &prefix)
-{
-    return text.rfind(prefix, 0) == 0;
-}
-
-bool
-endsWith(const std::string &text, const std::string &suffix)
-{
-    return text.size() >= suffix.size() &&
-           text.compare(text.size() - suffix.size(), suffix.size(),
-                        suffix) == 0;
-}
 
 bool
 inRandScope(const std::string &label)
@@ -237,7 +45,8 @@ inUnorderedScope(const std::string &label)
 bool
 inNodiscardScope(const std::string &label)
 {
-    return startsWith(label, "src/") && endsWith(label, ".hh");
+    return startsWith(label, "src/") &&
+           (endsWith(label, ".hh") || endsWith(label, ".cc"));
 }
 
 bool
@@ -256,6 +65,15 @@ inIostreamScope(const std::string &label)
 bool
 inOfstreamScope(const std::string &label)
 {
+    return startsWith(label, "src/");
+}
+
+bool
+inRawThreadScope(const std::string &label)
+{
+    if (label == "src/common/threadpool.hh" ||
+        label == "src/common/threadpool.cc")
+        return false; // the one sanctioned parallelism layer
     return startsWith(label, "src/");
 }
 
@@ -388,14 +206,14 @@ const std::set<std::string> kClockCallIdentifiers = {"time", "clock"};
 
 void
 checkRawRand(const std::string &label,
-             const std::vector<std::string> &raw,
+             const Suppressions &nolint,
              const std::vector<std::string> &stripped,
              std::vector<Finding> &findings)
 {
     for (std::size_t i = 0; i < stripped.size(); ++i) {
         if (stripped[i].find("#include") != std::string::npos &&
             stripped[i].find("<random>") != std::string::npos &&
-            !suppressed(raw, i, "raw-rand")) {
+            !nolint.suppressed(i, "raw-rand")) {
             findings.push_back({label, i + 1, "raw-rand",
                                 "#include <random>: all randomness must "
                                 "flow through common/rng.hh"});
@@ -404,7 +222,7 @@ checkRawRand(const std::string &label,
         for (const auto &[id, col] : identifiersIn(stripped[i])) {
             (void)col;
             if (kRandIdentifiers.count(id) &&
-                !suppressed(raw, i, "raw-rand")) {
+                !nolint.suppressed(i, "raw-rand")) {
                 findings.push_back({label, i + 1, "raw-rand",
                                     "'" + id +
                                         "': use common/rng.hh (Rng) so "
@@ -417,7 +235,7 @@ checkRawRand(const std::string &label,
 
 void
 checkWallClock(const std::string &label,
-               const std::vector<std::string> &raw,
+               const Suppressions &nolint,
                const std::vector<std::string> &stripped,
                std::vector<Finding> &findings)
 {
@@ -427,7 +245,7 @@ checkWallClock(const std::string &label,
                 kClockIdentifiers.count(id) > 0 ||
                 (kClockCallIdentifiers.count(id) > 0 &&
                  nextNonSpace(stripped[i], col + id.size()) == '(');
-            if (banned && !suppressed(raw, i, "wall-clock")) {
+            if (banned && !nolint.suppressed(i, "wall-clock")) {
                 findings.push_back(
                     {label, i + 1, "wall-clock",
                      "'" + id +
@@ -441,7 +259,7 @@ checkWallClock(const std::string &label,
 
 void
 checkUnordered(const std::string &label,
-               const std::vector<std::string> &raw,
+               const Suppressions &nolint,
                const std::vector<std::string> &stripped,
                std::vector<Finding> &findings)
 {
@@ -452,7 +270,7 @@ checkUnordered(const std::string &label,
         for (const auto &[id, col] : identifiersIn(stripped[i])) {
             (void)col;
             if (kBanned.count(id) &&
-                !suppressed(raw, i, "unordered-container")) {
+                !nolint.suppressed(i, "unordered-container")) {
                 findings.push_back(
                     {label, i + 1, "unordered-container",
                      "'" + id +
@@ -465,28 +283,185 @@ checkUnordered(const std::string &label,
     }
 }
 
-void
-checkNodiscardResult(const std::string &label,
-                     const std::vector<std::string> &raw,
-                     const std::vector<std::string> &stripped,
-                     std::vector<Finding> &findings)
+/**
+ * Brace-scope tracker: which lines sit at namespace scope (every open
+ * brace is a namespace brace) and whether one of the enclosing
+ * namespaces is anonymous.  Used to find .cc-local declarations.
+ */
+struct NamespaceScopes
 {
+    std::vector<bool> atNamespaceScope; ///< per line
+    std::vector<bool> inAnonNamespace;  ///< per line
+};
+
+NamespaceScopes
+scanNamespaceScopes(const std::vector<std::string> &stripped)
+{
+    NamespaceScopes scopes;
+    scopes.atNamespaceScope.resize(stripped.size(), false);
+    scopes.inAnonNamespace.resize(stripped.size(), false);
+
+    // Each open brace is tagged: is it a namespace brace, and if so is
+    // the namespace anonymous?
+    struct Brace
+    {
+        bool isNamespace = false;
+        bool isAnonymous = false;
+    };
+    std::vector<Brace> stack;
+    std::string prevCode; // trimmed previous non-blank code text
+
     for (std::size_t i = 0; i < stripped.size(); ++i) {
-        std::string decl = trimmed(stripped[i]);
+        const bool allNs = std::all_of(
+            stack.begin(), stack.end(),
+            [](const Brace &b) { return b.isNamespace; });
+        const bool anyAnon = std::any_of(
+            stack.begin(), stack.end(),
+            [](const Brace &b) { return b.isAnonymous; });
+        scopes.atNamespaceScope[i] = allNs;
+        scopes.inAnonNamespace[i] = anyAnon;
+
+        std::string pending; // code on this line before the next brace
+        for (char c : stripped[i]) {
+            if (c == '{') {
+                std::string context = trimmed(pending);
+                if (context.empty())
+                    context = prevCode;
+                const bool isNs =
+                    context == "namespace" ||
+                    startsWith(context, "namespace ");
+                stack.push_back({isNs, context == "namespace"});
+                pending.clear();
+            } else if (c == '}') {
+                if (!stack.empty())
+                    stack.pop_back();
+                pending.clear();
+            } else {
+                pending.push_back(c);
+            }
+        }
+        if (std::string rest = trimmed(pending); !rest.empty())
+            prevCode = rest;
+        else if (std::string whole = trimmed(stripped[i]);
+                 !whole.empty())
+            prevCode = whole;
+    }
+    return scopes;
+}
+
+/** Strip declaration-specifier prefixes; report whether one was `static`. */
+std::string
+stripDeclSpecifiers(std::string decl, bool *was_static = nullptr)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
         for (const std::string prefix :
              {"static ", "inline ", "virtual ", "constexpr ",
               "friend ", "extern "}) {
-            if (startsWith(decl, prefix))
+            if (startsWith(decl, prefix)) {
+                if (was_static != nullptr && prefix == "static ")
+                    *was_static = true;
                 decl = trimmed(decl.substr(prefix.size()));
+                changed = true;
+            }
         }
+    }
+    return decl;
+}
+
+/** Does `line` (or the line above) carry [[nodiscard]]? */
+bool
+nodiscardMarked(const std::vector<std::string> &stripped, std::size_t i)
+{
+    if (stripped[i].find("[[nodiscard]]") != std::string::npos)
+        return true;
+    return i > 0 &&
+           stripped[i - 1].find("[[nodiscard]]") != std::string::npos;
+}
+
+/**
+ * Function-declarator check for the .cc extension of nodiscard-result:
+ * `text` is what follows a Result<...> return type.  Accepts
+ * `name(...)` declarators; rejects out-of-line member definitions
+ * (`Class::name`), operators, and local variable initializations.
+ */
+bool
+looksLikeLocalDeclarator(const std::string &text)
+{
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    const std::size_t name_begin = i;
+    while (i < text.size() && isIdentChar(text[i]))
+        ++i;
+    if (i == name_begin)
+        return false; // no identifier (e.g. "::" or an operator)
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    // `name =` is a local variable; `name::` is an out-of-line member.
+    return i < text.size() && text[i] == '(';
+}
+
+/** Column one past the matching '>' of a leading "Result<", or npos. */
+std::size_t
+resultTypeEnd(const std::string &decl)
+{
+    const std::size_t open = decl.find('<');
+    if (open == std::string::npos)
+        return std::string::npos;
+    int depth = 0;
+    for (std::size_t i = open; i < decl.size(); ++i) {
+        if (decl[i] == '<')
+            ++depth;
+        else if (decl[i] == '>' && --depth == 0)
+            return i + 1;
+    }
+    return std::string::npos;
+}
+
+void
+checkNodiscardResult(const std::string &label,
+                     const Suppressions &nolint,
+                     const std::vector<std::string> &stripped,
+                     std::vector<Finding> &findings)
+{
+    const bool is_header = endsWith(label, ".hh");
+    const NamespaceScopes scopes =
+        is_header ? NamespaceScopes{} : scanNamespaceScopes(stripped);
+
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        bool is_static = false;
+        std::string decl =
+            stripDeclSpecifiers(trimmed(stripped[i]), &is_static);
         if (!startsWith(decl, "Result<") &&
             !startsWith(decl, "adrias::Result<"))
             continue;
-        const bool marked =
-            stripped[i].find("[[nodiscard]]") != std::string::npos ||
-            (i > 0 &&
-             stripped[i - 1].find("[[nodiscard]]") != std::string::npos);
-        if (!marked && !suppressed(raw, i, "nodiscard-result")) {
+
+        if (!is_header) {
+            // In a .cc only file-local declarations are checked:
+            // anonymous-namespace or `static` functions.  Functions
+            // with external linkage are declared in a header, where
+            // the header scope of this rule already applies.
+            if (i >= scopes.atNamespaceScope.size() ||
+                !scopes.atNamespaceScope[i])
+                continue;
+            if (!scopes.inAnonNamespace[i] && !is_static)
+                continue;
+            const std::size_t type_end = resultTypeEnd(decl);
+            if (type_end == std::string::npos)
+                continue;
+            std::string declarator = trimmed(decl.substr(type_end));
+            if (declarator.empty() && i + 1 < stripped.size())
+                declarator = trimmed(stripped[i + 1]);
+            if (!looksLikeLocalDeclarator(declarator))
+                continue;
+        }
+
+        if (!nodiscardMarked(stripped, i) &&
+            !nolint.suppressed(i, "nodiscard-result")) {
             findings.push_back(
                 {label, i + 1, "nodiscard-result",
                  "Result-returning declaration without [[nodiscard]]: "
@@ -497,7 +472,7 @@ checkNodiscardResult(const std::string &label,
 
 void
 checkFloatEqual(const std::string &label,
-                const std::vector<std::string> &raw,
+                const Suppressions &nolint,
                 const std::vector<std::string> &stripped,
                 std::vector<Finding> &findings)
 {
@@ -517,7 +492,7 @@ checkFloatEqual(const std::string &label,
             const std::string left = tokenLeftOf(line, p);
             const std::string right = tokenRightOf(line, p + 2);
             if ((isFloatLiteral(left) || isFloatLiteral(right)) &&
-                !suppressed(raw, i, "float-equal")) {
+                !nolint.suppressed(i, "float-equal")) {
                 findings.push_back(
                     {label, i + 1, "float-equal",
                      "floating-point " +
@@ -533,7 +508,7 @@ checkFloatEqual(const std::string &label,
 
 void
 checkIostreamInclude(const std::string &label,
-                     const std::vector<std::string> &raw,
+                     const Suppressions &nolint,
                      const std::vector<std::string> &stripped,
                      std::vector<Finding> &findings)
 {
@@ -541,7 +516,7 @@ checkIostreamInclude(const std::string &label,
         const std::string &line = stripped[i];
         if (line.find("#include") != std::string::npos &&
             line.find("<iostream>") != std::string::npos &&
-            !suppressed(raw, i, "iostream-include")) {
+            !nolint.suppressed(i, "iostream-include")) {
             findings.push_back({label, i + 1, "iostream-include",
                                 "library code logs through "
                                 "common/logging.hh; <iostream> is "
@@ -552,7 +527,7 @@ checkIostreamInclude(const std::string &label,
 
 void
 checkRawOfstream(const std::string &label,
-                 const std::vector<std::string> &raw,
+                 const Suppressions &nolint,
                  const std::vector<std::string> &stripped,
                  std::vector<Finding> &findings)
 {
@@ -560,12 +535,53 @@ checkRawOfstream(const std::string &label,
         for (const auto &[id, col] : identifiersIn(stripped[i])) {
             (void)col;
             if (id == "ofstream" &&
-                !suppressed(raw, i, "raw-ofstream")) {
+                !nolint.suppressed(i, "raw-ofstream")) {
                 findings.push_back(
                     {label, i + 1, "raw-ofstream",
                      "'ofstream': persistence must go through "
                      "common/io/durable_file.hh (atomic temp-write + "
                      "rename) so a crash never leaves a torn file"});
+                break;
+            }
+        }
+    }
+}
+
+void
+checkRawThread(const std::string &label,
+               const Suppressions &nolint,
+               const std::vector<std::string> &stripped,
+               std::vector<Finding> &findings)
+{
+    static const std::set<std::string> kBannedAfterStd = {
+        "thread", "jthread", "async"};
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const std::string &line = stripped[i];
+        if (line.find("#include") != std::string::npos &&
+            (line.find("<thread>") != std::string::npos ||
+             line.find("<future>") != std::string::npos) &&
+            !nolint.suppressed(i, "raw-thread")) {
+            findings.push_back(
+                {label, i + 1, "raw-thread",
+                 "raw threading header: all parallelism goes through "
+                 "the deterministic ThreadPool (common/threadpool.hh)"});
+            continue;
+        }
+        for (const auto &[id, col] : identifiersIn(line)) {
+            if (!kBannedAfterStd.count(id))
+                continue;
+            // Only `std::thread`-style uses: require a `::` right
+            // before the identifier so member names like `thread`
+            // don't trip the rule.
+            if (col < 2 || line[col - 1] != ':' || line[col - 2] != ':')
+                continue;
+            if (!nolint.suppressed(i, "raw-thread")) {
+                findings.push_back(
+                    {label, i + 1, "raw-thread",
+                     "'std::" + id +
+                         "': spawn work on the deterministic "
+                         "ThreadPool (common/threadpool.hh), never "
+                         "raw threads"});
                 break;
             }
         }
@@ -587,7 +603,8 @@ rules()
          "no std::unordered_{map,set} in src/testbed, src/scenario, "
          "src/core (iteration-order nondeterminism)"},
         {"nodiscard-result",
-         "Result<...>-returning declarations in src headers carry "
+         "Result<...>-returning declarations in src headers and "
+         ".cc-local (static/anonymous-namespace) functions carry "
          "[[nodiscard]]"},
         {"float-equal",
          "no ==/!= against floating-point literals in src"},
@@ -596,6 +613,10 @@ rules()
         {"raw-ofstream",
          "no raw std::ofstream persistence in src; write through the "
          "DurableFile layer (common/io)"},
+        {"raw-thread",
+         "no std::thread/std::async in src outside "
+         "common/threadpool.*; parallelism goes through the "
+         "deterministic ThreadPool"},
     };
     return kRules;
 }
@@ -606,22 +627,25 @@ lintContent(const std::string &label, const std::string &content)
     const std::vector<std::string> raw = splitLines(content);
     const std::vector<std::string> stripped =
         stripCommentsAndStrings(raw);
+    const Suppressions nolint(raw);
 
     std::vector<Finding> findings;
     if (inRandScope(label))
-        checkRawRand(label, raw, stripped, findings);
+        checkRawRand(label, nolint, stripped, findings);
     if (inWallClockScope(label))
-        checkWallClock(label, raw, stripped, findings);
+        checkWallClock(label, nolint, stripped, findings);
     if (inUnorderedScope(label))
-        checkUnordered(label, raw, stripped, findings);
+        checkUnordered(label, nolint, stripped, findings);
     if (inNodiscardScope(label))
-        checkNodiscardResult(label, raw, stripped, findings);
+        checkNodiscardResult(label, nolint, stripped, findings);
     if (inFloatEqualScope(label))
-        checkFloatEqual(label, raw, stripped, findings);
+        checkFloatEqual(label, nolint, stripped, findings);
     if (inIostreamScope(label))
-        checkIostreamInclude(label, raw, stripped, findings);
+        checkIostreamInclude(label, nolint, stripped, findings);
     if (inOfstreamScope(label))
-        checkRawOfstream(label, raw, stripped, findings);
+        checkRawOfstream(label, nolint, stripped, findings);
+    if (inRawThreadScope(label))
+        checkRawThread(label, nolint, stripped, findings);
 
     std::stable_sort(findings.begin(), findings.end(),
                      [](const Finding &a, const Finding &b) {

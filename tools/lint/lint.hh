@@ -23,6 +23,21 @@
  *   iostream-include     no #include <iostream> in src/ outside
  *                        common/logging.cc — output goes through the
  *                        Logger so bench tables stay on stdout alone.
+ *   raw-ofstream         no raw std::ofstream persistence in src/;
+ *                        writes go through common/io/durable_file.hh.
+ *   raw-thread           no std::thread/std::async (or <thread>/
+ *                        <future> includes) in src/ outside
+ *                        common/threadpool.* — all parallelism goes
+ *                        through the deterministic ThreadPool.
+ *
+ * nodiscard-result covers src/ headers and, in .cc files, file-local
+ * (static or anonymous-namespace) function declarations — local
+ * helpers returning Result<...> must not be silently droppable either.
+ *
+ * Escapes: NOLINT / NOLINT(rule-a,rule-b) on the offending line,
+ * NOLINTNEXTLINE(...) on the line above, or NOLINTBEGIN(rule) /
+ * NOLINTEND(rule) around a region (see tools/lint/source.hh; the
+ * syntax is shared with the tools/analyze passes).
  *
  * The scanner strips // and both kinds of block comments plus string
  * and character literals before matching, so prose mentioning rand()

@@ -1,0 +1,271 @@
+#include "lint/source.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace adrias::lint
+{
+
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (char c : content) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else if (c != '\r') {
+            current.push_back(c);
+        }
+    }
+    lines.push_back(current);
+    return lines;
+}
+
+std::vector<std::string>
+stripCommentsAndStrings(const std::vector<std::string> &lines)
+{
+    enum class State
+    {
+        Code,
+        BlockComment,
+        String,
+        Char,
+    };
+
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    State state = State::Code;
+
+    for (const std::string &line : lines) {
+        std::string stripped(line.size(), ' ');
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            switch (state) {
+              case State::Code:
+                if (c == '/' && next == '/') {
+                    i = line.size(); // rest of line is comment
+                } else if (c == '/' && next == '*') {
+                    state = State::BlockComment;
+                    ++i;
+                } else if (c == '"') {
+                    state = State::String;
+                } else if (c == '\'') {
+                    state = State::Char;
+                } else {
+                    stripped[i] = c;
+                }
+                break;
+              case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::Code;
+                    ++i;
+                }
+                break;
+              case State::String:
+                if (c == '\\')
+                    ++i; // skip escaped char
+                else if (c == '"')
+                    state = State::Code;
+                break;
+              case State::Char:
+                if (c == '\\')
+                    ++i;
+                else if (c == '\'')
+                    state = State::Code;
+                break;
+            }
+        }
+        // Unterminated string/char at EOL: treat as closed (the
+        // compiler would reject it anyway).
+        if (state == State::String || state == State::Char)
+            state = State::Code;
+        out.push_back(std::move(stripped));
+    }
+    return out;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+identifiersIn(const std::string &line)
+{
+    std::vector<std::pair<std::string, std::size_t>> ids;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        if (isIdentChar(line[i]) &&
+            !std::isdigit(static_cast<unsigned char>(line[i]))) {
+            const std::size_t start = i;
+            while (i < line.size() && isIdentChar(line[i]))
+                ++i;
+            ids.emplace_back(line.substr(start, i - start), start);
+        } else {
+            ++i;
+        }
+    }
+    return ids;
+}
+
+char
+nextNonSpace(const std::string &line, std::size_t pos)
+{
+    while (pos < line.size()) {
+        if (!std::isspace(static_cast<unsigned char>(line[pos])))
+            return line[pos];
+        ++pos;
+    }
+    return '\0';
+}
+
+std::string
+trimmed(const std::string &line)
+{
+    std::size_t begin = 0;
+    std::size_t end = line.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(line[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(line[end - 1])))
+        --end;
+    return line.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+namespace
+{
+
+/**
+ * Parse the "(a, b)" rule list right after a marker, if present.
+ *
+ * @return true when the marker stands alone or carries a list; fills
+ *         `rules` (empty on a blanket escape).
+ */
+bool
+parseRuleList(const std::string &raw, std::size_t after,
+              std::vector<std::string> &rules)
+{
+    rules.clear();
+    if (after < raw.size() && isIdentChar(raw[after]))
+        return false; // part of a longer identifier, not a marker
+    if (after >= raw.size() || raw[after] != '(')
+        return true; // blanket escape
+    const std::size_t close = raw.find(')', after);
+    const std::string list =
+        raw.substr(after + 1, close == std::string::npos
+                                  ? std::string::npos
+                                  : close - after - 1);
+    std::string current;
+    for (char c : list) {
+        if (c == ',') {
+            if (std::string name = trimmed(current); !name.empty())
+                rules.push_back(std::move(name));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (std::string name = trimmed(current); !name.empty())
+        rules.push_back(std::move(name));
+    return true;
+}
+
+/** Blanket escapes match every rule; lists match exactly. */
+bool
+matchesRule(const std::vector<std::string> &rules, const std::string &rule)
+{
+    return rules.empty() ||
+           std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+} // namespace
+
+Suppressions::Suppressions(const std::vector<std::string> &raw_lines)
+{
+    std::vector<Region> open; // NOLINTBEGIN stack
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string &raw = raw_lines[i];
+        std::size_t at = raw.find("NOLINT");
+        while (at != std::string::npos) {
+            // A marker must not be the tail of a longer identifier.
+            if (at > 0 && isIdentChar(raw[at - 1])) {
+                at = raw.find("NOLINT", at + 1);
+                continue;
+            }
+            const std::size_t after = at + 6; // past "NOLINT"
+            std::vector<std::string> rules;
+            if (raw.compare(at, 14, "NOLINTNEXTLINE") == 0) {
+                if (parseRuleList(raw, at + 14, rules))
+                    markers.push_back({i, true, std::move(rules)});
+                at = raw.find("NOLINT", at + 14);
+            } else if (raw.compare(at, 11, "NOLINTBEGIN") == 0) {
+                if (parseRuleList(raw, at + 11, rules))
+                    open.push_back({i, raw_lines.size() - 1,
+                                    std::move(rules)});
+                at = raw.find("NOLINT", at + 11);
+            } else if (raw.compare(at, 9, "NOLINTEND") == 0) {
+                if (parseRuleList(raw, at + 9, rules) && !open.empty()) {
+                    // Close the innermost open region; an END with a
+                    // list only closes a BEGIN with the same list.
+                    for (std::size_t r = open.size(); r-- > 0;) {
+                        if (open[r].rules == rules) {
+                            open[r].end = i;
+                            regions.push_back(std::move(open[r]));
+                            open.erase(open.begin() +
+                                       static_cast<std::ptrdiff_t>(r));
+                            break;
+                        }
+                    }
+                }
+                at = raw.find("NOLINT", at + 9);
+            } else {
+                if (parseRuleList(raw, after, rules))
+                    markers.push_back({i, false, std::move(rules)});
+                at = raw.find("NOLINT", after);
+            }
+        }
+    }
+    // Unmatched NOLINTBEGINs extend to end of file.
+    for (Region &region : open)
+        regions.push_back(std::move(region));
+}
+
+bool
+Suppressions::suppressed(std::size_t line_index,
+                         const std::string &rule) const
+{
+    for (const Marker &marker : markers) {
+        if (!matchesRule(marker.rules, rule))
+            continue;
+        if (marker.nextLineOnly ? marker.line + 1 == line_index
+                                : marker.line == line_index)
+            return true;
+    }
+    for (const Region &region : regions) {
+        if (line_index >= region.begin && line_index <= region.end &&
+            matchesRule(region.rules, rule))
+            return true;
+    }
+    return false;
+}
+
+} // namespace adrias::lint

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared source-text scanning layer for the project's static tooling.
+ *
+ * Both the token-level lint (tools/lint) and the cross-file semantic
+ * analyzer (tools/analyze) work on the same preprocessed view of a
+ * translation unit: lines with comments and string/char literals
+ * blanked out (column-preserving), an identifier scanner, and the
+ * NOLINT suppression machinery.  Keeping them here means one
+ * definition of "what counts as code" and one escape syntax across
+ * every tool.
+ *
+ * Suppression syntax (shared by lint rules and analyzer passes):
+ *
+ *   code;                  // NOLINT            blanket, this line
+ *   code;                  // NOLINT(rule)      one rule, this line
+ *   code;                  // NOLINT(a,b)       several rules
+ *   // NOLINTNEXTLINE(rule)                     the following line
+ *   // NOLINTBEGIN(rule)                        region start
+ *   ...                                         every line in between
+ *   // NOLINTEND(rule)                          region end (inclusive)
+ *
+ * Rule names inside the parens are comma-separated and matched
+ * exactly after trimming whitespace — "NOLINT(rand)" does NOT
+ * suppress "raw-rand".  A bare NOLINTBEGIN (no parens) opens a
+ * blanket region; an unmatched NOLINTBEGIN extends to end of file.
+ */
+
+#ifndef ADRIAS_TOOLS_LINT_SOURCE_HH
+#define ADRIAS_TOOLS_LINT_SOURCE_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adrias::lint
+{
+
+/** Split into lines, dropping '\n' and '\r' terminators. */
+std::vector<std::string> splitLines(const std::string &content);
+
+/**
+ * Blank out comments and string/char literals, preserving line and
+ * column structure so findings report accurate positions.  Raw string
+ * literals are not understood (none exist in this tree).
+ */
+std::vector<std::string>
+stripCommentsAndStrings(const std::vector<std::string> &lines);
+
+/** [A-Za-z0-9_] — the C++ identifier alphabet. */
+bool isIdentChar(char c);
+
+/** All identifiers in a stripped line, with their start columns. */
+std::vector<std::pair<std::string, std::size_t>>
+identifiersIn(const std::string &line);
+
+/** First non-whitespace character at/after `pos`, or '\0'. */
+char nextNonSpace(const std::string &line, std::size_t pos);
+
+/** Copy of `line` with leading/trailing whitespace removed. */
+std::string trimmed(const std::string &line);
+
+bool startsWith(const std::string &text, const std::string &prefix);
+bool endsWith(const std::string &text, const std::string &suffix);
+
+/**
+ * Parsed NOLINT escapes of one file.
+ *
+ * Construct from the *raw* lines (comments intact — the markers live
+ * in comments), then ask whether a given (line, rule) finding is
+ * suppressed.
+ */
+class Suppressions
+{
+  public:
+    explicit Suppressions(const std::vector<std::string> &raw_lines);
+
+    /**
+     * @param line_index 0-based index of the offending line.
+     * @param rule rule/pass id the finding belongs to.
+     * @return true when a NOLINT on the line, a NOLINTNEXTLINE on the
+     *         line above, or an enclosing NOLINTBEGIN/END region names
+     *         `rule` (or is a blanket escape).
+     */
+    bool suppressed(std::size_t line_index, const std::string &rule) const;
+
+  private:
+    /** One same-line or next-line marker. */
+    struct Marker
+    {
+        std::size_t line = 0;        ///< 0-based line the marker is on
+        bool nextLineOnly = false;   ///< NOLINTNEXTLINE vs NOLINT
+        std::vector<std::string> rules; ///< empty: blanket
+    };
+
+    /** One NOLINTBEGIN..NOLINTEND region (lines inclusive). */
+    struct Region
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0; ///< inclusive; EOF when unmatched
+        std::vector<std::string> rules; ///< empty: blanket
+    };
+
+    std::vector<Marker> markers;
+    std::vector<Region> regions;
+};
+
+} // namespace adrias::lint
+
+#endif // ADRIAS_TOOLS_LINT_SOURCE_HH
