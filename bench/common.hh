@@ -19,12 +19,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/csv.hh"
 #include "common/table.hh"
 #include "core/adrias.hh"
 #include "obs/obs.hh"
+#include "testbed/link_profiles.hh"
 
 namespace adrias::bench
 {
@@ -62,6 +64,21 @@ banner(const std::string &experiment, const std::string &paper_claim)
               << "Experiment: " << experiment << "\n"
               << "Paper:      " << paper_claim << "\n"
               << "==================================================\n";
+}
+
+/**
+ * R1/R2 banner fragment for a link tier, derived from the shared
+ * profile table (link_profiles.hh) so benches never restate the
+ * latency/bandwidth constants that calibrate the testbed.
+ */
+inline std::string
+linkClaim(const testbed::LinkProfile &profile)
+{
+    std::ostringstream out;
+    out << "throughput caps at ~" << profile.bandwidthGBps * 8.0
+        << " Gbps; latency " << profile.latencyBaseCycles << " -> ~"
+        << profile.latencySatCycles << " cycles";
+    return out.str();
 }
 
 /** Build options scaled by the environment knobs. */

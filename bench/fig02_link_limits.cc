@@ -18,8 +18,8 @@ main()
 {
     using namespace adrias;
     bench::banner("Fig. 2 — ThymesisFlow link limits",
-                  "throughput caps at ~2.5 Gbps; latency 350 -> ~900 "
-                  "cycles at >= 8 memBw trashers");
+                  bench::linkClaim(testbed::kThymesisFlowProfile) +
+                      " at >= 8 memBw trashers");
 
     testbed::Testbed bed;
     bed.setNoise(0.0);

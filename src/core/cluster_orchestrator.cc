@@ -148,6 +148,42 @@ AdriasClusterOrchestrator::place(
     panic("AdriasClusterOrchestrator asked to place a trasher");
 }
 
+scenario::ClusterPlacement
+AdriasClusterOrchestrator::placeRack(
+    const workloads::WorkloadSpec &spec,
+    const std::vector<scenario::NodeView> &nodes,
+    const scenario::RackView &rack, SimTime now)
+{
+    const scenario::ClusterPlacement chosen = place(spec, nodes, now);
+    if (chosen.mode != MemoryMode::Remote)
+        return chosen;
+    scenario::ClusterPlacement routed = routeOnRack(chosen, spec, rack);
+    if (routed.mode == MemoryMode::Remote)
+        return routed;
+
+    // The predicted-best node cannot reach disaggregated memory any
+    // more.  Keeping the mode matters more than keeping the node for a
+    // remote-preferring decision, so retry the surviving nodes from
+    // least loaded upward before degrading to the local pool.
+    std::vector<std::size_t> order;
+    order.reserve(nodes.size());
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+        if (n != chosen.node)
+            order.push_back(n);
+    std::stable_sort(order.begin(), order.end(),
+                     [&nodes](std::size_t a, std::size_t b) {
+                         return nodes[a].running < nodes[b].running;
+                     });
+    for (std::size_t n : order) {
+        scenario::ClusterPlacement alt = chosen;
+        alt.node = n;
+        alt = routeOnRack(alt, spec, rack);
+        if (alt.mode == MemoryMode::Remote)
+            return alt;
+    }
+    return routed;
+}
+
 void
 AdriasClusterOrchestrator::onCompletion(
     std::size_t node, const scenario::DeploymentRecord &record)

@@ -36,6 +36,17 @@ class AdriasClusterOrchestrator : public scenario::ClusterPolicy
           const std::vector<scenario::NodeView> &nodes,
           SimTime now) override;
 
+    /**
+     * Rack-aware placement: the predicted-best (node, mode) is routed
+     * onto the rack; when the chosen node has no surviving remote
+     * route (dead links, drained servers), other nodes are tried in
+     * load order before the decision degrades to local memory.
+     */
+    scenario::ClusterPlacement
+    placeRack(const workloads::WorkloadSpec &spec,
+              const std::vector<scenario::NodeView> &nodes,
+              const scenario::RackView &rack, SimTime now) override;
+
     void onCompletion(std::size_t node,
                       const scenario::DeploymentRecord &record) override;
 

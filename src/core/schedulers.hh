@@ -9,6 +9,7 @@
 #define ADRIAS_CORE_SCHEDULERS_HH
 
 #include "common/rng.hh"
+#include "scenario/cluster.hh"
 #include "scenario/placement.hh"
 
 namespace adrias::core
@@ -57,6 +58,33 @@ class AllRemoteScheduler : public scenario::PlacementPolicy
           SimTime) override
     {
         return MemoryMode::Remote;
+    }
+};
+
+/**
+ * Rack baseline: every app prefers disaggregated memory on the
+ * least-loaded node; the default placeRack() routing demotes it to
+ * local only when no healthy link reaches a server with room.
+ */
+class LeastLoadedRemotePolicy : public scenario::ClusterPolicy
+{
+  public:
+    std::string name() const override { return "least-loaded-remote"; }
+
+    scenario::ClusterPlacement
+    place(const workloads::WorkloadSpec &,
+          const std::vector<scenario::NodeView> &nodes, SimTime) override
+    {
+        scenario::ClusterPlacement placement;
+        placement.mode = MemoryMode::Remote;
+        std::size_t best = SIZE_MAX;
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (nodes[n].running < best) {
+                best = nodes[n].running;
+                placement.node = n;
+            }
+        }
+        return placement;
     }
 };
 

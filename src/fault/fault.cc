@@ -55,6 +55,22 @@ hashUniform(std::uint64_t seed, FaultKind kind, SimTime now,
     return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+/**
+ * FNV-1a over a link name: a platform-independent salt so per-link
+ * firing coins stay a pure function of (seed, kind, tick, link name)
+ * across runs and machines (std::hash gives no such guarantee).
+ */
+std::uint64_t
+linkSalt(const std::string &link)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : link) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 } // namespace
 
 FaultInjector::FaultInjector(FaultSchedule schedule)
@@ -114,6 +130,9 @@ FaultInjector::magnitudeAt(FaultKind kind, SimTime now) const
 LinkState
 FaultInjector::linkStateAt(SimTime now)
 {
+    // Single-channel view: the paper pair's one channel stands in for
+    // every link, so window link names are ignored here and the
+    // historical firing/magnitude selection is preserved verbatim.
     LinkState state;
     if (firesAt(FaultKind::LinkDegrade, now))
         state.bwScale = magnitudeAt(FaultKind::LinkDegrade, now);
@@ -122,6 +141,32 @@ FaultInjector::linkStateAt(SimTime now)
         // sits at its back-pressure plateau (~900/350 cycles).
         state.bwScale = std::min(state.bwScale, 0.02);
         state.latencyScale = 2.6;
+    }
+    if (state.faulted())
+        ++counters.linkFaultTicks;
+    return state;
+}
+
+LinkState
+FaultInjector::linkStateAt(SimTime now, const std::string &link)
+{
+    LinkState state;
+    const std::uint64_t salt = linkSalt(link);
+    for (const FaultWindow &window : plan.windows) {
+        if (!window.link.empty() && window.link != link)
+            continue;
+        if (now < window.startSec || now >= window.endSec)
+            continue;
+        if (window.kind == FaultKind::LinkDegrade &&
+            roll(FaultKind::LinkDegrade, now, salt) <
+                window.probability) {
+            state.bwScale = std::min(state.bwScale, window.magnitude);
+        } else if (window.kind == FaultKind::LinkFlap &&
+                   roll(FaultKind::LinkFlap, now, salt) <
+                       window.probability) {
+            state.bwScale = std::min(state.bwScale, 0.02);
+            state.latencyScale = std::max(state.latencyScale, 2.6);
+        }
     }
     if (state.faulted())
         ++counters.linkFaultTicks;

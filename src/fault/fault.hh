@@ -81,6 +81,15 @@ struct FaultWindow
 
     /** Per-tick (or per-call) firing probability within the window. */
     double probability = 1.0;
+
+    /**
+     * Link the window targets, by topology link name (LinkDegrade /
+     * LinkFlap only).  Empty targets every link.  The single-channel
+     * linkStateAt(now) overload ignores names entirely (its one
+     * channel stands in for every link), so legacy schedules keep
+     * their exact historical behaviour.
+     */
+    std::string link;
 };
 
 /** A seeded set of fault windows, wired in via ScenarioConfig. */
@@ -178,8 +187,22 @@ class FaultInjector
      *  FaultWindow default when none is armed). */
     double magnitudeAt(FaultKind kind, SimTime now) const;
 
-    /** Channel state to apply this tick (degrade + flap combined). */
+    /**
+     * Channel state to apply this tick (degrade + flap combined).
+     * Single-channel view: the paper pair's one channel stands in for
+     * every link, so window link names are ignored and legacy
+     * schedules keep their exact historical behaviour.
+     */
     LinkState linkStateAt(SimTime now);
+
+    /**
+     * Per-link state for rack topologies: windows targeting `link` by
+     * name apply alongside untargeted (empty-name) windows.  Firing
+     * coins are salted by the link name, so two links covered by one
+     * window flap independently while staying a pure function of
+     * (seed, kind, tick, link).
+     */
+    LinkState linkStateAt(SimTime now, const std::string &link);
 
     /**
      * Apply counter-pipeline faults to this tick's sample, in priority

@@ -6,27 +6,46 @@
  * each arriving application, accounting for cluster-level efficiency
  * on iso-QoS predictions.
  *
- * Each node is an independent ThymesisFlow borrower/lender pair (the
- * prototype's unit); there is no cross-node memory lending.
+ * Two cluster models coexist:
+ *  - the legacy model (node-count constructor): each node is an
+ *    independent ThymesisFlow borrower/lender pair with no cross-node
+ *    lending — exactly the historical behaviour, preserved bit for bit;
+ *  - the rack model (Topology constructor): one RackTestbed shared by
+ *    all nodes, where a remote placement is a (node, server, link)
+ *    triple, servers account allocated capacity, and per-link fault
+ *    injection targets links by name.
  */
 
 #ifndef ADRIAS_SCENARIO_CLUSTER_HH
 #define ADRIAS_SCENARIO_CLUSTER_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "scenario/placement.hh"
 #include "scenario/runner.hh"
+#include "testbed/rack.hh"
+#include "testbed/topology.hh"
 
 namespace adrias::scenario
 {
 
-/** A (node, mode) decision. */
+/**
+ * A placement decision.  The legacy model uses (node, mode) only; on a
+ * rack a Remote decision additionally names the memory server lending
+ * the range and the link carrying the traffic.
+ */
 struct ClusterPlacement
 {
     std::size_t node = 0;
     MemoryMode mode = MemoryMode::Local;
+
+    /** Lending memory server (rack model, mode == Remote). */
+    std::size_t server = 0;
+
+    /** Link carrying the remote traffic (rack model, mode == Remote). */
+    std::size_t link = 0;
 };
 
 /** What a cluster policy may inspect about one node. */
@@ -38,6 +57,56 @@ struct NodeView
     /** Number of deployments currently running on the node. */
     std::size_t running = 0;
 };
+
+/** What a cluster policy may inspect about one memory server. */
+struct ServerView
+{
+    /** Allocatable capacity, GB. */
+    double capacityGb = 0.0;
+
+    /** Capacity still unallocated, GB. */
+    double availableGb = 0.0;
+};
+
+/** What a cluster policy may inspect about one link. */
+struct LinkView
+{
+    /** Endpoints (indices into the topology). */
+    std::size_t node = 0;
+    std::size_t server = 0;
+
+    /** Fault derating currently applied (1 / 1 = healthy). */
+    double bwScale = 1.0;
+    double latencyScale = 1.0;
+
+    /** @return true when the link can carry meaningful traffic. */
+    bool healthy() const { return bwScale > 0.05; }
+};
+
+/** Live rack state offered to placeRack decisions. */
+struct RackView
+{
+    /** The rack description (never null inside placeRack). */
+    const testbed::Topology *topology = nullptr;
+
+    /** Per-server state, indexed like topology servers. */
+    std::vector<ServerView> servers;
+
+    /** Per-link state, indexed like topology links. */
+    std::vector<LinkView> links;
+};
+
+/**
+ * Route a (node, mode) decision onto a rack: among the healthy links
+ * leaving `placement.node`, pick the server with the most available
+ * capacity that can still fit the app's footprint (ties broken by
+ * lowest link index).  A Remote decision with no viable route falls
+ * back to Local — the surviving-servers degradation path when links
+ * die or servers drain.
+ */
+ClusterPlacement routeOnRack(ClusterPlacement placement,
+                             const workloads::WorkloadSpec &spec,
+                             const RackView &rack);
 
 /** Chooses node and memory mode for arriving applications. */
 class ClusterPolicy
@@ -58,6 +127,19 @@ class ClusterPolicy
     virtual ClusterPlacement place(const workloads::WorkloadSpec &spec,
                                    const std::vector<NodeView> &nodes,
                                    SimTime now) = 0;
+
+    /**
+     * Rack-aware placement.  The default derives (node, mode) from
+     * place() and routes Remote decisions with routeOnRack(); policies
+     * that reason about servers/links directly override this.
+     */
+    virtual ClusterPlacement
+    placeRack(const workloads::WorkloadSpec &spec,
+              const std::vector<NodeView> &nodes, const RackView &rack,
+              SimTime now)
+    {
+        return routeOnRack(place(spec, nodes, now), spec, rack);
+    }
 
     /** Completion callback with the owning node. */
     virtual void
@@ -124,6 +206,18 @@ struct ClusterResult
     /** Total channel traffic across all nodes, GB. */
     double totalRemoteTrafficGB = 0.0;
 
+    /** Rack the scenario ran on ("" for the legacy model). */
+    std::string topologyName;
+
+    /** Per-link cumulative byte accounting (rack model only). */
+    std::vector<testbed::LinkTotals> linkTotals;
+
+    /** Arrivals dropped because no node could admit them. */
+    std::size_t droppedArrivals = 0;
+
+    /** Remote placements demoted to Local by capacity/link pressure. */
+    std::size_t remoteFallbacks = 0;
+
     /** All completion records across nodes (node id attached). */
     struct NodeRecord
     {
@@ -138,12 +232,23 @@ class ClusterScenarioRunner
 {
   public:
     /**
+     * Legacy model: `nodes` independent borrower/lender pairs.
+     *
      * @param nodes cluster size (>= 1).
      * @param config arrival/scenario knobs (shared stream).
      * @param params per-node testbed calibration.
      */
     ClusterScenarioRunner(std::size_t nodes, ScenarioConfig config,
                           testbed::TestbedParams params = {});
+
+    /**
+     * Rack model: one shared RackTestbed over a validated topology.
+     * Remote placements allocate the app's footprint on the lending
+     * server for its lifetime; fault windows naming a link derate that
+     * link only.
+     */
+    ClusterScenarioRunner(testbed::Topology topology,
+                          ScenarioConfig config);
 
     /** Execute the scenario under the given cluster policy. */
     ClusterResult run(ClusterPolicy &policy);
@@ -152,6 +257,10 @@ class ClusterScenarioRunner
     std::size_t nodeCount;
     ScenarioConfig config;
     testbed::TestbedParams testbedParams;
+    std::optional<testbed::Topology> rackTopology;
+
+    ClusterResult runLegacy(ClusterPolicy &policy);
+    ClusterResult runRack(ClusterPolicy &policy);
 };
 
 } // namespace adrias::scenario

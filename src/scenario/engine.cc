@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/obs.hh"
+#include "testbed/topology.hh"
 
 namespace adrias::scenario
 {
@@ -15,6 +16,32 @@ using workloads::WorkloadSpec;
 
 namespace
 {
+
+/**
+ * Testbed calibration for the configured topology.  "paper-pair" keeps
+ * the caller's params untouched (the default path stays bit-identical
+ * to the historical engine); any other single-node topology calibrates
+ * the testbed from its node params and first link's profile.
+ */
+testbed::TestbedParams
+resolveEngineParams(const ScenarioConfig &config,
+                    testbed::TestbedParams params)
+{
+    if (config.topology == "paper-pair")
+        return params;
+    const testbed::Topology topo = testbed::topologyByName(config.topology);
+    if (topo.nodeCount() != 1)
+        fatal("ScenarioEngine: topology '" + config.topology + "' has " +
+              std::to_string(topo.nodeCount()) +
+              " compute nodes; the single-node engine needs exactly one "
+              "(drive multi-node racks through ClusterScenarioRunner)");
+    if (topo.linkCount() == 0)
+        fatal("ScenarioEngine: topology '" + config.topology +
+              "' has no links");
+    testbed::TestbedParams resolved = topo.node(0).local;
+    resolved.withLinkProfile(topo.link(0).profile);
+    return resolved;
+}
 
 void
 saveMatrixSequence(io::BinaryWriter &out,
@@ -114,9 +141,10 @@ loadRecord(io::BinaryReader &in)
 
 ScenarioEngine::ScenarioEngine(ScenarioConfig config_,
                                testbed::TestbedParams params)
-    : config(std::move(config_)), testbedParams(params), rng(config.seed),
-      bed(testbedParams, rng.nextU64()), watcherState(kWindowSec * 4),
-      injector(config.faults)
+    : config(std::move(config_)),
+      testbedParams(resolveEngineParams(config, params)),
+      rng(config.seed), bed(testbedParams, rng.nextU64()),
+      watcherState(kWindowSec * 4), injector(config.faults)
 {
     if (config.durationSec <= 0)
         fatal("ScenarioEngine: duration must be positive");
@@ -380,6 +408,10 @@ ScenarioEngine::saveState(io::BinaryWriter &out) const
     out.writeU64(running.size());
     for (const auto &instance : running)
         instance->saveState(out);
+
+    // Topology stamp, last so every historical field keeps its offset:
+    // a snapshot only restores into an engine built on the same rack.
+    out.writeString(config.topology);
 }
 
 Result<void>
@@ -435,9 +467,16 @@ ScenarioEngine::restoreState(io::BinaryReader &in)
             return instance.error();
         running.push_back(std::move(instance.value()));
     }
+    const std::string snapshotTopology = in.readString();
     if (!in.ok())
         return makeError(ErrorCode::Truncated,
                          "ScenarioEngine: truncated snapshot section");
+    if (snapshotTopology != config.topology)
+        return makeError(ErrorCode::Geometry,
+                         "ScenarioEngine: snapshot was taken on topology '" +
+                             snapshotTopology +
+                             "' but this engine runs on '" +
+                             config.topology + "'");
     if (now_ < 0 || result.trace.size() != static_cast<std::size_t>(now_))
         return makeError(ErrorCode::Geometry,
                          "ScenarioEngine: snapshot trace length does not "

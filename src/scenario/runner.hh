@@ -57,6 +57,16 @@ struct ScenarioConfig
      * picked up by a GuardedPredictor built over the same schedule.
      */
     fault::FaultSchedule faults{};
+
+    /**
+     * Named rack topology (testbed::topologyByName) the scenario runs
+     * on.  The default "paper-pair" reproduces the two-node prototype
+     * bit for bit.  The single-node engine accepts any 1×N topology
+     * (its testbed calibration then comes from the topology's node and
+     * first link); multi-node topologies are driven by
+     * ClusterScenarioRunner.
+     */
+    std::string topology = "paper-pair";
 };
 
 /** Everything a finished scenario produced. */

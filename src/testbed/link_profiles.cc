@@ -1,0 +1,40 @@
+#include "testbed/link_profiles.hh"
+
+#include "common/logging.hh"
+
+namespace adrias::testbed
+{
+
+double
+linkLatencyCycles(const LinkProfile &profile, double pressure)
+{
+    if (pressure < 0.0)
+        panic("linkLatencyCycles: negative pressure");
+    if (pressure <= profile.rampStart)
+        return profile.latencyBaseCycles;
+    if (pressure >= profile.rampEnd)
+        return profile.latencySatCycles;
+    const double frac = (pressure - profile.rampStart) /
+                        (profile.rampEnd - profile.rampStart);
+    return profile.latencyBaseCycles +
+           frac * (profile.latencySatCycles - profile.latencyBaseCycles);
+}
+
+const std::vector<LinkProfile> &
+allLinkProfiles()
+{
+    static const std::vector<LinkProfile> profiles{
+        kThymesisFlowProfile, kCxlProfile, kRdmaProfile};
+    return profiles;
+}
+
+const LinkProfile &
+linkProfileByName(const std::string &name)
+{
+    for (const LinkProfile &profile : allLinkProfiles())
+        if (name == profile.name)
+            return profile;
+    fatal("linkProfileByName: unknown link profile '" + name + "'");
+}
+
+} // namespace adrias::testbed

@@ -7,6 +7,8 @@
 #ifndef ADRIAS_TESTBED_LOAD_HH
 #define ADRIAS_TESTBED_LOAD_HH
 
+#include <cstddef>
+
 #include "common/types.hh"
 
 namespace adrias::testbed
@@ -49,6 +51,19 @@ struct LoadDescriptor
 
     /** Hot working-set size competing for LLC capacity, MB. */
     double cacheFootprintMb = 1.0;
+
+    // Rack placement triple (RackTestbed only; the single-pair Testbed
+    // ignores these).  A remote deployment borrows memory from `server`
+    // over `link`; defaults describe the paper pair's only choice.
+
+    /** Compute node running the deployment. */
+    std::size_t node = 0;
+
+    /** Memory server lending the remote range (mode == Remote). */
+    std::size_t server = 0;
+
+    /** Link carrying the remote traffic (mode == Remote). */
+    std::size_t link = 0;
 };
 
 /** What the contention model concluded for one deployment this tick. */

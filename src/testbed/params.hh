@@ -12,10 +12,17 @@
 #ifndef ADRIAS_TESTBED_PARAMS_HH
 #define ADRIAS_TESTBED_PARAMS_HH
 
+#include "testbed/link_profiles.hh"
+
 namespace adrias::testbed
 {
 
-/** Tunable hardware model; defaults reproduce the paper's testbed. */
+/**
+ * Tunable hardware model; defaults reproduce the paper's testbed.  The
+ * channel-side defaults are the ThymesisFlow entry of the shared link
+ * profile table (link_profiles.hh) — the single source of truth for
+ * link latency/bandwidth tiers.
+ */
 struct TestbedParams
 {
     /** Logical cores on the borrower node. */
@@ -31,28 +38,29 @@ struct TestbedParams
      * Effective ThymesisFlow data throughput cap, GB/s (~2.5 Gbps,
      * observation R1: three orders of magnitude under DDR4).
      */
-    double remoteBwGBps = 0.3125;
+    double remoteBwGBps = kThymesisFlowProfile.bandwidthGBps;
 
     /** Local DRAM load-to-use latency, ns (paper: ~80 ns). */
     double localLatencyNs = 80.0;
 
     /** Remote (cross-FPGA) latency, ns (paper: ~900 ns). */
-    double remoteLatencyNs = 900.0;
+    double remoteLatencyNs = kThymesisFlowProfile.latencyNs;
 
     /** Channel latency in cycles at low load (R2 steady state). */
-    double channelLatencyBaseCycles = 350.0;
+    double channelLatencyBaseCycles =
+        kThymesisFlowProfile.latencyBaseCycles;
 
     /** Channel latency plateau under back-pressure (R2). */
-    double channelLatencySatCycles = 900.0;
+    double channelLatencySatCycles = kThymesisFlowProfile.latencySatCycles;
 
     /**
      * Channel demand pressure (total demand / capacity) where the
      * back-pressure latency ramp begins.
      */
-    double channelRampStart = 1.2;
+    double channelRampStart = kThymesisFlowProfile.rampStart;
 
     /** Pressure at which latency reaches the saturation plateau. */
-    double channelRampEnd = 2.6;
+    double channelRampEnd = kThymesisFlowProfile.rampEnd;
 
     /**
      * Mild local-latency inflation exponent under local bandwidth
@@ -64,13 +72,27 @@ struct TestbedParams
     double loadStoreSplit = 0.72;
 
     /** Flit size on the OpenCAPI link, bytes. */
-    double flitBytes = 32.0;
+    double flitBytes = kThymesisFlowProfile.flitBytes;
 
     /** @return latency throttle for remote latency-bound demand. */
     double
     remoteLatencyThrottle() const
     {
         return localLatencyNs / remoteLatencyNs;
+    }
+
+    /** Replace every channel-side field with the given link tier. */
+    TestbedParams &
+    withLinkProfile(const LinkProfile &profile)
+    {
+        remoteBwGBps = profile.bandwidthGBps;
+        remoteLatencyNs = profile.latencyNs;
+        channelLatencyBaseCycles = profile.latencyBaseCycles;
+        channelLatencySatCycles = profile.latencySatCycles;
+        channelRampStart = profile.rampStart;
+        channelRampEnd = profile.rampEnd;
+        flitBytes = profile.flitBytes;
+        return *this;
     }
 };
 

@@ -1,0 +1,596 @@
+#include "testbed/rack.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/invariant.hh"
+#include "common/logging.hh"
+#include "testbed/testbed.hh"
+
+namespace adrias::testbed
+{
+
+void
+checkRackTickInvariants(const std::vector<LoadDescriptor> &loads,
+                        const RackTickResult &result, const Topology &topo,
+                        const std::vector<double> &link_bw_scale)
+{
+    // Resolved shares can land exactly on a cap; allow rounding slack.
+    constexpr double kRelTol = 1.0 + 1e-9;
+    constexpr double kAbsTol = 1e-9;
+
+    ADRIAS_INVARIANT(result.outcomes.size() == loads.size(),
+                     "outcomes=" + std::to_string(result.outcomes.size()) +
+                         " loads=" + std::to_string(loads.size()));
+    ADRIAS_INVARIANT(result.nodes.size() == topo.nodeCount(),
+                     "node stats size mismatch");
+    ADRIAS_INVARIANT(result.links.size() == topo.linkCount(),
+                     "link stats size mismatch");
+    ADRIAS_INVARIANT(result.servers.size() == topo.serverCount(),
+                     "server stats size mismatch");
+
+    // Re-derive every per-link / per-server / per-node sum from the
+    // outcomes so a contention bug on one link cannot be masked by
+    // slack on another.
+    std::vector<double> link_achieved(topo.linkCount(), 0.0);
+    std::vector<double> server_achieved(topo.serverCount(), 0.0);
+    std::vector<double> node_local(topo.nodeCount(), 0.0);
+    std::vector<double> node_remote(topo.nodeCount(), 0.0);
+    std::vector<double> node_llc_mb(topo.nodeCount(), 0.0);
+
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+        const LoadOutcome &outcome = result.outcomes[i];
+        const LoadDescriptor &load = loads[i];
+        ADRIAS_INVARIANT_FINITE(outcome.achievedGBps);
+        ADRIAS_INVARIANT_GE(outcome.achievedGBps, 0.0);
+        ADRIAS_INVARIANT_FINITE(outcome.latencyNs);
+        ADRIAS_INVARIANT_GE(outcome.latencyNs, 0.0);
+        ADRIAS_INVARIANT_FINITE(outcome.slowdown);
+        ADRIAS_INVARIANT_GE(outcome.slowdown, 1.0);
+        ADRIAS_INVARIANT_GE(outcome.hitRate, 0.0);
+        ADRIAS_INVARIANT_LE(outcome.hitRate,
+                            load.baseHitRate * kRelTol + kAbsTol);
+        // No deployment achieves more than its own unimpeded demand
+        // (every throttle and share is <= 1).
+        ADRIAS_INVARIANT_LE(outcome.achievedGBps,
+                            load.memDemandGBps * kRelTol + kAbsTol);
+
+        if (load.mode == MemoryMode::Remote) {
+            link_achieved[load.link] += outcome.achievedGBps;
+            server_achieved[load.server] += outcome.achievedGBps;
+            node_remote[load.node] += outcome.achievedGBps;
+        } else {
+            node_local[load.node] += outcome.achievedGBps;
+        }
+        if (load.baseHitRate > 0.0) {
+            node_llc_mb[load.node] += load.cacheFootprintMb *
+                                      outcome.hitRate / load.baseHitRate;
+        }
+    }
+
+    for (std::size_t l = 0; l < topo.linkCount(); ++l) {
+        const LinkTickStats &stats = result.links[l];
+        const double scale =
+            l < link_bw_scale.size() ? link_bw_scale[l] : 1.0;
+        const double cap = topo.link(l).profile.bandwidthGBps * scale;
+
+        ADRIAS_INVARIANT_FINITE(stats.offeredGBps);
+        ADRIAS_INVARIANT_GE(stats.offeredGBps, 0.0);
+        ADRIAS_INVARIANT_GE(stats.queuedGBps, 0.0);
+        // Reported per-link delivery equals the sum over outcomes.
+        ADRIAS_INVARIANT_LE(
+            std::fabs(stats.achievedGBps - link_achieved[l]),
+            kAbsTol + 1e-9 * link_achieved[l]);
+        // Conservation: bytes in = bytes out + queued.
+        ADRIAS_INVARIANT_LE(std::fabs(stats.offeredGBps -
+                                      stats.achievedGBps -
+                                      stats.queuedGBps),
+                            kAbsTol + 1e-9 * stats.offeredGBps);
+        // Delivery never exceeds the (fault-derated) link capacity.
+        ADRIAS_INVARIANT_LE(link_achieved[l], cap * kRelTol + kAbsTol);
+        ADRIAS_INVARIANT_FINITE(stats.pressure);
+        ADRIAS_INVARIANT_GE(stats.pressure, 0.0);
+        ADRIAS_INVARIANT_FINITE(stats.latencyCycles);
+        ADRIAS_INVARIANT_GE(stats.latencyCycles * kRelTol,
+                            topo.link(l).profile.latencyBaseCycles);
+        for (double value : stats.counters) {
+            ADRIAS_INVARIANT_FINITE(value);
+            ADRIAS_INVARIANT_GE(value, 0.0);
+        }
+    }
+
+    for (std::size_t s = 0; s < topo.serverCount(); ++s) {
+        const ServerTickStats &stats = result.servers[s];
+        ADRIAS_INVARIANT_LE(
+            std::fabs(stats.achievedGBps - server_achieved[s]),
+            kAbsTol + 1e-9 * server_achieved[s]);
+        // Server controllers never sustain more than their DRAM cap.
+        ADRIAS_INVARIANT_LE(server_achieved[s],
+                            topo.server(s).bandwidthGBps * kRelTol +
+                                kAbsTol);
+        ADRIAS_INVARIANT_GE(stats.allocatedGb, 0.0);
+        ADRIAS_INVARIANT_LE(stats.allocatedGb,
+                            topo.server(s).capacityGb * kRelTol + kAbsTol);
+    }
+
+    for (std::size_t n = 0; n < topo.nodeCount(); ++n) {
+        const NodeTickStats &stats = result.nodes[n];
+        const TestbedParams &params = topo.node(n).local;
+        // R3: remote traffic terminates in the local controllers too.
+        const double local_total = node_local[n] + node_remote[n];
+        ADRIAS_INVARIANT_LE(std::fabs(stats.localTrafficGBps - local_total),
+                            kAbsTol + 1e-9 * local_total);
+        ADRIAS_INVARIANT_LE(local_total,
+                            params.localBwGBps * kRelTol + kAbsTol);
+        ADRIAS_INVARIANT_LE(
+            std::fabs(stats.remoteTrafficGBps - node_remote[n]),
+            kAbsTol + 1e-9 * node_remote[n]);
+        // Resident LLC occupancy shares sum to at most one capacity.
+        ADRIAS_INVARIANT_LE(node_llc_mb[n],
+                            params.llcCapacityMb * kRelTol + kAbsTol);
+        ADRIAS_INVARIANT_FINITE(stats.cpuFactor);
+        ADRIAS_INVARIANT_GE(stats.cpuFactor, 0.0);
+        ADRIAS_INVARIANT_LE(stats.cpuFactor, 1.0 * kRelTol);
+        for (double value : stats.counters) {
+            ADRIAS_INVARIANT_FINITE(value);
+            ADRIAS_INVARIANT_GE(value, 0.0);
+        }
+    }
+}
+
+RackTestbed::RackTestbed(Topology topology, std::uint64_t seed)
+    : topo(std::move(topology)), rng(seed)
+{
+    topo.validate();
+    linkBwScale.assign(topo.linkCount(), 1.0);
+    linkLatencyScale.assign(topo.linkCount(), 1.0);
+    allocated.assign(topo.serverCount(), 0.0);
+    totals.assign(topo.linkCount(), LinkTotals{});
+    for (std::size_t n = 0; n < topo.nodeCount(); ++n) {
+        const TestbedParams &params = topo.node(n).local;
+        if (params.localBwGBps <= 0.0)
+            fatal("RackTestbed: node local bandwidth must be positive");
+        if (params.llcCapacityMb <= 0.0)
+            fatal("RackTestbed: node LLC capacity must be positive");
+    }
+}
+
+void
+RackTestbed::setLinkFault(std::size_t link, double bw_scale,
+                          double latency_scale)
+{
+    if (link >= topo.linkCount())
+        fatal("RackTestbed::setLinkFault: link index out of range");
+    if (bw_scale <= 0.0 || bw_scale > 1.0)
+        fatal("RackTestbed::setLinkFault: bw scale must be in (0, 1]");
+    if (latency_scale < 1.0)
+        fatal("RackTestbed::setLinkFault: latency scale must be >= 1");
+    linkBwScale[link] = bw_scale;
+    linkLatencyScale[link] = latency_scale;
+}
+
+void
+RackTestbed::clearLinkFaults()
+{
+    linkBwScale.assign(topo.linkCount(), 1.0);
+    linkLatencyScale.assign(topo.linkCount(), 1.0);
+}
+
+bool
+RackTestbed::anyLinkFaulted() const
+{
+    for (std::size_t l = 0; l < topo.linkCount(); ++l)
+        if (linkBwScale[l] < 1.0 || linkLatencyScale[l] > 1.0)
+            return true;
+    return false;
+}
+
+Result<void>
+RackTestbed::allocate(std::size_t server, double gb)
+{
+    if (server >= topo.serverCount())
+        fatal("RackTestbed::allocate: server index out of range");
+    if (gb < 0.0)
+        fatal("RackTestbed::allocate: negative size");
+    if (allocated[server] + gb >
+        topo.server(server).capacityGb + 1e-9) {
+        return makeError(ErrorCode::Geometry,
+                         "RackTestbed: server '" +
+                             topo.server(server).name + "' cannot fit " +
+                             std::to_string(gb) + " GB (allocated " +
+                             std::to_string(allocated[server]) + " of " +
+                             std::to_string(topo.server(server).capacityGb) +
+                             " GB)");
+    }
+    allocated[server] += gb;
+    return {};
+}
+
+void
+RackTestbed::release(std::size_t server, double gb)
+{
+    if (server >= topo.serverCount())
+        fatal("RackTestbed::release: server index out of range");
+    if (gb < 0.0)
+        fatal("RackTestbed::release: negative size");
+    if (gb > allocated[server] + 1e-9)
+        panic("RackTestbed::release: releasing more than allocated on '" +
+              topo.server(server).name + "'");
+    allocated[server] = std::max(0.0, allocated[server] - gb);
+}
+
+double
+RackTestbed::allocatedGb(std::size_t server) const
+{
+    if (server >= topo.serverCount())
+        fatal("RackTestbed::allocatedGb: server index out of range");
+    return allocated[server];
+}
+
+double
+RackTestbed::availableGb(std::size_t server) const
+{
+    if (server >= topo.serverCount())
+        fatal("RackTestbed::availableGb: server index out of range");
+    return std::max(0.0, topo.server(server).capacityGb - allocated[server]);
+}
+
+const LinkTotals &
+RackTestbed::linkTotals(std::size_t link) const
+{
+    if (link >= topo.linkCount())
+        fatal("RackTestbed::linkTotals: link index out of range");
+    return totals[link];
+}
+
+double
+RackTestbed::noisy(double value)
+{
+    if (noiseSigma <= 0.0)
+        return value;
+    return std::max(0.0, value * (1.0 + rng.gaussian(0.0, noiseSigma)));
+}
+
+RackTickResult
+RackTestbed::tick(const std::vector<LoadDescriptor> &loads)
+{
+    const std::size_t n_nodes = topo.nodeCount();
+    const std::size_t n_links = topo.linkCount();
+    const std::size_t n_servers = topo.serverCount();
+
+    RackTickResult result;
+    result.outcomes.resize(loads.size());
+    result.nodes.resize(n_nodes);
+    result.links.resize(n_links);
+    result.servers.resize(n_servers);
+
+    // --- Validate placements (scheduler bugs are programming errors). ---
+    for (const LoadDescriptor &load : loads) {
+        if (load.node >= n_nodes)
+            panic("RackTestbed::tick: load " + std::to_string(load.id) +
+                  " placed on unknown node");
+        if (load.mode == MemoryMode::Remote) {
+            if (load.link >= n_links || load.server >= n_servers)
+                panic("RackTestbed::tick: load " + std::to_string(load.id) +
+                      " carries an out-of-range placement triple");
+            const LinkDesc &link = topo.link(load.link);
+            if (link.node != load.node || link.server != load.server)
+                panic("RackTestbed::tick: load " + std::to_string(load.id) +
+                      " routed over link '" + link.name +
+                      "' that does not connect its placement");
+        }
+    }
+
+    // --- Pass 1: per-node CPU and LLC pressure. -------------------------
+    std::vector<double> total_cpu(n_nodes, 0.0);
+    std::vector<double> total_footprint(n_nodes, 0.0);
+    for (const LoadDescriptor &load : loads) {
+        total_cpu[load.node] += load.cpuCores;
+        total_footprint[load.node] += load.cacheFootprintMb;
+    }
+    std::vector<double> cpu_factor(n_nodes, 1.0);
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        const double cores = topo.node(n).local.cores;
+        cpu_factor[n] =
+            total_cpu[n] <= cores ? 1.0 : cores / total_cpu[n];
+        result.nodes[n].cpuFactor = cpu_factor[n];
+    }
+
+    std::vector<double> hit_rate(loads.size(), 0.0);
+    std::vector<double> miss_scale(loads.size(), 1.0);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadDescriptor &load = loads[i];
+        const double h = llcEffectiveHitRate(
+            load.baseHitRate, load.cacheFootprintMb,
+            total_footprint[load.node], topo.node(load.node).local.llcCapacityMb);
+        hit_rate[i] = h;
+        const double base_miss = std::max(1e-6, 1.0 - load.baseHitRate);
+        miss_scale[i] = std::max(1.0, (1.0 - h) / base_miss);
+    }
+
+    // --- Pass 2: per-link back-pressure (R2 per tier) and shares. -------
+    //
+    // A remote deployment's issueable traffic throttles its
+    // latency-bound slice by its node's local latency over its *link's*
+    // latency; the offered demand at base latency sets each link's
+    // pressure independently, then one fixed-point iteration
+    // re-throttles at the ramped latency — exactly the single-channel
+    // model, evaluated per link.
+    auto remote_demand_at = [&](const LoadDescriptor &load,
+                                double lat_scale) {
+        const double lat_fraction =
+            std::clamp(load.latencyBoundFraction, 0.0, 1.0);
+        const double throttle_ratio =
+            topo.node(load.node).local.localLatencyNs /
+            topo.link(load.link).profile.latencyNs;
+        const double throttle =
+            (1.0 - lat_fraction) +
+            lat_fraction * throttle_ratio / lat_scale;
+        return load.memDemandGBps * throttle;
+    };
+
+    std::vector<double> link_offered_base(n_links, 0.0);
+    for (const LoadDescriptor &load : loads)
+        if (load.mode == MemoryMode::Remote)
+            link_offered_base[load.link] += remote_demand_at(load, 1.0);
+
+    std::vector<double> link_cap(n_links, 0.0);
+    std::vector<double> link_lat_scale(n_links, 1.0);
+    for (std::size_t l = 0; l < n_links; ++l) {
+        const LinkProfile &profile = topo.link(l).profile;
+        link_cap[l] = profile.bandwidthGBps * linkBwScale[l];
+        result.links[l].pressure = link_offered_base[l] / link_cap[l];
+        result.links[l].latencyCycles =
+            linkLatencyCycles(profile, result.links[l].pressure) *
+            linkLatencyScale[l];
+        link_lat_scale[l] =
+            result.links[l].latencyCycles / profile.latencyBaseCycles;
+    }
+
+    std::vector<double> demand(loads.size(), 0.0);
+    std::vector<double> link_demand(n_links, 0.0);
+    std::vector<double> node_local_demand(n_nodes, 0.0);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadDescriptor &load = loads[i];
+        if (load.mode == MemoryMode::Remote) {
+            demand[i] = remote_demand_at(load, link_lat_scale[load.link]);
+            link_demand[load.link] += demand[i];
+        } else {
+            demand[i] = load.memDemandGBps;
+            node_local_demand[load.node] += demand[i];
+        }
+    }
+
+    std::vector<double> link_share(n_links, 1.0);
+    for (std::size_t l = 0; l < n_links; ++l)
+        if (link_demand[l] > link_cap[l])
+            link_share[l] = link_cap[l] / link_demand[l];
+
+    // --- Pass 3: per-server DRAM bandwidth sharing. ---------------------
+    std::vector<double> server_in(n_servers, 0.0);
+    for (std::size_t l = 0; l < n_links; ++l)
+        server_in[topo.link(l).server] += link_demand[l] * link_share[l];
+    std::vector<double> server_share(n_servers, 1.0);
+    for (std::size_t s = 0; s < n_servers; ++s) {
+        const double bw = topo.server(s).bandwidthGBps;
+        if (server_in[s] > bw)
+            server_share[s] = bw / server_in[s];
+        result.servers[s].demandGBps = server_in[s];
+        result.servers[s].allocatedGb = allocated[s];
+    }
+
+    // --- Pass 4: per-node local pool (R3: remote terminates locally). ---
+    std::vector<double> node_remote_term(n_nodes, 0.0);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadDescriptor &load = loads[i];
+        if (load.mode == MemoryMode::Remote)
+            node_remote_term[load.node] += demand[i] *
+                                           link_share[load.link] *
+                                           server_share[load.server];
+    }
+    std::vector<double> local_share(n_nodes, 1.0);
+    std::vector<double> local_latency_ns(n_nodes, 0.0);
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        const TestbedParams &params = topo.node(n).local;
+        const double total =
+            node_local_demand[n] + node_remote_term[n];
+        if (total > params.localBwGBps)
+            local_share[n] = params.localBwGBps / total;
+        const double util = std::min(1.0, total / params.localBwGBps);
+        local_latency_ns[n] =
+            params.localLatencyNs *
+            (1.0 + params.localLatencyInflation * util * util);
+    }
+
+    // --- Pass 5: per-deployment outcomes. -------------------------------
+    std::vector<double> link_node_flits(n_links, 0.0);
+    std::vector<double> node_llc_loads(n_nodes, 0.0);
+    std::vector<double> node_llc_misses(n_nodes, 0.0);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadDescriptor &load = loads[i];
+        LoadOutcome &outcome = result.outcomes[i];
+        outcome.id = load.id;
+        outcome.hitRate = hit_rate[i];
+        outcome.missScale = miss_scale[i];
+
+        const bool remote = load.mode == MemoryMode::Remote;
+        double achieved = 0.0;
+        if (remote) {
+            achieved = demand[i] * link_share[load.link] *
+                       server_share[load.server] * local_share[load.node];
+            outcome.latencyNs = topo.link(load.link).profile.latencyNs *
+                                link_lat_scale[load.link];
+            result.links[load.link].achievedGBps += achieved;
+            result.links[load.link].flitsM +=
+                achieved /
+                (topo.link(load.link).profile.flitBytes * 1e-9) / 1e6;
+            result.servers[load.server].achievedGBps += achieved;
+            result.nodes[load.node].remoteTrafficGBps += achieved;
+        } else {
+            achieved = demand[i] * local_share[load.node];
+            outcome.latencyNs = local_latency_ns[load.node];
+        }
+        outcome.achievedGBps = achieved;
+        result.nodes[load.node].localTrafficGBps += achieved;
+
+        double mem_slowdown = 1.0;
+        if (load.memDemandGBps > 1e-9) {
+            mem_slowdown = miss_scale[i] * load.memDemandGBps /
+                           std::max(achieved, 1e-9);
+        }
+        const double mu = std::clamp(load.cpuFraction, 0.0, 1.0);
+        outcome.slowdown =
+            mu / cpu_factor[load.node] + (1.0 - mu) * mem_slowdown;
+        outcome.slowdown = std::max(1.0, outcome.slowdown);
+
+        const double accesses = load.llcAccessGBps * 1e9 / 64.0 / 1e6;
+        node_llc_loads[load.node] += accesses;
+        node_llc_misses[load.node] += accesses * (1.0 - hit_rate[i]);
+        if (remote)
+            link_node_flits[load.link] += achieved;
+    }
+
+    // --- Pass 6: link queue accounting and cumulative totals. -----------
+    for (std::size_t l = 0; l < n_links; ++l) {
+        LinkTickStats &stats = result.links[l];
+        stats.offeredGBps = link_demand[l];
+        stats.queuedGBps =
+            std::max(0.0, stats.offeredGBps - stats.achievedGBps);
+        totals[l].offeredGb += stats.offeredGBps;
+        totals[l].deliveredGb += stats.achievedGBps;
+        totals[l].queuedGb += stats.queuedGBps;
+        if (stats.pressure > topo.link(l).profile.rampStart)
+            ++totals[l].saturatedTicks;
+    }
+
+    // --- Pass 7: performance counters (deterministic noise order:
+    //             nodes ascending, then links ascending). ----------------
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        NodeTickStats &node = result.nodes[n];
+        const TestbedParams &params = topo.node(n).local;
+        const double mem_total = node.localTrafficGBps;
+
+        // Node-level flits and channel latency aggregate the node's
+        // links, weighted by what each link carried for this node.
+        double flits_m = 0.0;
+        double lat_weight = 0.0;
+        double lat_sum = 0.0;
+        for (std::size_t l : topo.linksFrom(n)) {
+            const double carried = link_node_flits[l];
+            flits_m += carried /
+                       (topo.link(l).profile.flitBytes * 1e-9) / 1e6;
+            lat_sum += result.links[l].latencyCycles * carried;
+            lat_weight += carried;
+        }
+        double channel_lat = params.channelLatencyBaseCycles;
+        if (lat_weight > 0.0) {
+            channel_lat = lat_sum / lat_weight;
+        } else if (!topo.linksFrom(n).empty()) {
+            channel_lat =
+                result.links[topo.linksFrom(n).front()].latencyCycles;
+        }
+
+        CounterSample &counters = node.counters;
+        counters[static_cast<std::size_t>(PerfEvent::LlcLoads)] =
+            noisy(node_llc_loads[n]);
+        counters[static_cast<std::size_t>(PerfEvent::LlcMisses)] =
+            noisy(node_llc_misses[n]);
+        counters[static_cast<std::size_t>(PerfEvent::MemLoads)] =
+            noisy(mem_total * params.loadStoreSplit);
+        counters[static_cast<std::size_t>(PerfEvent::MemStores)] =
+            noisy(mem_total * (1.0 - params.loadStoreSplit));
+        counters[static_cast<std::size_t>(PerfEvent::RemoteTx)] =
+            noisy(flits_m * 0.45);
+        counters[static_cast<std::size_t>(PerfEvent::RemoteRx)] =
+            noisy(flits_m * 0.55);
+        counters[static_cast<std::size_t>(PerfEvent::ChannelLat)] =
+            noisy(channel_lat);
+    }
+    for (std::size_t l = 0; l < n_links; ++l) {
+        LinkTickStats &stats = result.links[l];
+        LinkCounterSample &counters = stats.counters;
+        counters[static_cast<std::size_t>(LinkEvent::LinkTx)] =
+            noisy(stats.flitsM * 0.45);
+        counters[static_cast<std::size_t>(LinkEvent::LinkRx)] =
+            noisy(stats.flitsM * 0.55);
+        counters[static_cast<std::size_t>(LinkEvent::LinkLat)] =
+            noisy(stats.latencyCycles);
+        counters[static_cast<std::size_t>(LinkEvent::LinkQueued)] =
+            noisy(stats.queuedGBps);
+    }
+
+    ++tickCount;
+
+    // Conservation laws hold for every resolved tick (compiled out of
+    // Release builds; the constant-false branch folds away).
+    if (invariant::kEnabled)
+        checkRackTickInvariants(loads, result, topo, linkBwScale);
+
+    return result;
+}
+
+void
+RackTestbed::saveState(io::BinaryWriter &out) const
+{
+    rng.saveState(out);
+    out.writeF64(noiseSigma);
+    out.writeF64Vector(linkBwScale);
+    out.writeF64Vector(linkLatencyScale);
+    out.writeF64Vector(allocated);
+    out.writeU64(totals.size());
+    for (const LinkTotals &t : totals) {
+        out.writeF64(t.offeredGb);
+        out.writeF64(t.deliveredGb);
+        out.writeF64(t.queuedGb);
+        out.writeI64(t.saturatedTicks);
+    }
+    out.writeI64(tickCount);
+}
+
+Result<void>
+RackTestbed::restoreState(io::BinaryReader &in)
+{
+    rng.restoreState(in);
+    noiseSigma = in.readF64();
+    linkBwScale = in.readF64Vector();
+    linkLatencyScale = in.readF64Vector();
+    allocated = in.readF64Vector();
+    const std::uint64_t n_totals = in.readU64();
+    if (!in.ok() || n_totals != topo.linkCount())
+        return makeError(ErrorCode::Geometry,
+                         "RackTestbed: snapshot link-total count does not "
+                         "match the topology");
+    totals.assign(n_totals, LinkTotals{});
+    for (LinkTotals &t : totals) {
+        t.offeredGb = in.readF64();
+        t.deliveredGb = in.readF64();
+        t.queuedGb = in.readF64();
+        t.saturatedTicks = in.readI64();
+    }
+    tickCount = in.readI64();
+    if (!in.ok())
+        return makeError(ErrorCode::Truncated,
+                         "RackTestbed: truncated snapshot section");
+    if (linkBwScale.size() != topo.linkCount() ||
+        linkLatencyScale.size() != topo.linkCount() ||
+        allocated.size() != topo.serverCount())
+        return makeError(ErrorCode::Geometry,
+                         "RackTestbed: snapshot geometry does not match "
+                         "the topology");
+    for (std::size_t l = 0; l < topo.linkCount(); ++l)
+        if (!(linkBwScale[l] > 0.0 && linkBwScale[l] <= 1.0) ||
+            linkLatencyScale[l] < 1.0)
+            return makeError(ErrorCode::BadNumber,
+                             "RackTestbed: snapshot carries invalid link "
+                             "fault scales");
+    for (std::size_t s = 0; s < topo.serverCount(); ++s)
+        if (allocated[s] < 0.0 ||
+            allocated[s] > topo.server(s).capacityGb + 1e-9)
+            return makeError(ErrorCode::BadNumber,
+                             "RackTestbed: snapshot allocation exceeds "
+                             "server capacity");
+    return {};
+}
+
+} // namespace adrias::testbed

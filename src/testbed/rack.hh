@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The rack-scale M×N testbed: many compute nodes borrowing memory from
+ * many servers over heterogeneous links.
+ *
+ * RackTestbed generalizes the two-node Testbed contention model
+ * (testbed.cc) along the topology axis while keeping every submodel
+ * identical: per-node CPU and LLC contention, per-link back-pressure
+ * (the R2 latency ramp, evaluated against each link's own profile),
+ * per-server DRAM bandwidth sharing, and the R3 rule that remote
+ * traffic also terminates in the borrower's local memory controllers.
+ * A deployment's share therefore composes multiplicatively:
+ * linkShare × serverShare × localShare.
+ *
+ * Per-link conservation holds by construction every tick:
+ * offered = achieved + queued, with achieved never exceeding the
+ * (possibly fault-derated) link capacity.  checkRackTickInvariants
+ * re-derives all of it from the per-deployment outcomes so a bug on one
+ * link cannot hide behind slack on another.
+ */
+
+#ifndef ADRIAS_TESTBED_RACK_HH
+#define ADRIAS_TESTBED_RACK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/io/binary.hh"
+#include "common/io/checkpoint_annotations.hh"
+#include "common/rng.hh"
+#include "testbed/counters.hh"
+#include "testbed/load.hh"
+#include "testbed/topology.hh"
+
+namespace adrias::testbed
+{
+
+/** One link's queueing/contention state for one resolved tick. */
+struct LinkTickStats
+{
+    /** Back-pressured demand entering the link this tick, GB/s. */
+    double offeredGBps = 0.0;
+
+    /** Traffic delivered end-to-end over the link, GB/s. */
+    double achievedGBps = 0.0;
+
+    /** offered - achieved: demand stalled in the link queue, GB/s. */
+    double queuedGBps = 0.0;
+
+    /** Offered base-latency demand / effective capacity. */
+    double pressure = 0.0;
+
+    /** Link latency this tick, cycles (profile ramp × fault scale). */
+    double latencyCycles = 0.0;
+
+    /** Flits moved this tick, millions. */
+    double flitsM = 0.0;
+
+    /** Watcher sample for this link (noisy counters). */
+    LinkCounterSample counters{};
+};
+
+/** One memory server's load for one resolved tick. */
+struct ServerTickStats
+{
+    /** Link-achieved demand arriving at the server, GB/s. */
+    double demandGBps = 0.0;
+
+    /** Traffic the server's controllers sustained, GB/s. */
+    double achievedGBps = 0.0;
+
+    /** Capacity allocated to deployments at tick time, GB. */
+    double allocatedGb = 0.0;
+};
+
+/** One compute node's aggregate state for one resolved tick. */
+struct NodeTickStats
+{
+    /** CPU time-sharing factor (1 when undersubscribed). */
+    double cpuFactor = 1.0;
+
+    /** Achieved local-pool traffic incl. terminating remote (R3). */
+    double localTrafficGBps = 0.0;
+
+    /** Achieved remote traffic issued by this node, GB/s. */
+    double remoteTrafficGBps = 0.0;
+
+    /** The node's Watcher counter sample (legacy 7-event schema). */
+    CounterSample counters{};
+};
+
+/** Aggregate result of one simulated rack second. */
+struct RackTickResult
+{
+    /** Per-deployment outcome, in input order. */
+    std::vector<LoadOutcome> outcomes;
+
+    /** Per-node stats, indexed like Topology nodes. */
+    std::vector<NodeTickStats> nodes;
+
+    /** Per-link stats, indexed like Topology links. */
+    std::vector<LinkTickStats> links;
+
+    /** Per-server stats, indexed like Topology servers. */
+    std::vector<ServerTickStats> servers;
+};
+
+/** Cumulative per-link byte accounting across a run. */
+struct LinkTotals
+{
+    /** Total demand that entered the link queue, GB. */
+    double offeredGb = 0.0;
+
+    /** Total bytes delivered, GB. */
+    double deliveredGb = 0.0;
+
+    /** Total demand stalled behind the link, GB. */
+    double queuedGb = 0.0;
+
+    /** Ticks the link spent inside its back-pressure ramp. */
+    std::int64_t saturatedTicks = 0;
+};
+
+/**
+ * Assert the per-link/per-server/per-node conservation laws of one
+ * resolved rack tick, re-derived from the outcomes (never trusting the
+ * aggregates): per-link offered = achieved + queued with achieved
+ * within the derated cap, per-server achieved within the server's DRAM
+ * bandwidth, per-node local traffic within the node's local pool, and
+ * per-deployment achieved never above its own unimpeded demand.
+ *
+ * @param loads the tick's input deployments.
+ * @param result the resolved tick under test.
+ * @param topo the rack description.
+ * @param link_bw_scale per-link fault derating (empty = all healthy).
+ */
+void checkRackTickInvariants(const std::vector<LoadDescriptor> &loads,
+                             const RackTickResult &result,
+                             const Topology &topo,
+                             const std::vector<double> &link_bw_scale = {});
+
+/** The simulated rack. */
+class RackTestbed
+{
+  public:
+    /**
+     * @param topo validated rack description (copied).
+     * @param seed RNG seed for counter measurement noise.
+     */
+    explicit RackTestbed(Topology topo, std::uint64_t seed = 1);
+
+    /** @return the rack description. */
+    const Topology &topology() const { return topo; }
+
+    /**
+     * Relative counter noise amplitude (0 disables measurement noise;
+     * default 1%).
+     */
+    void setNoise(double relative_sigma) { noiseSigma = relative_sigma; }
+
+    /**
+     * Degrade one link (fault injection): scale its effective bandwidth
+     * by `bw_scale` in (0, 1] and its back-pressure latency by
+     * `latency_scale` >= 1.  Persists until changed.
+     */
+    void setLinkFault(std::size_t link, double bw_scale,
+                      double latency_scale);
+
+    /** Restore every link to health. */
+    void clearLinkFaults();
+
+    /** @return true while any link fault is applied. */
+    bool anyLinkFaulted() const;
+
+    /**
+     * Reserve `gb` of a server's capacity for a deployment.
+     *
+     * @return Geometry error when the server cannot fit the request.
+     */
+    [[nodiscard]] Result<void> allocate(std::size_t server, double gb);
+
+    /** Return `gb` of previously allocated capacity to a server. */
+    void release(std::size_t server, double gb);
+
+    /** Capacity currently allocated on a server, GB. */
+    double allocatedGb(std::size_t server) const;
+
+    /** Capacity still allocatable on a server, GB. */
+    double availableGb(std::size_t server) const;
+
+    /**
+     * Resolve one second of rack execution.
+     *
+     * Remote deployments must carry a valid (node, server, link)
+     * placement triple whose link actually connects that node to that
+     * server; local deployments only need a valid node.
+     */
+    RackTickResult tick(const std::vector<LoadDescriptor> &loads);
+
+    /** Cumulative byte accounting of one link. */
+    const LinkTotals &linkTotals(std::size_t link) const;
+
+    /**
+     * Serialize the evolving state: noise RNG position, noise sigma,
+     * per-link fault scales, per-server allocations, cumulative link
+     * totals and the tick count.  The Topology is configuration and
+     * stays out of the payload.
+     */
+    void saveState(io::BinaryWriter &out) const;
+
+    /** Restore a payload written by saveState(). */
+    [[nodiscard]] Result<void> restoreState(io::BinaryReader &in);
+
+  private:
+    Topology topo ADRIAS_NOT_CHECKPOINTED(
+        "rack description is configuration; the restoring process "
+        "rebuilds it from the topology name (see saveState doc)");
+    Rng rng;
+    double noiseSigma = 0.01;
+
+    /** Per-link fault derating, indexed like Topology links. */
+    std::vector<double> linkBwScale;
+    std::vector<double> linkLatencyScale;
+
+    /** Per-server allocated capacity, GB. */
+    std::vector<double> allocated;
+
+    /** Cumulative per-link byte accounting. */
+    std::vector<LinkTotals> totals;
+
+    /** Ticks resolved so far. */
+    std::int64_t tickCount = 0;
+
+    /** Apply multiplicative measurement noise to a counter value. */
+    double noisy(double value);
+};
+
+} // namespace adrias::testbed
+
+#endif // ADRIAS_TESTBED_RACK_HH

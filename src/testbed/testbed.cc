@@ -24,7 +24,12 @@ checkTickInvariants(const std::vector<LoadDescriptor> &loads,
                      "outcomes=" + std::to_string(result.outcomes.size()) +
                          " loads=" + std::to_string(loads.size()));
 
+    // Per-channel sums are re-derived from the outcomes — the reported
+    // aggregates are *checked against* them below, never trusted, so a
+    // contention bug on one channel cannot hide behind slack (or a
+    // compensating error) on the other.
     double remote_achieved = 0.0;
+    double local_achieved = 0.0;
     double resident_llc_mb = 0.0;
     for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
         const LoadOutcome &outcome = result.outcomes[i];
@@ -38,8 +43,14 @@ checkTickInvariants(const std::vector<LoadDescriptor> &loads,
         ADRIAS_INVARIANT_GE(outcome.hitRate, 0.0);
         ADRIAS_INVARIANT_LE(outcome.hitRate,
                             load.baseHitRate * kRelTol + kAbsTol);
+        // No deployment achieves more than its own unimpeded demand
+        // (every throttle and share is <= 1).
+        ADRIAS_INVARIANT_LE(outcome.achievedGBps,
+                            load.memDemandGBps * kRelTol + kAbsTol);
         if (load.mode == MemoryMode::Remote)
             remote_achieved += outcome.achievedGBps;
+        else
+            local_achieved += outcome.achievedGBps;
         // h = base * residentFraction under the proportional-occupancy
         // model, so h/base recovers this app's resident share.
         if (load.baseHitRate > 0.0) {
@@ -48,19 +59,23 @@ checkTickInvariants(const std::vector<LoadDescriptor> &loads,
         }
     }
 
-    // Achieved remote throughput within the (fault-derated) channel cap.
+    // Achieved remote throughput within the (fault-derated) channel
+    // cap, and the reported aggregate consistent with the per-app sum.
     ADRIAS_INVARIANT_LE(remote_achieved, params.remoteBwGBps *
                                                  channel_bw_scale *
                                                  kRelTol +
                                              kAbsTol);
-    ADRIAS_INVARIANT_LE(result.remoteTrafficGBps,
-                        params.remoteBwGBps * channel_bw_scale * kRelTol +
-                            kAbsTol);
+    ADRIAS_INVARIANT_LE(std::fabs(result.remoteTrafficGBps -
+                                  remote_achieved),
+                        kAbsTol + 1e-9 * remote_achieved);
 
     // Achieved local traffic (remote terminates locally too, R3)
-    // within the local pool cap.
+    // within the local pool cap and consistent with the per-app sums.
+    const double local_total = local_achieved + remote_achieved;
     ADRIAS_INVARIANT_GE(result.localTrafficGBps, 0.0);
-    ADRIAS_INVARIANT_LE(result.localTrafficGBps,
+    ADRIAS_INVARIANT_LE(std::fabs(result.localTrafficGBps - local_total),
+                        kAbsTol + 1e-9 * local_total);
+    ADRIAS_INVARIANT_LE(local_total,
                         params.localBwGBps * kRelTol + kAbsTol);
 
     // Resident LLC occupancy shares sum to at most one capacity.

@@ -1,0 +1,304 @@
+#include "testbed/topology.hh"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace adrias::testbed
+{
+
+Topology::Topology(std::string name) : topologyName(std::move(name)) {}
+
+Topology &
+Topology::addNode(ComputeNodeDesc node)
+{
+    validated = false;
+    nodes.push_back(std::move(node));
+    return *this;
+}
+
+Topology &
+Topology::addServer(MemoryServerDesc server)
+{
+    validated = false;
+    if (server.range.sizeGb == 0) {
+        server.range.baseGb = nextRangeBaseGb;
+        server.range.sizeGb =
+            static_cast<std::uint64_t>(std::ceil(server.capacityGb));
+    }
+    if (server.range.endGb() > nextRangeBaseGb)
+        nextRangeBaseGb = server.range.endGb();
+    servers.push_back(std::move(server));
+    return *this;
+}
+
+Topology &
+Topology::addLink(std::size_t node, std::size_t server,
+                  const LinkProfile &profile, std::string name)
+{
+    validated = false;
+    LinkDesc link;
+    link.node = node;
+    link.server = server;
+    link.profile = profile;
+    if (name.empty()) {
+        const std::string nodeName =
+            node < nodes.size() ? nodes[node].name : std::to_string(node);
+        const std::string serverName = server < servers.size()
+                                           ? servers[server].name
+                                           : std::to_string(server);
+        name = nodeName + "-" + serverName;
+    }
+    link.name = std::move(name);
+    links.push_back(std::move(link));
+    return *this;
+}
+
+Topology &
+Topology::validate()
+{
+    if (nodes.empty())
+        fatal("Topology '" + topologyName + "': no compute nodes");
+
+    std::set<std::string> names;
+    for (const ComputeNodeDesc &node : nodes)
+        if (!names.insert("n:" + node.name).second)
+            fatal("Topology '" + topologyName + "': duplicate node name '" +
+                  node.name + "'");
+    for (const MemoryServerDesc &server : servers) {
+        if (!names.insert("s:" + server.name).second)
+            fatal("Topology '" + topologyName +
+                  "': duplicate server name '" + server.name + "'");
+        if (server.capacityGb < 0.0)
+            fatal("Topology '" + topologyName + "': server '" + server.name +
+                  "' has negative capacity");
+        if (server.bandwidthGBps <= 0.0)
+            fatal("Topology '" + topologyName + "': server '" + server.name +
+                  "' has non-positive bandwidth");
+    }
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        for (std::size_t j = i + 1; j < servers.size(); ++j)
+            if (servers[i].range.sizeGb > 0 && servers[j].range.sizeGb > 0 &&
+                servers[i].range.overlaps(servers[j].range))
+                fatal("Topology '" + topologyName +
+                      "': overlapping address ranges between '" +
+                      servers[i].name + "' and '" + servers[j].name + "'");
+
+    std::set<std::pair<std::size_t, std::size_t>> endpoints;
+    for (const LinkDesc &link : links) {
+        if (!names.insert("l:" + link.name).second)
+            fatal("Topology '" + topologyName + "': duplicate link name '" +
+                  link.name + "'");
+        if (link.node >= nodes.size())
+            fatal("Topology '" + topologyName + "': link '" + link.name +
+                  "' references unknown node index");
+        if (link.server >= servers.size())
+            fatal("Topology '" + topologyName + "': link '" + link.name +
+                  "' references unknown server index");
+        if (!endpoints.insert({link.node, link.server}).second)
+            fatal("Topology '" + topologyName + "': duplicate link between '" +
+                  nodes[link.node].name + "' and '" +
+                  servers[link.server].name + "'");
+    }
+
+    nodeLinks.assign(nodes.size(), {});
+    serverLinks.assign(servers.size(), {});
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        nodeLinks[links[i].node].push_back(i);
+        serverLinks[links[i].server].push_back(i);
+    }
+
+    validated = true;
+    return *this;
+}
+
+void
+Topology::requireValidated(const char *what) const
+{
+    if (!validated)
+        fatal(std::string("Topology '") + topologyName + "': " + what +
+              " called before validate()");
+}
+
+const ComputeNodeDesc &
+Topology::node(std::size_t i) const
+{
+    if (i >= nodes.size())
+        fatal("Topology '" + topologyName + "': node index out of range");
+    return nodes[i];
+}
+
+const MemoryServerDesc &
+Topology::server(std::size_t i) const
+{
+    if (i >= servers.size())
+        fatal("Topology '" + topologyName + "': server index out of range");
+    return servers[i];
+}
+
+const LinkDesc &
+Topology::link(std::size_t i) const
+{
+    if (i >= links.size())
+        fatal("Topology '" + topologyName + "': link index out of range");
+    return links[i];
+}
+
+const std::vector<std::size_t> &
+Topology::linksFrom(std::size_t node) const
+{
+    requireValidated("linksFrom");
+    if (node >= nodeLinks.size())
+        fatal("Topology '" + topologyName + "': linksFrom out of range");
+    return nodeLinks[node];
+}
+
+const std::vector<std::size_t> &
+Topology::linksInto(std::size_t server) const
+{
+    requireValidated("linksInto");
+    if (server >= serverLinks.size())
+        fatal("Topology '" + topologyName + "': linksInto out of range");
+    return serverLinks[server];
+}
+
+std::int64_t
+Topology::linkBetween(std::size_t node, std::size_t server) const
+{
+    for (std::size_t i = 0; i < links.size(); ++i)
+        if (links[i].node == node && links[i].server == server)
+            return static_cast<std::int64_t>(i);
+    return -1;
+}
+
+std::int64_t
+Topology::linkIndexByName(const std::string &name) const
+{
+    for (std::size_t i = 0; i < links.size(); ++i)
+        if (links[i].name == name)
+            return static_cast<std::int64_t>(i);
+    return -1;
+}
+
+std::int64_t
+Topology::serverOwning(std::uint64_t addressGb) const
+{
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        if (servers[i].range.contains(addressGb))
+            return static_cast<std::int64_t>(i);
+    return -1;
+}
+
+double
+Topology::totalCapacityGb() const
+{
+    double total = 0.0;
+    for (const MemoryServerDesc &server : servers)
+        total += server.capacityGb;
+    return total;
+}
+
+bool
+Topology::isPaperPair() const
+{
+    return nodes.size() == 1 && servers.size() == 1 && links.size() == 1 &&
+           std::string(links[0].profile.name) == kThymesisFlowProfile.name;
+}
+
+Topology
+Topology::paperPair(TestbedParams params)
+{
+    Topology topo("paper-pair");
+    topo.addNode({"n0", params});
+    topo.addServer({"s0", 256.0, params.localBwGBps, {}});
+    topo.addLink(0, 0, kThymesisFlowProfile);
+    return topo.validate();
+}
+
+Topology
+Topology::symmetric(std::size_t nodeCount, std::size_t serverCount,
+                    const LinkProfile &profile, double server_capacity_gb,
+                    TestbedParams node_params)
+{
+    Topology topo("rack-" + std::to_string(nodeCount) + "x" +
+                  std::to_string(serverCount) + "-" + profile.name);
+    for (std::size_t n = 0; n < nodeCount; ++n)
+        topo.addNode({"n" + std::to_string(n), node_params});
+    for (std::size_t s = 0; s < serverCount; ++s)
+        topo.addServer({"s" + std::to_string(s), server_capacity_gb,
+                        node_params.localBwGBps, {}});
+    for (std::size_t n = 0; n < nodeCount; ++n)
+        for (std::size_t s = 0; s < serverCount; ++s)
+            topo.addLink(n, s, profile);
+    return topo.validate();
+}
+
+Topology
+Topology::independentPairs(std::size_t pairs, TestbedParams params)
+{
+    Topology topo("pairs-" + std::to_string(pairs));
+    for (std::size_t i = 0; i < pairs; ++i) {
+        topo.addNode({"n" + std::to_string(i), params});
+        topo.addServer(
+            {"s" + std::to_string(i), 256.0, params.localBwGBps, {}});
+        topo.addLink(i, i, kThymesisFlowProfile);
+    }
+    return topo.validate();
+}
+
+Topology
+Topology::asymmetric4x4()
+{
+    Topology topo("rack-4x4-mixed");
+    TestbedParams params;
+    for (std::size_t n = 0; n < 4; ++n)
+        topo.addNode({"n" + std::to_string(n), params});
+    topo.addServer({"s0", 512.0, 18.0, {}});
+    topo.addServer({"s1", 256.0, 15.0, {}});
+    topo.addServer({"s2", 64.0, 12.0, {}});
+    topo.addServer({"s3", 0.0, 10.0, {}}); // drained server, kept reachable
+    // n0 reaches every server over mixed tiers; n1/n2 see two servers
+    // each; n3 has a single RDMA path.
+    topo.addLink(0, 0, kCxlProfile);
+    topo.addLink(0, 1, kThymesisFlowProfile);
+    topo.addLink(0, 2, kRdmaProfile);
+    topo.addLink(0, 3, kRdmaProfile);
+    topo.addLink(1, 0, kThymesisFlowProfile);
+    topo.addLink(1, 1, kCxlProfile);
+    topo.addLink(2, 1, kRdmaProfile);
+    topo.addLink(2, 2, kCxlProfile);
+    topo.addLink(3, 2, kRdmaProfile);
+    return topo.validate();
+}
+
+Topology
+topologyByName(const std::string &name)
+{
+    if (name == "paper-pair")
+        return Topology::paperPair();
+    if (name == "rack-2x2-cxl")
+        return Topology::symmetric(2, 2, kCxlProfile);
+    if (name == "rack-4x4-mixed")
+        return Topology::asymmetric4x4();
+    const std::string pairsPrefix = "pairs-";
+    if (name.rfind(pairsPrefix, 0) == 0) {
+        const std::string count = name.substr(pairsPrefix.size());
+        if (!count.empty() &&
+            count.find_first_not_of("0123456789") == std::string::npos) {
+            const std::size_t pairs = std::stoul(count);
+            if (pairs > 0)
+                return Topology::independentPairs(pairs);
+        }
+    }
+    fatal("topologyByName: unknown topology '" + name + "'");
+}
+
+std::vector<std::string>
+knownTopologyNames()
+{
+    return {"paper-pair", "rack-2x2-cxl", "rack-4x4-mixed"};
+}
+
+} // namespace adrias::testbed

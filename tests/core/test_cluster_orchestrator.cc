@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/adrias.hh"
+#include "core/schedulers.hh"
+#include "testbed/topology.hh"
 
 namespace adrias::core
 {
@@ -162,6 +164,172 @@ TEST_F(ClusterOrchestratorTest, EndToEndComparableToLeastLoaded)
     (void)baseline_offloads;
     EXPECT_LT(adrias_median, baseline_median * 1.25);
     EXPECT_GT(adrias_offloads, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Rack-aware placement (placeRack) across 1×1, 2×2, 4×4 and degenerate
+// topologies.
+// ---------------------------------------------------------------------
+
+/** A rack view over `topo` with every server fully available and every
+ *  link healthy; tests then poke individual entries. */
+scenario::RackView
+fullView(const testbed::Topology &topo)
+{
+    scenario::RackView view;
+    view.topology = &topo;
+    view.servers.resize(topo.serverCount());
+    for (std::size_t s = 0; s < topo.serverCount(); ++s) {
+        view.servers[s].capacityGb = topo.server(s).capacityGb;
+        view.servers[s].availableGb = topo.server(s).capacityGb;
+    }
+    view.links.resize(topo.linkCount());
+    for (std::size_t l = 0; l < topo.linkCount(); ++l) {
+        view.links[l].node = topo.link(l).node;
+        view.links[l].server = topo.link(l).server;
+    }
+    return view;
+}
+
+/** An app the signature store has never seen: the orchestrator's
+ *  bootstrap path deterministically prefers Remote on the least-loaded
+ *  node, giving placeRack a Remote decision to route. */
+workloads::WorkloadSpec
+novelSpec(double footprint_gb = 4.0)
+{
+    workloads::WorkloadSpec spec = workloads::sparkBenchmark("sort");
+    spec.name = "never-seen-rack";
+    spec.memoryFootprintGb = footprint_gb;
+    return spec;
+}
+
+TEST_F(ClusterOrchestratorTest, PlaceRackRoutesPaperPairSingleLink)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    const testbed::Topology topo = testbed::Topology::paperPair();
+    telemetry::Watcher w0(16);
+    std::vector<scenario::NodeView> nodes{{&w0, 0}};
+    const auto placement = orchestrator.placeRack(
+        novelSpec(), nodes, fullView(topo), 0);
+    EXPECT_EQ(placement.node, 0u);
+    EXPECT_EQ(placement.mode, MemoryMode::Remote);
+    EXPECT_EQ(placement.server, 0u);
+    EXPECT_EQ(placement.link, 0u);
+}
+
+TEST_F(ClusterOrchestratorTest, PlaceRackPrefersRoomiestServer)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    const testbed::Topology topo = testbed::Topology::symmetric(
+        2, 2, testbed::kCxlProfile, 128.0);
+    telemetry::Watcher w0(16), w1(16);
+    std::vector<scenario::NodeView> nodes{{&w0, 1}, {&w1, 5}};
+
+    scenario::RackView view = fullView(topo);
+    view.servers[0].availableGb = 10.0;
+    view.servers[1].availableGb = 90.0;
+    const auto placement =
+        orchestrator.placeRack(novelSpec(), nodes, view, 0);
+    EXPECT_EQ(placement.node, 0u); // least loaded
+    EXPECT_EQ(placement.mode, MemoryMode::Remote);
+    EXPECT_EQ(placement.server, 1u);
+    EXPECT_EQ(placement.link,
+              static_cast<std::size_t>(topo.linkBetween(0, 1)));
+}
+
+TEST_F(ClusterOrchestratorTest, PlaceRackRetriesSurvivingNodesInLoadOrder)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    const testbed::Topology topo = testbed::Topology::symmetric(
+        3, 2, testbed::kCxlProfile, 128.0);
+    telemetry::Watcher w0(16), w1(16), w2(16);
+    // Node 0 is predicted-best (least loaded) but loses both links;
+    // node 2 is the least-loaded survivor and must win over node 1.
+    std::vector<scenario::NodeView> nodes{{&w0, 0}, {&w1, 6}, {&w2, 2}};
+
+    scenario::RackView view = fullView(topo);
+    for (std::size_t l : topo.linksFrom(0))
+        view.links[l].bwScale = 0.01;
+    const auto placement =
+        orchestrator.placeRack(novelSpec(), nodes, view, 0);
+    EXPECT_EQ(placement.mode, MemoryMode::Remote);
+    EXPECT_EQ(placement.node, 2u);
+}
+
+TEST_F(ClusterOrchestratorTest, PlaceRackDegradesToLocalWhenRackExhausted)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    const testbed::Topology topo = testbed::Topology::symmetric(
+        2, 2, testbed::kCxlProfile, 128.0);
+    telemetry::Watcher w0(16), w1(16);
+    std::vector<scenario::NodeView> nodes{{&w0, 1}, {&w1, 3}};
+
+    // Every server drained below the footprint: no node has a route.
+    scenario::RackView view = fullView(topo);
+    view.servers[0].availableGb = 0.5;
+    view.servers[1].availableGb = 0.5;
+    const auto placement =
+        orchestrator.placeRack(novelSpec(4.0), nodes, view, 0);
+    EXPECT_EQ(placement.mode, MemoryMode::Local);
+    EXPECT_EQ(placement.node, 0u); // keeps the predicted-best node
+}
+
+TEST_F(ClusterOrchestratorTest, PlaceRackAvoidsDrainedServerOn4x4)
+{
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    const testbed::Topology topo = testbed::Topology::asymmetric4x4();
+    telemetry::Watcher w0(16), w1(16), w2(16), w3(16);
+    // Node 0 reaches all four servers, including the drained s3.
+    std::vector<scenario::NodeView> nodes{
+        {&w0, 0}, {&w1, 4}, {&w2, 4}, {&w3, 4}};
+    const auto placement = orchestrator.placeRack(
+        novelSpec(), nodes, fullView(topo), 0);
+    EXPECT_EQ(placement.node, 0u);
+    EXPECT_EQ(placement.mode, MemoryMode::Remote);
+    EXPECT_NE(placement.server, 3u); // zero-capacity server never lends
+    EXPECT_EQ(placement.server, 0u); // s0 has the most available room
+}
+
+TEST_F(ClusterOrchestratorTest, PlaceRackLocalDecisionSkipsRouting)
+{
+    // A known app against cold telemetry falls back to least-loaded
+    // *local*; placeRack must pass that decision through untouched.
+    AdriasClusterOrchestrator orchestrator(stack->predictor(),
+                                           stack->signatures(), {});
+    const testbed::Topology topo = testbed::Topology::symmetric(
+        2, 2, testbed::kCxlProfile, 128.0);
+    telemetry::Watcher w0(16), w1(16);
+    std::vector<scenario::NodeView> nodes{{&w0, 4}, {&w1, 1}};
+    const auto placement = orchestrator.placeRack(
+        workloads::sparkBenchmark("sort"), nodes, fullView(topo), 0);
+    EXPECT_EQ(placement.mode, MemoryMode::Local);
+    EXPECT_EQ(placement.node, 1u);
+}
+
+TEST_F(ClusterOrchestratorTest, DefaultPolicyRoutingDemotesWithoutRetry)
+{
+    // The base-class placeRack (LeastLoadedRemotePolicy) routes on the
+    // chosen node only: when that node's links die it demotes to Local
+    // instead of retrying other nodes — the orchestrator's retry is a
+    // genuine improvement over the baseline.
+    LeastLoadedRemotePolicy baseline;
+    const testbed::Topology topo = testbed::Topology::symmetric(
+        2, 2, testbed::kCxlProfile, 128.0);
+    telemetry::Watcher w0(16), w1(16);
+    std::vector<scenario::NodeView> nodes{{&w0, 0}, {&w1, 5}};
+
+    scenario::RackView view = fullView(topo);
+    for (std::size_t l : topo.linksFrom(0))
+        view.links[l].bwScale = 0.01;
+    const auto placement = baseline.placeRack(
+        workloads::sparkBenchmark("sort"), nodes, view, 0);
+    EXPECT_EQ(placement.mode, MemoryMode::Local);
+    EXPECT_EQ(placement.node, 0u);
 }
 
 } // namespace

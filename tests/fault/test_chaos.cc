@@ -14,11 +14,14 @@
 #include <cmath>
 
 #include "core/orchestrator.hh"
+#include "core/schedulers.hh"
 #include "fault/fault.hh"
 #include "models/guard.hh"
+#include "scenario/cluster.hh"
 #include "scenario/runner.hh"
 #include "scenario/signature.hh"
 #include "stats/percentile.hh"
+#include "testbed/topology.hh"
 
 namespace adrias::core
 {
@@ -107,14 +110,14 @@ class ChaosTest : public ::testing::Test
     {
         FaultSchedule schedule;
         schedule.seed = seed;
-        schedule.add({FaultKind::CounterStale, 400, 500, 1.0, 0.5});
-        schedule.add({FaultKind::LinkFlap, 600, 900, 1.0, 0.5});
-        schedule.add({FaultKind::CounterDrop, 1000, 1300, 1.0, 0.5});
-        schedule.add({FaultKind::LinkDegrade, 1200, 1800, 0.3, 1.0});
-        schedule.add({FaultKind::CounterCorrupt, 1500, 1800, 1.0, 0.3});
-        schedule.add({FaultKind::PredictorCrash, 2000, 2300, 1.0, 1.0});
+        schedule.add({FaultKind::CounterStale, 400, 500, 1.0, 0.5, ""});
+        schedule.add({FaultKind::LinkFlap, 600, 900, 1.0, 0.5, ""});
+        schedule.add({FaultKind::CounterDrop, 1000, 1300, 1.0, 0.5, ""});
+        schedule.add({FaultKind::LinkDegrade, 1200, 1800, 0.3, 1.0, ""});
+        schedule.add({FaultKind::CounterCorrupt, 1500, 1800, 1.0, 0.3, ""});
+        schedule.add({FaultKind::PredictorCrash, 2000, 2300, 1.0, 1.0, ""});
         schedule.add(
-            {FaultKind::PredictorLatency, 2400, 2500, 500.0, 1.0});
+            {FaultKind::PredictorLatency, 2400, 2500, 500.0, 1.0, ""});
         return schedule;
     }
 
@@ -197,7 +200,7 @@ TEST_F(ChaosTest, GuardEnforcesDeadline)
 {
     StubPredictor stub;
     FaultSchedule schedule;
-    schedule.add({FaultKind::PredictorLatency, 0, 10, 500.0, 1.0});
+    schedule.add({FaultKind::PredictorLatency, 0, 10, 500.0, 1.0, ""});
     fault::FaultInjector injector(schedule);
     models::GuardedPredictor guard(stub, {}, &injector);
 
@@ -351,6 +354,122 @@ TEST_F(ChaosTest, DifferentFaultSeedChangesInjectionPattern)
     const ChaosRun baseline = runChaos(stub, true);
     EXPECT_NE(reseeded.faultSummary.samplesDropped,
               baseline.result.faultSummary.samplesDropped);
+}
+
+// ---------------------------------------------------------------------
+// Named-link chaos on rack topologies: a FaultWindow carrying a link
+// name derates exactly that link of the shared rack, and placement
+// degrades onto the surviving servers instead of stalling.
+// ---------------------------------------------------------------------
+
+TEST_F(ChaosTest, NamedWindowTargetsOnlyThatLink)
+{
+    FaultSchedule schedule;
+    schedule.seed = 11;
+    schedule.add({FaultKind::LinkDegrade, 0, 100, 0.3, 1.0, "n0-s0"});
+    fault::FaultInjector injector(schedule);
+
+    const fault::LinkState hit = injector.linkStateAt(50, "n0-s0");
+    EXPECT_DOUBLE_EQ(hit.bwScale, 0.3);
+    EXPECT_FALSE(injector.linkStateAt(50, "n0-s1").faulted());
+    EXPECT_FALSE(injector.linkStateAt(200, "n0-s0").faulted());
+
+    // The single-channel overload ignores names: the paper pair's one
+    // channel stands in for every link (legacy behaviour).
+    EXPECT_DOUBLE_EQ(injector.linkStateAt(50).bwScale, 0.3);
+
+    // An untargeted window keeps applying to every link.
+    schedule.add({FaultKind::LinkDegrade, 0, 100, 0.5, 1.0, ""});
+    fault::FaultInjector broad(schedule);
+    EXPECT_DOUBLE_EQ(broad.linkStateAt(50, "n0-s1").bwScale, 0.5);
+    EXPECT_DOUBLE_EQ(broad.linkStateAt(50, "n0-s0").bwScale, 0.3);
+}
+
+/** Shared rack-chaos scaffolding: a 2×2 CXL rack under a remote-
+ *  preferring baseline, with an optional named-link degrade window
+ *  covering the whole run. */
+scenario::ClusterResult
+runRackChaos(const std::string &link, double magnitude)
+{
+    const testbed::Topology topo = testbed::topologyByName("rack-2x2-cxl");
+    ScenarioConfig config;
+    config.durationSec = 900;
+    config.spawnMinSec = 4;
+    config.spawnMaxSec = 12;
+    config.seed = 616;
+    if (!link.empty())
+        config.faults.add(
+            {FaultKind::LinkDegrade, 0, 900, magnitude, 1.0, link});
+    scenario::ClusterScenarioRunner runner(topo, config);
+    LeastLoadedRemotePolicy policy;
+    return runner.run(policy);
+}
+
+TEST_F(ChaosTest, DeadNamedLinkShiftsTrafficToSurvivingServer)
+{
+    const testbed::Topology topo = testbed::topologyByName("rack-2x2-cxl");
+    const auto l00 =
+        static_cast<std::size_t>(topo.linkIndexByName("n0-s0"));
+    const auto l01 =
+        static_cast<std::size_t>(topo.linkIndexByName("n0-s1"));
+
+    const scenario::ClusterResult clean = runRackChaos("", 1.0);
+    // bwScale 0.02 is below LinkView::healthy(): the link is dead for
+    // routing purposes from the first tick.
+    const scenario::ClusterResult dead = runRackChaos("n0-s0", 0.02);
+
+    // The healthy run used the link; the dead run never routed onto it.
+    EXPECT_GT(clean.linkTotals[l00].offeredGb, 0.0);
+    EXPECT_DOUBLE_EQ(dead.linkTotals[l00].offeredGb, 0.0);
+
+    // n0's remote demand fell back to the surviving server: its other
+    // link carries strictly more than in the healthy run, and node 0
+    // still completed remote deployments.
+    EXPECT_GT(dead.linkTotals[l01].offeredGb,
+              clean.linkTotals[l01].offeredGb);
+    std::size_t remote_on_n0 = 0;
+    for (const auto &record : dead.nodes[0].records)
+        remote_on_n0 += record.mode == MemoryMode::Remote;
+    EXPECT_GT(remote_on_n0, 0u);
+
+    // The injector saw the link fault; the run still finished whole.
+    EXPECT_GT(dead.nodes[0].faultSummary.linkFaultTicks, 0u);
+    for (const auto &node : dead.nodes)
+        EXPECT_EQ(node.trace.size(), 900u);
+}
+
+TEST_F(ChaosTest, DegradedNamedLinkStillRoutesButQueues)
+{
+    const testbed::Topology topo = testbed::topologyByName("rack-2x2-cxl");
+    const auto l00 =
+        static_cast<std::size_t>(topo.linkIndexByName("n0-s0"));
+
+    const scenario::ClusterResult clean = runRackChaos("", 1.0);
+    // bwScale 0.1 stays above the routing health floor: the link keeps
+    // carrying traffic but its 4 GB/s capacity shrinks to 0.4 GB/s.
+    const scenario::ClusterResult slow = runRackChaos("n0-s0", 0.1);
+
+    EXPECT_GT(slow.linkTotals[l00].offeredGb, 0.0);
+    EXPECT_GT(slow.linkTotals[l00].queuedGb,
+              clean.linkTotals[l00].queuedGb);
+    EXPECT_GT(slow.linkTotals[l00].saturatedTicks,
+              clean.linkTotals[l00].saturatedTicks);
+}
+
+TEST_F(ChaosTest, WindowNamingUnknownLinkIsInert)
+{
+    const scenario::ClusterResult clean = runRackChaos("", 1.0);
+    const scenario::ClusterResult miss =
+        runRackChaos("no-such-link", 0.02);
+
+    ASSERT_EQ(miss.linkTotals.size(), clean.linkTotals.size());
+    for (std::size_t l = 0; l < clean.linkTotals.size(); ++l) {
+        EXPECT_EQ(miss.linkTotals[l].offeredGb,
+                  clean.linkTotals[l].offeredGb);
+        EXPECT_EQ(miss.linkTotals[l].deliveredGb,
+                  clean.linkTotals[l].deliveredGb);
+    }
+    EXPECT_EQ(miss.nodes[0].faultSummary.linkFaultTicks, 0u);
 }
 
 } // namespace

@@ -40,7 +40,7 @@ TEST(FaultInjector, EmptyScheduleNeverFires)
 TEST(FaultInjector, WindowBoundsAreHonored)
 {
     FaultSchedule schedule;
-    schedule.add({FaultKind::LinkDegrade, 100, 200, 0.5, 1.0});
+    schedule.add({FaultKind::LinkDegrade, 100, 200, 0.5, 1.0, ""});
     FaultInjector injector(schedule);
 
     EXPECT_FALSE(injector.armedAt(FaultKind::LinkDegrade, 99));
@@ -61,9 +61,9 @@ TEST(FaultInjector, DecisionsAreDeterministicAcrossInstances)
 {
     FaultSchedule schedule;
     schedule.seed = 42;
-    schedule.add({FaultKind::CounterDrop, 0, 1000, 1.0, 0.3});
-    schedule.add({FaultKind::PredictorCrash, 200, 800, 1.0, 0.5});
-    schedule.add({FaultKind::LinkFlap, 100, 600, 1.0, 0.2});
+    schedule.add({FaultKind::CounterDrop, 0, 1000, 1.0, 0.3, ""});
+    schedule.add({FaultKind::PredictorCrash, 200, 800, 1.0, 0.5, ""});
+    schedule.add({FaultKind::LinkFlap, 100, 600, 1.0, 0.2, ""});
 
     FaultInjector a(schedule);
     FaultInjector b(schedule);
@@ -81,7 +81,7 @@ TEST(FaultInjector, QueryOrderDoesNotChangeDecisions)
 {
     FaultSchedule schedule;
     schedule.seed = 7;
-    schedule.add({FaultKind::CounterDrop, 0, 400, 1.0, 0.4});
+    schedule.add({FaultKind::CounterDrop, 0, 400, 1.0, 0.4, ""});
 
     // Forward vs backward sweeps must agree tick by tick.
     FaultInjector forward(schedule);
@@ -99,7 +99,7 @@ TEST(FaultInjector, SeedChangesTheFiringPattern)
 {
     FaultSchedule one;
     one.seed = 1;
-    one.add({FaultKind::CounterDrop, 0, 2000, 1.0, 0.5});
+    one.add({FaultKind::CounterDrop, 0, 2000, 1.0, 0.5, ""});
     FaultSchedule two = one;
     two.seed = 2;
 
@@ -114,7 +114,7 @@ TEST(FaultInjector, SeedChangesTheFiringPattern)
 TEST(FaultInjector, ProbabilityScalesFiringRate)
 {
     FaultSchedule schedule;
-    schedule.add({FaultKind::CounterDrop, 0, 4000, 1.0, 0.25});
+    schedule.add({FaultKind::CounterDrop, 0, 4000, 1.0, 0.25, ""});
     FaultInjector injector(schedule);
     std::size_t fired = 0;
     for (SimTime t = 0; t < 4000; ++t)
@@ -125,8 +125,8 @@ TEST(FaultInjector, ProbabilityScalesFiringRate)
 TEST(FaultInjector, DropTakesPriorityAndCountsTally)
 {
     FaultSchedule schedule;
-    schedule.add({FaultKind::CounterDrop, 0, 10, 1.0, 1.0});
-    schedule.add({FaultKind::CounterCorrupt, 0, 10, 1.0, 1.0});
+    schedule.add({FaultKind::CounterDrop, 0, 10, 1.0, 1.0, ""});
+    schedule.add({FaultKind::CounterCorrupt, 0, 10, 1.0, 1.0, ""});
     FaultInjector injector(schedule);
 
     CounterSample sample = healthySample();
@@ -141,7 +141,7 @@ TEST(FaultInjector, DropTakesPriorityAndCountsTally)
 TEST(FaultInjector, CorruptionPoisonsExactlyOneEventDeterministically)
 {
     FaultSchedule schedule;
-    schedule.add({FaultKind::CounterCorrupt, 0, 100, 1.0, 1.0});
+    schedule.add({FaultKind::CounterCorrupt, 0, 100, 1.0, 1.0, ""});
 
     FaultInjector a(schedule);
     FaultInjector b(schedule);
@@ -169,7 +169,7 @@ TEST(FaultInjector, CorruptionPoisonsExactlyOneEventDeterministically)
 TEST(FaultInjector, StaleRepeatsPreviousSampleAndDegradesOnFirstTick)
 {
     FaultSchedule schedule;
-    schedule.add({FaultKind::CounterStale, 0, 10, 1.0, 1.0});
+    schedule.add({FaultKind::CounterStale, 0, 10, 1.0, 1.0, ""});
     FaultInjector injector(schedule);
 
     CounterSample first = healthySample();
@@ -188,8 +188,8 @@ TEST(FaultInjector, StaleRepeatsPreviousSampleAndDegradesOnFirstTick)
 TEST(FaultInjector, PredictorFaultHelpers)
 {
     FaultSchedule schedule;
-    schedule.add({FaultKind::PredictorCrash, 100, 200, 1.0, 1.0});
-    schedule.add({FaultKind::PredictorLatency, 300, 400, 500.0, 1.0});
+    schedule.add({FaultKind::PredictorCrash, 100, 200, 1.0, 1.0, ""});
+    schedule.add({FaultKind::PredictorLatency, 300, 400, 500.0, 1.0, ""});
     FaultInjector injector(schedule);
 
     EXPECT_FALSE(injector.predictorCrashAt(50, 0));
@@ -204,15 +204,15 @@ TEST(FaultInjector, PredictorFaultHelpers)
 TEST(FaultInjector, RejectsMalformedWindows)
 {
     FaultSchedule backwards;
-    backwards.add({FaultKind::LinkDegrade, 200, 100, 0.5, 1.0});
+    backwards.add({FaultKind::LinkDegrade, 200, 100, 0.5, 1.0, ""});
     EXPECT_THROW(FaultInjector{backwards}, std::runtime_error);
 
     FaultSchedule bad_probability;
-    bad_probability.add({FaultKind::CounterDrop, 0, 10, 1.0, 1.5});
+    bad_probability.add({FaultKind::CounterDrop, 0, 10, 1.0, 1.5, ""});
     EXPECT_THROW(FaultInjector{bad_probability}, std::runtime_error);
 
     FaultSchedule bad_magnitude;
-    bad_magnitude.add({FaultKind::LinkDegrade, 0, 10, 0.0, 1.0});
+    bad_magnitude.add({FaultKind::LinkDegrade, 0, 10, 0.0, 1.0, ""});
     EXPECT_THROW(FaultInjector{bad_magnitude}, std::runtime_error);
 }
 

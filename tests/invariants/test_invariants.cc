@@ -23,7 +23,9 @@
 
 #include "common/invariant.hh"
 #include "telemetry/watcher.hh"
+#include "testbed/rack.hh"
 #include "testbed/testbed.hh"
+#include "testbed/topology.hh"
 
 namespace
 {
@@ -32,8 +34,10 @@ using adrias::invariant::kEnabled;
 using adrias::invariant::setHandler;
 using adrias::invariant::Violation;
 using adrias::testbed::LoadDescriptor;
+using adrias::testbed::RackTickResult;
 using adrias::testbed::TestbedParams;
 using adrias::testbed::TickResult;
+using adrias::testbed::Topology;
 
 /** Violations captured by the recording handler (plain function ptr). */
 std::vector<std::string> &
@@ -248,6 +252,178 @@ TEST_F(TickInvariantTest, NonFiniteCounterFires)
     adrias::testbed::checkTickInvariants(loads, result, params);
     EXPECT_GE(handler.count(), 1u);
     EXPECT_TRUE(handler.anyMentions("value"));
+}
+
+TEST_F(TickInvariantTest, CompensatingCrossChannelErrorFires)
+{
+    RecordingHandler handler;
+    // Shift achieved traffic from the local app to the remote app so
+    // the combined local-pool total is unchanged: an aggregate-only
+    // check would accept this, the per-channel sums must not.
+    const double delta = 0.2;
+    result.outcomes[0].achievedGBps -= delta; // local app
+    result.outcomes[1].achievedGBps += delta; // remote app
+    adrias::testbed::checkTickInvariants(loads, result, params);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("remoteTrafficGBps"));
+}
+
+/**
+ * Rack-tick invariant firing: run a healthy tick on a 2×2 CXL rack,
+ * then corrupt one per-link / per-server / per-node quantity at a time
+ * and prove checkRackTickInvariants() names it.
+ */
+class RackInvariantTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!kEnabled)
+            GTEST_SKIP() << "invariants compiled out (ADRIAS_INVARIANTS"
+                            "=OFF)";
+        using adrias::MemoryMode;
+        LoadDescriptor local;
+        local.id = 1;
+        local.mode = MemoryMode::Local;
+        local.node = 0;
+        local.memDemandGBps = 2.0;
+        local.cacheFootprintMb = 4.0;
+        loads.push_back(local);
+
+        LoadDescriptor remote;
+        remote.id = 2;
+        remote.mode = MemoryMode::Remote;
+        remote.node = 0;
+        remote.server = 0;
+        remote.link = static_cast<std::size_t>(topo.linkBetween(0, 0));
+        remote.memDemandGBps = 1.0;
+        remote.cacheFootprintMb = 3.0;
+        loads.push_back(remote);
+
+        LoadDescriptor far = remote;
+        far.id = 3;
+        far.node = 1;
+        far.server = 1;
+        far.link = static_cast<std::size_t>(topo.linkBetween(1, 1));
+        far.memDemandGBps = 0.8;
+        loads.push_back(far);
+
+        adrias::testbed::RackTestbed rack(topo, 1);
+        rack.setNoise(0.0);
+        result = rack.tick(loads);
+    }
+
+    Topology topo =
+        Topology::symmetric(2, 2, adrias::testbed::kCxlProfile);
+    std::vector<LoadDescriptor> loads;
+    RackTickResult result;
+};
+
+TEST_F(RackInvariantTest, HealthyRackTickIsViolationFree)
+{
+    RecordingHandler handler;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_EQ(handler.count(), 0u);
+
+    // A derated link must still accept the rack's own re-resolved
+    // output when the matching scale vector is passed.
+    adrias::testbed::RackTestbed faulted(topo, 1);
+    faulted.setNoise(0.0);
+    faulted.setLinkFault(0, 0.5, 2.0);
+    const RackTickResult derated = faulted.tick(loads);
+    std::vector<double> scales(topo.linkCount(), 1.0);
+    scales[0] = 0.5;
+    adrias::testbed::checkRackTickInvariants(loads, derated, topo,
+                                             scales);
+    EXPECT_EQ(handler.count(), 0u);
+}
+
+TEST_F(RackInvariantTest, StatsVectorSizeMismatchFires)
+{
+    RecordingHandler handler;
+    result.links.pop_back();
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("link stats size mismatch"));
+}
+
+TEST_F(RackInvariantTest, LinkConservationBreakFires)
+{
+    RecordingHandler handler;
+    result.links[loads[1].link].queuedGBps += 1.0;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("offeredGBps"));
+}
+
+TEST_F(RackInvariantTest, LinkDeliverySumMismatchFires)
+{
+    RecordingHandler handler;
+    result.links[loads[1].link].achievedGBps += 0.5;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("link_achieved"));
+}
+
+TEST_F(RackInvariantTest, DeratedLinkCapOverflowFires)
+{
+    RecordingHandler handler;
+    // The healthy tick delivered ~1 GB/s on link 0; claiming the link
+    // was derated to 1% of its 4 GB/s makes that delivery impossible.
+    std::vector<double> scales(topo.linkCount(), 1.0);
+    scales[loads[1].link] = 0.01;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo,
+                                             scales);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("link_achieved"));
+}
+
+TEST_F(RackInvariantTest, LinkLatencyBelowBaseFires)
+{
+    RecordingHandler handler;
+    result.links[0].latencyCycles = 1.0;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("latencyCycles"));
+}
+
+TEST_F(RackInvariantTest, ServerSumMismatchFires)
+{
+    RecordingHandler handler;
+    result.servers[1].achievedGBps += 1.0;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("server_achieved"));
+}
+
+TEST_F(RackInvariantTest, ServerAllocationOutOfRangeFires)
+{
+    RecordingHandler handler;
+    result.servers[0].allocatedGb = -1.0;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("allocatedGb"));
+}
+
+TEST_F(RackInvariantTest, NodeRemoteSumMismatchFires)
+{
+    RecordingHandler handler;
+    result.nodes[1].remoteTrafficGBps += 1.0;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("node_remote"));
+}
+
+TEST_F(RackInvariantTest, NodeLocalTerminationMismatchFires)
+{
+    RecordingHandler handler;
+    // R3: remote traffic must terminate in node 0's local controllers;
+    // zeroing the reported local traffic breaks that accounting.
+    result.nodes[0].localTrafficGBps = 0.0;
+    adrias::testbed::checkRackTickInvariants(loads, result, topo);
+    EXPECT_GE(handler.count(), 1u);
+    EXPECT_TRUE(handler.anyMentions("local_total"));
 }
 
 TEST(WatcherInvariantTest, NonMonotonicTimestampFires)

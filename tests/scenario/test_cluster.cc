@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/cluster.hh"
+#include "testbed/topology.hh"
 
 namespace adrias::scenario
 {
@@ -136,6 +137,285 @@ TEST(ClusterRunner, InvalidNodeFromPolicyPanics)
 {
     ClusterScenarioRunner runner(2, shortConfig(29));
     BadPolicy policy;
+    EXPECT_THROW(runner.run(policy), std::logic_error);
+}
+
+TEST(ClusterRunner, LegacyRunsLeaveRackFieldsEmpty)
+{
+    ClusterScenarioRunner runner(2, shortConfig(31));
+    RandomClusterPolicy policy(5);
+    const ClusterResult result = runner.run(policy);
+    EXPECT_TRUE(result.topologyName.empty());
+    EXPECT_TRUE(result.linkTotals.empty());
+}
+
+// ---------------------------------------------------------------------
+// routeOnRack: the (node, mode) → (node, server, link) routing step.
+// ---------------------------------------------------------------------
+
+/** A 1×2 rack view with hand-set availability and link health. */
+struct RouteFixture
+{
+    testbed::Topology topo = testbed::Topology::symmetric(
+        1, 2, testbed::kCxlProfile, 64.0);
+    RackView view;
+
+    RouteFixture(double avail0, double avail1, double bw0 = 1.0,
+                 double bw1 = 1.0)
+    {
+        view.topology = &topo;
+        view.servers.resize(2);
+        view.servers[0] = {64.0, avail0};
+        view.servers[1] = {64.0, avail1};
+        view.links.resize(2);
+        view.links[0] = {0, 0, bw0, 1.0};
+        view.links[1] = {0, 1, bw1, 1.0};
+    }
+};
+
+workloads::WorkloadSpec
+specWithFootprint(double gb)
+{
+    workloads::WorkloadSpec spec = workloads::sparkBenchmark("sort");
+    spec.memoryFootprintGb = gb;
+    return spec;
+}
+
+TEST(RouteOnRack, LocalPlacementPassesThrough)
+{
+    RouteFixture fix(10.0, 10.0);
+    ClusterPlacement placement;
+    placement.mode = MemoryMode::Local;
+    placement.node = 0;
+    const auto routed =
+        routeOnRack(placement, specWithFootprint(4.0), fix.view);
+    EXPECT_EQ(routed.mode, MemoryMode::Local);
+    EXPECT_EQ(routed.node, 0u);
+}
+
+TEST(RouteOnRack, PicksServerWithMostAvailableCapacity)
+{
+    RouteFixture fix(10.0, 40.0);
+    ClusterPlacement placement;
+    placement.mode = MemoryMode::Remote;
+    const auto routed =
+        routeOnRack(placement, specWithFootprint(4.0), fix.view);
+    EXPECT_EQ(routed.mode, MemoryMode::Remote);
+    EXPECT_EQ(routed.server, 1u);
+    EXPECT_EQ(routed.link, 1u);
+}
+
+TEST(RouteOnRack, BreaksAvailabilityTiesTowardLowestLink)
+{
+    RouteFixture fix(25.0, 25.0);
+    ClusterPlacement placement;
+    placement.mode = MemoryMode::Remote;
+    const auto routed =
+        routeOnRack(placement, specWithFootprint(4.0), fix.view);
+    EXPECT_EQ(routed.server, 0u);
+    EXPECT_EQ(routed.link, 0u);
+}
+
+TEST(RouteOnRack, SkipsUnhealthyLinks)
+{
+    RouteFixture fix(40.0, 10.0, /*bw0=*/0.02);
+    ClusterPlacement placement;
+    placement.mode = MemoryMode::Remote;
+    const auto routed =
+        routeOnRack(placement, specWithFootprint(4.0), fix.view);
+    EXPECT_EQ(routed.mode, MemoryMode::Remote);
+    EXPECT_EQ(routed.server, 1u);
+}
+
+TEST(RouteOnRack, SkipsServersWithoutRoom)
+{
+    RouteFixture fix(40.0, 10.0);
+    ClusterPlacement placement;
+    placement.mode = MemoryMode::Remote;
+    // 20 GB fits only on server 0 despite both links being healthy.
+    const auto routed =
+        routeOnRack(placement, specWithFootprint(20.0), fix.view);
+    EXPECT_EQ(routed.server, 0u);
+}
+
+TEST(RouteOnRack, DemotesToLocalWhenNoViableRoute)
+{
+    RouteFixture fix(1.0, 1.0);
+    ClusterPlacement placement;
+    placement.mode = MemoryMode::Remote;
+    const auto routed =
+        routeOnRack(placement, specWithFootprint(4.0), fix.view);
+    EXPECT_EQ(routed.mode, MemoryMode::Local);
+    EXPECT_EQ(routed.node, 0u);
+}
+
+TEST(RouteOnRack, MissingTopologyPanics)
+{
+    RackView empty;
+    ClusterPlacement placement;
+    placement.mode = MemoryMode::Remote;
+    EXPECT_THROW(routeOnRack(placement, specWithFootprint(1.0), empty),
+                 std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// The rack-model cluster runner.
+// ---------------------------------------------------------------------
+
+TEST(RackClusterRunner, ValidatesConfig)
+{
+    ScenarioConfig bad = shortConfig();
+    bad.durationSec = 0;
+    EXPECT_THROW(ClusterScenarioRunner(
+                     testbed::topologyByName("rack-2x2-cxl"), bad),
+                 std::runtime_error);
+    ScenarioConfig bad_spawn = shortConfig();
+    bad_spawn.spawnMinSec = 0;
+    EXPECT_THROW(ClusterScenarioRunner(
+                     testbed::topologyByName("rack-2x2-cxl"), bad_spawn),
+                 std::runtime_error);
+}
+
+TEST(RackClusterRunner, TracksTopologyNameAndLinkTotals)
+{
+    const testbed::Topology topo =
+        testbed::topologyByName("rack-2x2-cxl");
+    ClusterScenarioRunner runner(topo, shortConfig(37));
+    RandomClusterPolicy policy(5);
+    const ClusterResult result = runner.run(policy);
+
+    EXPECT_EQ(result.topologyName, "rack-2x2-cxl");
+    ASSERT_EQ(result.nodes.size(), 2u);
+    for (const auto &node : result.nodes) {
+        EXPECT_EQ(node.trace.size(), 900u);
+        EXPECT_EQ(node.concurrency.size(), 900u);
+    }
+    ASSERT_EQ(result.linkTotals.size(), topo.linkCount());
+    double delivered = 0.0;
+    for (const auto &totals : result.linkTotals) {
+        EXPECT_NEAR(totals.offeredGb,
+                    totals.deliveredGb + totals.queuedGb,
+                    1e-6 + 1e-9 * totals.offeredGb);
+        delivered += totals.deliveredGb;
+    }
+    EXPECT_GT(delivered, 0.0);
+    EXPECT_GT(result.allRecords().size(), 0u);
+}
+
+TEST(RackClusterRunner, TinyConcurrencyCapDropsArrivals)
+{
+    ScenarioConfig congested = shortConfig(41);
+    congested.spawnMinSec = 1;
+    congested.spawnMaxSec = 2;
+    congested.maxConcurrent = 1;
+    ClusterScenarioRunner runner(
+        testbed::topologyByName("rack-2x2-cxl"), congested);
+    RandomClusterPolicy policy(5);
+    const ClusterResult result = runner.run(policy);
+    EXPECT_GT(result.droppedArrivals, 0u);
+}
+
+/** Ignores rack state entirely: always (n0, Remote, s0, link 0). */
+class StubbornRemotePolicy : public ClusterPolicy
+{
+  public:
+    std::string name() const override { return "stubborn-remote"; }
+
+    ClusterPlacement
+    place(const workloads::WorkloadSpec &,
+          const std::vector<NodeView> &, SimTime) override
+    {
+        ClusterPlacement placement;
+        placement.mode = MemoryMode::Remote;
+        return placement;
+    }
+
+    ClusterPlacement
+    placeRack(const workloads::WorkloadSpec &spec,
+              const std::vector<NodeView> &nodes, const RackView &,
+              SimTime now) override
+    {
+        return place(spec, nodes, now);
+    }
+};
+
+TEST(RackClusterRunner, CapacityExhaustionCountsRemoteFallbacks)
+{
+    // One 6 GB server: a policy that insists on remote placements must
+    // be demoted to the local pool once the server fills, and the
+    // runner counts every demotion.
+    testbed::Topology topo("tiny");
+    topo.addNode({"n0", {}});
+    topo.addServer({"s0", 6.0, 15.0, {}});
+    topo.addLink(0, 0, testbed::kCxlProfile);
+    topo.validate();
+
+    ScenarioConfig config = shortConfig(43);
+    config.ibenchFraction = 0.0; // every arrival goes through the policy
+    ClusterScenarioRunner runner(topo, config);
+    StubbornRemotePolicy policy;
+    const ClusterResult result = runner.run(policy);
+
+    EXPECT_GT(result.remoteFallbacks, 0u);
+    std::size_t local_records = 0;
+    for (const auto &entry : result.allRecords())
+        local_records += entry.record->mode == MemoryMode::Local;
+    EXPECT_GT(local_records, 0u);
+}
+
+/** Returns a link that does not connect its claimed endpoints. */
+class BadLinkPolicy : public StubbornRemotePolicy
+{
+  public:
+    ClusterPlacement
+    placeRack(const workloads::WorkloadSpec &,
+              const std::vector<NodeView> &, const RackView &,
+              SimTime) override
+    {
+        ClusterPlacement placement;
+        placement.mode = MemoryMode::Remote;
+        placement.node = 0;
+        placement.server = 0;
+        placement.link = 99;
+        return placement;
+    }
+};
+
+TEST(RackClusterRunner, InvalidLinkFromPolicyPanics)
+{
+    ScenarioConfig config = shortConfig(47);
+    config.ibenchFraction = 0.0;
+    ClusterScenarioRunner runner(
+        testbed::topologyByName("rack-2x2-cxl"), config);
+    BadLinkPolicy policy;
+    EXPECT_THROW(runner.run(policy), std::logic_error);
+}
+
+TEST(RackClusterRunner, DisconnectedLinkTriplePanics)
+{
+    // Link 1 of the 2x2 rack is n0-s1: claiming it reaches s0 is a
+    // policy bug the runner must refuse to simulate.
+    class MismatchedPolicy : public StubbornRemotePolicy
+    {
+      public:
+        ClusterPlacement
+        placeRack(const workloads::WorkloadSpec &,
+                  const std::vector<NodeView> &, const RackView &,
+                  SimTime) override
+        {
+            ClusterPlacement placement;
+            placement.mode = MemoryMode::Remote;
+            placement.node = 0;
+            placement.server = 0;
+            placement.link = 1;
+            return placement;
+        }
+    };
+    ScenarioConfig config = shortConfig(53);
+    config.ibenchFraction = 0.0;
+    ClusterScenarioRunner runner(
+        testbed::topologyByName("rack-2x2-cxl"), config);
+    MismatchedPolicy policy;
     EXPECT_THROW(runner.run(policy), std::logic_error);
 }
 
