@@ -95,7 +95,9 @@ AdriasClusterOrchestrator::place(
             const Candidate &local = candidates[i];
             const Candidate &remote = candidates[i + 1];
             const bool go_local =
-                local.predicted < policy.beta * remote.predicted;
+                AdriasOrchestrator::decideBestEffort(
+                    local.predicted, remote.predicted, policy.beta) ==
+                MemoryMode::Local;
             const Candidate &chosen = go_local ? local : remote;
             const bool better =
                 chosen.predicted < best_time * (1.0 - kIsoMargin);
@@ -123,7 +125,10 @@ AdriasClusterOrchestrator::place(
         const Candidate *best_local = nullptr;
         for (const Candidate &candidate : candidates) {
             if (candidate.mode == MemoryMode::Remote) {
-                if (candidate.predicted > qos)
+                // Same boundary as the shared LC rule: a remote
+                // candidate is admissible iff p̂99 ≤ QoS.
+                if (AdriasOrchestrator::decideLatencyCritical(
+                        candidate.predicted, qos) != MemoryMode::Remote)
                     continue;
                 if (!best_remote ||
                     candidate.predicted <

@@ -169,8 +169,7 @@ AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
                 spec.cls, history, signature, MemoryMode::Local);
             const double t_remote = predictor->predictPerformance(
                 spec.cls, history, signature, MemoryMode::Remote);
-            mode = t_local < policy.beta * t_remote ? MemoryMode::Local
-                                                    : MemoryMode::Remote;
+            mode = decideBestEffort(t_local, t_remote, policy.beta);
 #if ADRIAS_OBS_ENABLED
             obs_t_local = t_local;
             obs_t_remote = t_remote;
@@ -178,8 +177,7 @@ AdriasOrchestrator::place(const workloads::WorkloadSpec &spec,
         } else if (spec.cls == WorkloadClass::LatencyCritical) {
             const double p99_remote = predictor->predictPerformance(
                 spec.cls, history, signature, MemoryMode::Remote);
-            mode = p99_remote <= qosFor(spec.name) ? MemoryMode::Remote
-                                                   : MemoryMode::Local;
+            mode = decideLatencyCritical(p99_remote, qosFor(spec.name));
 #if ADRIAS_OBS_ENABLED
             obs_p99_remote = p99_remote;
             obs_qos = qosFor(spec.name);

@@ -118,6 +118,27 @@ class AdriasOrchestrator : public scenario::PlacementPolicy
     double qosFor(const std::string &name) const;
 
     /**
+     * The paper's BE decision rule (§V-C): local iff
+     * t̂_local < β · t̂_remote.  Shared by the single-node place(),
+     * the cluster orchestrator and the DecisionService so batched and
+     * inline decisions can never diverge on the rule itself.
+     */
+    static MemoryMode
+    decideBestEffort(double t_local, double t_remote, double beta)
+    {
+        return t_local < beta * t_remote ? MemoryMode::Local
+                                         : MemoryMode::Remote;
+    }
+
+    /** The paper's LC decision rule: remote iff p̂99_remote ≤ QoS. */
+    static MemoryMode
+    decideLatencyCritical(double p99_remote, double qos)
+    {
+        return p99_remote <= qos ? MemoryMode::Remote
+                                 : MemoryMode::Local;
+    }
+
+    /**
      * Serialize the decision tallies, last-seen watcher health and the
      * (borrowed, bootstrap-grown) signature store.  The guard — when
      * attached — checkpoints separately under its own tag.

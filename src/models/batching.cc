@@ -1,5 +1,8 @@
 #include "models/batching.hh"
 
+#include <algorithm>
+#include <string>
+
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 
@@ -16,24 +19,104 @@ stackSequences(const std::vector<const std::vector<ml::Matrix> *> &sequences)
         panic("stackSequences: zero-length sequences");
     const std::size_t width = sequences.front()->front().cols();
 
+    // Validate every sequence up front, serially: the report must name
+    // the lowest offending row regardless of how the pool schedules
+    // chunks, and a too-short (or empty) later sequence must be caught
+    // before any timestep lambda indexes into it.
+    for (std::size_t b = 0; b < sequences.size(); ++b) {
+        const auto &sequence = *sequences[b];
+        if (sequence.size() != steps)
+            panic("stackSequences: ragged batch (row " +
+                  std::to_string(b) + " has " +
+                  std::to_string(sequence.size()) + " steps, expected " +
+                  std::to_string(steps) + ")");
+        for (std::size_t t = 0; t < steps; ++t) {
+            if (sequence[t].cols() != width || sequence[t].rows() != 1)
+                panic("stackSequences: ragged batch (row " +
+                      std::to_string(b) + ", step " + std::to_string(t) +
+                      " is " + std::to_string(sequence[t].rows()) + "x" +
+                      std::to_string(sequence[t].cols()) + ", expected 1x" +
+                      std::to_string(width) + ")");
+        }
+    }
+
     // Each timestep fills its own pre-sized slot, so the assembly can
-    // fan out across the pool without affecting the result; a ragged
-    // batch panics and the exception propagates to the caller.
+    // fan out across the pool without affecting the result.
     std::vector<ml::Matrix> batched(steps);
     ThreadPool::global().parallelForEach(steps, [&](std::size_t t) {
         ml::Matrix step(sequences.size(), width);
         for (std::size_t b = 0; b < sequences.size(); ++b) {
             const auto &sequence = *sequences[b];
-            if (sequence.size() != steps ||
-                sequence[t].cols() != width || sequence[t].rows() != 1) {
-                panic("stackSequences: ragged batch");
-            }
             for (std::size_t c = 0; c < width; ++c)
                 step.at(b, c) = sequence[t].at(0, c);
         }
         batched[t] = std::move(step);
     });
     return batched;
+}
+
+BatchAssembler::BatchAssembler(BatchAssemblerConfig config)
+    : knobs(config)
+{
+    if (knobs.batchSize == 0)
+        fatal("BatchAssembler: batch size must be positive");
+}
+
+void
+BatchAssembler::push(std::size_t item, SimTime deadline)
+{
+    if (queue.empty() || deadline < earliest)
+        earliest = deadline;
+    queue.push_back({item, deadline});
+}
+
+bool
+BatchAssembler::flushDue(SimTime now) const
+{
+    if (queue.empty())
+        return false;
+    if (queue.size() >= knobs.batchSize)
+        return true;
+    // Deadlines are exclusive: an item decided at tick `earliest` has
+    // already missed.  The latest safe dispatch tick is earliest - 1,
+    // so once now + 1 would reach the deadline we must flush now.
+    return now + 1 >= earliest;
+}
+
+std::vector<std::size_t>
+BatchAssembler::take()
+{
+    if (queue.empty())
+        panic("BatchAssembler::take on empty queue");
+    const std::size_t n = std::min(queue.size(), knobs.batchSize);
+    std::vector<std::size_t> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(queue.front().item);
+        queue.pop_front();
+    }
+    recomputeEarliest();
+    return batch;
+}
+
+SimTime
+BatchAssembler::earliestDeadline() const
+{
+    if (queue.empty())
+        panic("BatchAssembler::earliestDeadline on empty queue");
+    return earliest;
+}
+
+void
+BatchAssembler::recomputeEarliest()
+{
+    if (queue.empty()) {
+        earliest = 0;
+        return;
+    }
+    earliest = queue.front().deadline;
+    for (const Pending &p : queue)
+        earliest = std::min(earliest, p.deadline);
 }
 
 ml::Matrix

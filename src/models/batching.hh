@@ -1,14 +1,20 @@
 /**
  * @file
- * Minibatch assembly helpers shared by the model trainers: stacking
- * equal-length (1 x F) sequences into time-major (B x F) batches.
+ * Minibatch assembly helpers shared by the model trainers and the
+ * decision-serving path: stacking equal-length (1 x F) sequences into
+ * time-major (B x F) batches, plus the BatchAssembler that groups
+ * placement requests into inference batches under a size-or-deadline
+ * flush rule.
  */
 
 #ifndef ADRIAS_MODELS_BATCHING_HH
 #define ADRIAS_MODELS_BATCHING_HH
 
+#include <cstddef>
+#include <deque>
 #include <vector>
 
+#include "common/types.hh"
 #include "ml/matrix.hh"
 
 namespace adrias::models
@@ -26,6 +32,78 @@ stackSequences(const std::vector<const std::vector<ml::Matrix> *> &sequences);
 
 /** Stack (1 x F) row vectors into a (B x F) matrix. */
 ml::Matrix stackRows(const std::vector<const ml::Matrix *> &rows);
+
+/** BatchAssembler tuning. */
+struct BatchAssemblerConfig
+{
+    /** Flush as soon as this many items are pending (the fused b32
+     *  fast-path width). */
+    std::size_t batchSize = 32;
+};
+
+/**
+ * Groups individually arriving work items (request indices) into
+ * batches under a size-or-deadline flush rule:
+ *
+ *  - a batch flushes as soon as batchSize items are pending, or
+ *  - as soon as waiting one more tick would cross the earliest
+ *    pending item's deadline (deadlines are exclusive, matching the
+ *    guard's hard-budget semantics: an item decided exactly at its
+ *    deadline tick has already missed it).
+ *
+ * Items leave in arrival order, so for a fixed push sequence the batch
+ * composition is a pure function of (arrival order, deadlines, config)
+ * — never of thread scheduling.  Time is logical SimTime supplied by
+ * the caller; the assembler never reads a clock.
+ */
+class BatchAssembler
+{
+  public:
+    explicit BatchAssembler(BatchAssemblerConfig config = {});
+
+    /**
+     * Enqueue one item.
+     *
+     * @param item opaque index of the request (caller-owned storage).
+     * @param deadline absolute tick by which the item must have been
+     *        decided (exclusive; see class comment).
+     */
+    void push(std::size_t item, SimTime deadline);
+
+    /**
+     * @return true when take() should run now: a full batch is
+     *         pending, or deferring past `now` would miss the earliest
+     *         deadline (now + 1 >= earliest).
+     */
+    bool flushDue(SimTime now) const;
+
+    /** Pop up to batchSize items, arrival order. @pre pending() > 0. */
+    std::vector<std::size_t> take();
+
+    /** Items currently queued. */
+    std::size_t pending() const { return queue.size(); }
+
+    /** Earliest deadline among pending items. @pre pending() > 0. */
+    SimTime earliestDeadline() const;
+
+    const BatchAssemblerConfig &config() const { return knobs; }
+
+  private:
+    struct Pending
+    {
+        std::size_t item = 0;
+        SimTime deadline = 0;
+    };
+
+    BatchAssemblerConfig knobs;
+    std::deque<Pending> queue;
+
+    /** Min over pending deadlines, maintained incrementally (arrival
+     *  order does not imply deadline order). */
+    SimTime earliest = 0;
+
+    void recomputeEarliest();
+};
 
 } // namespace adrias::models
 

@@ -70,14 +70,14 @@ GuardedPredictor::fail(const std::string &reason,
 }
 
 void
-GuardedPredictor::admitCall(std::uint64_t salt) const
+GuardedPredictor::admitCall(std::uint64_t salt, std::size_t weight) const
 {
-    ++tallies.calls;
+    tallies.calls += weight;
 #if ADRIAS_OBS_ENABLED
     if (obs::enabled()) {
         static obs::Counter &calls_c =
             obs::MetricsRegistry::global().counter("predictor.calls");
-        calls_c.add();
+        calls_c.add(weight);
     }
 #endif
 
@@ -117,7 +117,11 @@ GuardedPredictor::admitCall(std::uint64_t salt) const
         latency_h.observe(latency_ms, decisionTime);
     }
 #endif
-    if (latency_ms > knobs.deadlineMs) {
+    // Hard budget, exclusive: an inference consuming the entire budget
+    // leaves nothing for the decision it feeds, so landing exactly on
+    // the deadline is a miss — the same boundary rule the serving
+    // layer applies to request deadlines (DESIGN.md §15).
+    if (latency_ms >= knobs.deadlineMs) {
         ++tallies.deadlineExceeded;
         fail("inference deadline exceeded (" +
                  std::to_string(latency_ms) + " ms)",
@@ -203,6 +207,56 @@ GuardedPredictor::predictPerformance(
     }
 #endif
     return prediction;
+}
+
+std::vector<double>
+GuardedPredictor::predictPerformanceBatch(
+    WorkloadClass cls, const std::vector<PerfQuery> &queries) const
+{
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan predict_span("predict_performance_batch", "predictor");
+#endif
+    if (queries.empty())
+        return {};
+    const std::uint64_t salt = callCounter++;
+    admitCall(salt, queries.size());
+
+    // Input validation is not a model failure: reject without charging
+    // the breaker (same rule as the single-row path).
+    for (const PerfQuery &query : queries) {
+        if (query.history == nullptr || query.history->empty() ||
+            query.signature == nullptr || query.signature->empty() ||
+            !sequenceFinite(*query.history) ||
+            !sequenceFinite(*query.signature)) {
+            ++tallies.invalidInputs;
+            throw PredictionUnavailable(
+                "GuardedPredictor: invalid model inputs");
+        }
+    }
+
+    std::vector<double> predictions;
+    try {
+        predictions = wrapped->predictPerformanceBatch(cls, queries);
+    } catch (const std::exception &err) {
+        fail(std::string("performance model threw: ") + err.what(),
+             true);
+    }
+    if (predictions.size() != queries.size())
+        fail("batched prediction count mismatch", true);
+    for (double prediction : predictions)
+        if (!std::isfinite(prediction) || prediction < 0.0)
+            fail("performance prediction is not finite", true);
+    tallies.served += predictions.size();
+    breakerGate.recordSuccess(decisionTime);
+    obsBreakerSync();
+#if ADRIAS_OBS_ENABLED
+    if (obs::enabled()) {
+        static obs::Counter &served_c =
+            obs::MetricsRegistry::global().counter("predictor.served");
+        served_c.add(predictions.size());
+    }
+#endif
+    return predictions;
 }
 
 void

@@ -39,7 +39,13 @@ class PredictionUnavailable : public std::runtime_error
 /** Guard tuning knobs. */
 struct PredictorGuardConfig
 {
-    /** Per-call inference budget, ms. */
+    /**
+     * Per-call inference budget, ms.  The budget is a hard, exclusive
+     * bound: a modelled latency of exactly deadlineMs already counts
+     * as a deadline miss (tally, fail() and breaker all agree on this
+     * boundary).  Must satisfy baseLatencyMs < deadlineMs, or every
+     * call fails.
+     */
     double deadlineMs = 25.0;
 
     /** Modelled healthy inference latency, ms. */
@@ -93,6 +99,22 @@ class GuardedPredictor : public PredictorBase
                        const std::vector<ml::Matrix> &signature,
                        MemoryMode mode) const override;
 
+    /**
+     * Batched variant with ONE admission gate for the whole batch: a
+     * single breaker request, crash-window salt and modelled-latency
+     * deadline check covers all rows, because the fused fast-path runs
+     * one inference regardless of the batch size.  The per-request
+     * tallies (calls, served) advance by the batch size; gate events
+     * (breaker rejections, crashes, deadline misses) count once per
+     * batch.  Any gate failure fails the entire batch — per-request
+     * deadlines are the serving layer's job (it sizes batches so the
+     * inference budget fits every member's deadline).
+     */
+    std::vector<double>
+    predictPerformanceBatch(WorkloadClass cls,
+                            const std::vector<PerfQuery> &queries)
+        const override;
+
     bool trained() const override { return wrapped->trained(); }
 
     /** @return true while the breaker is not Closed. */
@@ -138,8 +160,13 @@ class GuardedPredictor : public PredictorBase
             "obs transition-detection cache; restoreState resyncs it "
             "from the restored breaker") = fault::BreakerState::Closed;
 
-    /** Common gate for both prediction entry points. */
-    void admitCall(std::uint64_t salt) const;
+    /**
+     * Common gate for every prediction entry point.  `weight` is the
+     * number of requests this admission covers (the batch size for the
+     * batched path): the calls tally advances by it, while the gate
+     * itself — breaker, crash window, deadline — fires once.
+     */
+    void admitCall(std::uint64_t salt, std::size_t weight = 1) const;
 
     /**
      * Report a breaker state change to the observability layer (no-op

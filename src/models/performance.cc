@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <unordered_map>
 
 #include "ml/serialize.hh"
 
@@ -408,6 +409,112 @@ PerformanceModel::predict(const std::vector<ml::Matrix> &history,
     const ml::Matrix out = forwardBatch(h, k, mode_col, future_rows);
     return decodeTarget(targetScaler.inverseTransformScalar(out.at(0, 0),
                                                             0));
+}
+
+std::vector<double>
+PerformanceModel::predictBatch(const std::vector<Query> &queries) const
+{
+    if (!isTrained)
+        fatal("PerformanceModel::predictBatch before train()");
+    if (queries.empty())
+        fatal("PerformanceModel::predictBatch on empty batch");
+
+    const std::size_t rows = queries.size();
+
+    // Dedupe each LSTM branch by sequence pointer: under epoch
+    // snapshots the history is per-shard and the signature per-app, so
+    // a serving batch usually holds only a handful of distinct
+    // sequences per branch.  Each distinct sequence is scaled and
+    // forwarded once; the head input then gathers branch outputs per
+    // row.  Every branch op is row-independent (DESIGN.md §9), so the
+    // gather is bitwise identical to stacking one row per query —
+    // width-1 calls can never share this work across requests.
+    std::vector<const std::vector<ml::Matrix> *> dist_h, dist_k;
+    std::vector<std::size_t> h_slot(rows), k_slot(rows);
+    std::unordered_map<const void *, std::size_t> h_seen, k_seen;
+    for (std::size_t b = 0; b < rows; ++b) {
+        const Query &query = queries[b];
+        if (query.history == nullptr || query.history->empty() ||
+            query.signature == nullptr || query.signature->empty())
+            fatal("PerformanceModel::predictBatch needs history and "
+                  "signature");
+        const auto [hit, h_new] =
+            h_seen.emplace(query.history, dist_h.size());
+        if (h_new)
+            dist_h.push_back(query.history);
+        h_slot[b] = hit->second;
+        const auto [kit, k_new] =
+            k_seen.emplace(query.signature, dist_k.size());
+        if (k_new)
+            dist_k.push_back(query.signature);
+        k_slot[b] = kit->second;
+    }
+
+    // Per-sequence scaling of both branches fans out across the pool
+    // into fixed slots; the cheap scalar columns stay serial.
+    std::vector<std::vector<ml::Matrix>> scaled_h(dist_h.size());
+    std::vector<std::vector<ml::Matrix>> scaled_k(dist_k.size());
+    ThreadPool::global().parallelForEach(
+        dist_h.size() + dist_k.size(), [&](std::size_t i) {
+            if (i < dist_h.size())
+                scaled_h[i] =
+                    counterScaler.transformSequence(*dist_h[i]);
+            else
+                scaled_k[i - dist_h.size()] =
+                    counterScaler.transformSequence(
+                        *dist_k[i - dist_h.size()]);
+        });
+
+    ml::Matrix mode_col(rows, 1);
+    ml::Matrix future_rows(rows, futureWidth());
+    for (std::size_t b = 0; b < rows; ++b) {
+        const Query &query = queries[b];
+        mode_col.at(b, 0) =
+            query.mode == MemoryMode::Remote ? 1.0 : 0.0;
+        if (futureWidth() > 0) {
+            if (query.future == nullptr || query.future->empty())
+                fatal("PerformanceModel::predictBatch: this model "
+                      "needs a future vector");
+            const ml::Matrix scaled =
+                counterScaler.transform(*query.future);
+            for (std::size_t e = 0; e < kNumPerfEvents; ++e)
+                future_rows.at(b, e) = scaled.at(0, e);
+        }
+    }
+
+    std::vector<const std::vector<ml::Matrix> *> h_ptrs, k_ptrs;
+    h_ptrs.reserve(scaled_h.size());
+    k_ptrs.reserve(scaled_k.size());
+    for (const auto &seq : scaled_h)
+        h_ptrs.push_back(&seq);
+    for (const auto &seq : scaled_k)
+        k_ptrs.push_back(&seq);
+
+    const auto h2 = historyLstm2->forwardSequence(
+        historyLstm1->forwardSequence(stackSequences(h_ptrs)));
+    const auto k2 = signatureLstm2->forwardSequence(
+        signatureLstm1->forwardSequence(stackSequences(k_ptrs)));
+    const ml::Matrix &h_last = h2.back();
+    const ml::Matrix &k_last = k2.back();
+
+    const std::size_t H = config.hidden;
+    ml::Matrix hidden(rows, 2 * H + 1 + futureWidth());
+    for (std::size_t b = 0; b < rows; ++b) {
+        for (std::size_t j = 0; j < H; ++j) {
+            hidden.at(b, j) = h_last.at(h_slot[b], j);
+            hidden.at(b, H + j) = k_last.at(k_slot[b], j);
+        }
+        hidden.at(b, 2 * H) = mode_col.at(b, 0);
+        for (std::size_t e = 0; e < futureWidth(); ++e)
+            hidden.at(b, 2 * H + 1 + e) = future_rows.at(b, e);
+    }
+
+    const ml::Matrix out = head->forward(hidden);
+    std::vector<double> predictions(rows);
+    for (std::size_t b = 0; b < rows; ++b)
+        predictions[b] = decodeTarget(
+            targetScaler.inverseTransformScalar(out.at(b, 0), 0));
+    return predictions;
 }
 
 PerformanceEvaluation

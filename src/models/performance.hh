@@ -106,6 +106,28 @@ class PerformanceModel
                    const std::vector<ml::Matrix> &signature,
                    MemoryMode mode, const ml::Matrix &future) const;
 
+    /** One row of a predictBatch() call (all pointers borrowed). */
+    struct Query
+    {
+        const std::vector<ml::Matrix> *history = nullptr;
+        const std::vector<ml::Matrix> *signature = nullptr;
+        MemoryMode mode = MemoryMode::Local;
+
+        /** Ŝ vector; nullptr allowed for FutureKind::None models. */
+        const ml::Matrix *future = nullptr;
+    };
+
+    /**
+     * Fused batch variant of predict(): one forward pass over B
+     * stacked queries.  Rows are independent through the encoders and
+     * the head, so element i is bitwise identical to the corresponding
+     * single-row predict() call.
+     *
+     * @return one prediction per query, input order.
+     */
+    std::vector<double>
+    predictBatch(const std::vector<Query> &queries) const;
+
     /** Evaluate on held-out samples (Ŝ resolved per this model's kind). */
     PerformanceEvaluation
     evaluate(const std::vector<scenario::PerformanceSample> &samples,

@@ -9,6 +9,23 @@
 namespace adrias::models
 {
 
+std::vector<double>
+PredictorBase::predictPerformanceBatch(
+    WorkloadClass cls, const std::vector<PerfQuery> &queries) const
+{
+    // Reference semantics for every batched implementation: the loop
+    // over the single-row entry point, in input order.
+    std::vector<double> predictions;
+    predictions.reserve(queries.size());
+    for (const PerfQuery &query : queries) {
+        if (query.history == nullptr || query.signature == nullptr)
+            fatal("predictPerformanceBatch: null query row");
+        predictions.push_back(predictPerformance(
+            cls, *query.history, *query.signature, query.mode));
+    }
+    return predictions;
+}
+
 Predictor::Predictor(ModelConfig config)
 {
     system = std::make_unique<SystemStateModel>(config);
@@ -81,6 +98,57 @@ Predictor::predictPerformance(WorkloadClass cls,
         fatal("Predictor: no performance model for trashers");
     }
     panic("unknown WorkloadClass");
+}
+
+std::vector<double>
+Predictor::predictPerformanceBatch(
+    WorkloadClass cls, const std::vector<PerfQuery> &queries) const
+{
+    if (!isTrained)
+        fatal("Predictor::predictPerformanceBatch before train()");
+    if (queries.empty())
+        return {};
+#if ADRIAS_OBS_ENABLED
+    obs::WallSpan infer_span("infer_performance_batch", "predictor");
+    if (obs::enabled()) {
+        static obs::Counter &inferences =
+            obs::MetricsRegistry::global().counter(
+                "predictor.inferences");
+        inferences.add(queries.size());
+    }
+#endif
+    PerformanceModel *model = nullptr;
+    switch (cls) {
+      case WorkloadClass::BestEffort:
+        model = bestEffort.get();
+        break;
+      case WorkloadClass::LatencyCritical:
+        if (!lcTrained)
+            fatal("Predictor: LC model was not trained");
+        model = lc.get();
+        break;
+      case WorkloadClass::Interference:
+        fatal("Predictor: no performance model for trashers");
+    }
+
+    // One fused system-state forward over all histories...
+    std::vector<const std::vector<ml::Matrix> *> histories;
+    histories.reserve(queries.size());
+    for (const PerfQuery &query : queries) {
+        if (query.history == nullptr || query.signature == nullptr)
+            fatal("Predictor::predictPerformanceBatch: null query row");
+        histories.push_back(query.history);
+    }
+    const std::vector<ml::Matrix> futures =
+        system->predictBatch(histories);
+
+    // ... then one fused performance forward over all queries.
+    std::vector<PerformanceModel::Query> rows;
+    rows.reserve(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        rows.push_back({queries[i].history, queries[i].signature,
+                        queries[i].mode, &futures[i]});
+    return model->predictBatch(rows);
 }
 
 void

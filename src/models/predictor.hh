@@ -45,6 +45,28 @@ class PredictorBase
                        const std::vector<ml::Matrix> &signature,
                        MemoryMode mode) const = 0;
 
+    /** One row of a batched performance query (pointers borrowed). */
+    struct PerfQuery
+    {
+        const std::vector<ml::Matrix> *history = nullptr;
+        const std::vector<ml::Matrix> *signature = nullptr;
+        MemoryMode mode = MemoryMode::Local;
+    };
+
+    /**
+     * Batched predictPerformance over same-class queries.  The base
+     * implementation loops over the single-row entry point, so every
+     * PredictorBase (stubs included) serves batches; Predictor
+     * overrides it with the fused single-forward fast-path and
+     * GuardedPredictor with a one-admission batch gate.  Row i always
+     * equals the corresponding single-row call.
+     *
+     * @return one prediction per query, input order.
+     */
+    virtual std::vector<double>
+    predictPerformanceBatch(WorkloadClass cls,
+                            const std::vector<PerfQuery> &queries) const;
+
     /** @return true once the stack is ready to serve predictions. */
     virtual bool trained() const = 0;
 };
@@ -92,6 +114,16 @@ class Predictor : public PredictorBase
                        const std::vector<ml::Matrix> &history,
                        const std::vector<ml::Matrix> &signature,
                        MemoryMode mode) const override;
+
+    /**
+     * Fused serving fast-path: one batched system-state forward for
+     * all histories, then one batched performance forward — two
+     * network evaluations per batch instead of two per query.
+     */
+    std::vector<double>
+    predictPerformanceBatch(WorkloadClass cls,
+                            const std::vector<PerfQuery> &queries)
+        const override;
 
     const SystemStateModel &systemModel() const { return *system; }
     SystemStateModel &systemModel() { return *system; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "common/io/durable_file.hh"
@@ -221,6 +222,61 @@ SystemStateModel::predict(const std::vector<ml::Matrix> &history) const
     const auto scaled = inputScaler.transformSequence(history);
     const ml::Matrix out = forwardBatch(scaled);
     return targetScaler.inverseTransform(out);
+}
+
+std::vector<ml::Matrix>
+SystemStateModel::predictBatch(
+    const std::vector<const std::vector<ml::Matrix> *> &histories) const
+{
+    if (!isTrained)
+        fatal("SystemStateModel::predictBatch before train()");
+    if (histories.empty())
+        fatal("SystemStateModel::predictBatch on empty batch");
+
+    // Epoch-snapshot serving hands every row of a shard the SAME
+    // history window, so batches are full of repeated sequence
+    // pointers.  Scale and forward each distinct sequence once and let
+    // rows gather their result: every op in the forward is
+    // row-independent (DESIGN.md §9), so the gathered outputs are
+    // bitwise identical to a row-per-row stack — this is where the
+    // fused serving path beats width-1 calls, which can never share
+    // work across requests.
+    std::vector<const std::vector<ml::Matrix> *> distinct;
+    std::vector<std::size_t> slot(histories.size());
+    std::unordered_map<const void *, std::size_t> seen;
+    for (std::size_t b = 0; b < histories.size(); ++b) {
+        if (histories[b] == nullptr || histories[b]->empty())
+            fatal("SystemStateModel::predictBatch: empty history");
+        const auto [it, inserted] =
+            seen.emplace(histories[b], distinct.size());
+        if (inserted)
+            distinct.push_back(histories[b]);
+        slot[b] = it->second;
+    }
+
+    // Per-sequence feature scaling is independent work: each distinct
+    // sequence fills its own slot concurrently and the slots are
+    // consumed in index order.
+    std::vector<std::vector<ml::Matrix>> scaled(distinct.size());
+    ThreadPool::global().parallelForEach(
+        distinct.size(), [&](std::size_t d) {
+            scaled[d] = inputScaler.transformSequence(*distinct[d]);
+        });
+    std::vector<const std::vector<ml::Matrix> *> ptrs;
+    ptrs.reserve(scaled.size());
+    for (const auto &seq : scaled)
+        ptrs.push_back(&seq);
+
+    const ml::Matrix out =
+        targetScaler.inverseTransform(forwardBatch(stackSequences(ptrs)));
+    std::vector<ml::Matrix> rows(histories.size());
+    for (std::size_t b = 0; b < rows.size(); ++b) {
+        ml::Matrix row(1, out.cols());
+        for (std::size_t e = 0; e < out.cols(); ++e)
+            row.at(0, e) = out.at(slot[b], e);
+        rows[b] = std::move(row);
+    }
+    return rows;
 }
 
 SystemStateEvaluation

@@ -58,6 +58,20 @@ class SystemStateModel
      */
     ml::Matrix predict(const std::vector<ml::Matrix> &history) const;
 
+    /**
+     * Fused batch variant of predict(): one forward pass over B
+     * stacked histories.  Rows are independent through the whole
+     * network, so row i of the result is bitwise identical to
+     * predict(*histories[i]).
+     *
+     * @param histories one binned window per batch row (borrowed; all
+     *        the same length).
+     * @return one (1 x events) prediction per row, input order.
+     */
+    std::vector<ml::Matrix>
+    predictBatch(const std::vector<const std::vector<ml::Matrix> *>
+                     &histories) const;
+
     /** Evaluate R² per event on held-out samples. */
     SystemStateEvaluation
     evaluate(const std::vector<scenario::SystemStateSample> &samples) const;

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scenario adapter for the DecisionService: a PlacementPolicy whose
+ * answers come from the batched serving path instead of the inline
+ * AdriasOrchestrator.  Lets every existing scenario/testbed harness
+ * exercise the daemon end-to-end, and lets the golden tests compare
+ * served decisions against the inline rules tick-for-tick.
+ */
+
+#ifndef ADRIAS_SERVING_SERVED_POLICY_HH
+#define ADRIAS_SERVING_SERVED_POLICY_HH
+
+#include <string>
+
+#include "scenario/placement.hh"
+#include "serving/decision_service.hh"
+
+namespace adrias::serving
+{
+
+/** Adapter knobs. */
+struct ServedPolicyConfig
+{
+    /** Ticks granted between submit and decision (exclusive). */
+    SimTime deadlineTicks = 8;
+
+    /** Epoch refresh cadence: a new snapshot at most every this many
+     *  ticks (the runner's watcher is re-captured for every shard). */
+    SimTime epochTicks = 10;
+};
+
+/**
+ * Synchronous façade over the DecisionService for the scenario runner:
+ * place() submits one request on its deterministic shard and drains the
+ * service for the answer the same tick, so scenarios observe the same
+ * request/decide cycle a live deployment would — epochs, batching and
+ * stats included.
+ */
+class ServedPlacementPolicy : public scenario::PlacementPolicy
+{
+  public:
+    /**
+     * @param service the serving daemon (borrowed; this policy is its
+     *        only producer AND its consumer driver).
+     * @param signatures mutable registry for bootstrap capture at
+     *        completion — must be the same store the service reads.
+     */
+    ServedPlacementPolicy(DecisionService &service,
+                          scenario::SignatureStore &signatures,
+                          ServedPolicyConfig config = {});
+
+    std::string name() const override { return "adrias-served"; }
+
+    MemoryMode place(const workloads::WorkloadSpec &spec,
+                     const telemetry::Watcher &watcher,
+                     SimTime now) override;
+
+    void onCompletion(const scenario::DeploymentRecord &record) override;
+
+  private:
+    /** Refresh the service's epoch snapshot when the cadence is due. */
+    void refreshEpoch(const telemetry::Watcher &watcher, SimTime now);
+
+    DecisionService *service;
+    scenario::SignatureStore *signatures;
+    ServedPolicyConfig knobs;
+    DeploymentId nextId = 0;
+    bool epochStarted = false;
+    SimTime nextEpochAt = 0;
+};
+
+} // namespace adrias::serving
+
+#endif // ADRIAS_SERVING_SERVED_POLICY_HH

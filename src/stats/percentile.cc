@@ -12,10 +12,15 @@ namespace adrias::stats
 double
 quantile(std::vector<double> values, double q)
 {
+    // Validate q before the empty-sample early-out so a caller bug is
+    // reported even when there happens to be no data yet.  The NaN
+    // check must be explicit: NaN compares false against both bounds,
+    // and would otherwise flow into the floor/size_t cast below —
+    // undefined behaviour, not merely a wrong answer.
+    if (!(q >= 0.0 && q <= 1.0))
+        fatal("quantile: q must lie in [0, 1]");
     if (values.empty())
         return std::numeric_limits<double>::quiet_NaN();
-    if (q < 0.0 || q > 1.0)
-        fatal("quantile: q must lie in [0, 1]");
     std::sort(values.begin(), values.end());
     if (values.size() == 1)
         return values.front();

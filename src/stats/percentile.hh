@@ -25,6 +25,8 @@ namespace adrias::stats
  *
  * @param values sample (copied and sorted internally).
  * @param q quantile in [0, 1]; e.g. 0.99 for the 99th percentile.
+ *        Anything outside the closed interval — including NaN — is a
+ *        caller bug and throws (fatal), even for an empty sample.
  * @return interpolated quantile; NaN for an empty sample.
  */
 double quantile(std::vector<double> values, double q);

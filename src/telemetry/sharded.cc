@@ -1,0 +1,69 @@
+#include "telemetry/sharded.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adrias::telemetry
+{
+
+ShardedWatcherSet::ShardedWatcherSet(std::size_t shards,
+                                     std::size_t capacity_seconds)
+{
+    if (shards == 0)
+        fatal("ShardedWatcherSet: shard count must be positive");
+    watchers.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        watchers.push_back(std::make_unique<Watcher>(capacity_seconds));
+}
+
+Watcher &
+ShardedWatcherSet::shard(std::size_t shard_index)
+{
+    if (shard_index >= watchers.size())
+        fatal("ShardedWatcherSet: shard index out of range");
+    return *watchers[shard_index];
+}
+
+const Watcher &
+ShardedWatcherSet::shard(std::size_t shard_index) const
+{
+    if (shard_index >= watchers.size())
+        fatal("ShardedWatcherSet: shard index out of range");
+    return *watchers[shard_index];
+}
+
+std::vector<std::vector<ml::Matrix>>
+ShardedWatcherSet::binnedWindows(std::size_t window_seconds,
+                                 std::size_t bins) const
+{
+    std::vector<std::vector<ml::Matrix>> windows(watchers.size());
+    for (std::size_t s = 0; s < watchers.size(); ++s) {
+        // Cold shards stay empty: the serving layer must see "no
+        // telemetry yet" rather than a window of padded zeros.
+        if (watchers[s]->sampleCount() > 0)
+            windows[s] =
+                watchers[s]->binnedWindow(window_seconds, bins);
+    }
+    return windows;
+}
+
+WatcherHealth
+ShardedWatcherSet::aggregateHealth() const
+{
+    WatcherHealth total;
+    for (const auto &watcher : watchers) {
+        const WatcherHealth health = watcher->health();
+        total.samplesAccepted += health.samplesAccepted;
+        total.samplesRepaired += health.samplesRepaired;
+        total.eventsRepaired += health.eventsRepaired;
+        total.samplesDropped += health.samplesDropped;
+        total.stalenessSec =
+            std::max(total.stalenessSec, health.stalenessSec);
+        total.maxStalenessSec =
+            std::max(total.maxStalenessSec, health.maxStalenessSec);
+    }
+    return total;
+}
+
+} // namespace adrias::telemetry

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sharded Watcher feeds for the decision-serving path (DESIGN.md §15):
+ * rack-scale deployments split telemetry across several Watchers —
+ * one per feed/shard, each with its own sampling producer — and the
+ * DecisionService snapshots all of them at an epoch boundary so every
+ * decision in a batch sees one consistent system view.
+ */
+
+#ifndef ADRIAS_TELEMETRY_SHARDED_HH
+#define ADRIAS_TELEMETRY_SHARDED_HH
+
+#include <memory>
+#include <vector>
+
+#include "telemetry/watcher.hh"
+
+namespace adrias::telemetry
+{
+
+/**
+ * Fixed-size set of independent Watchers, one per telemetry shard.
+ *
+ * Each shard is a full Watcher (thread-safe, self-repairing), so one
+ * sampling thread per shard can record concurrently while a consumer
+ * snapshots binned windows.  The set itself is immutable after
+ * construction — no shard is ever added or removed — which is what
+ * makes the lock-free ingest queues (one SPSC queue per shard) safe to
+ * wire up once at service construction.
+ */
+class ShardedWatcherSet
+{
+  public:
+    /**
+     * @param shards number of feeds (> 0).
+     * @param capacity_seconds per-shard history retention.
+     */
+    explicit ShardedWatcherSet(std::size_t shards,
+                               std::size_t capacity_seconds = 600);
+
+    /** Number of shards, fixed at construction. */
+    std::size_t shardCount() const { return watchers.size(); }
+
+    /** One shard's Watcher. @pre shard < shardCount(). */
+    Watcher &shard(std::size_t shard_index);
+    const Watcher &shard(std::size_t shard_index) const;
+
+    /**
+     * Deterministic request routing: which shard serves a deployment.
+     * A pure function of (id, shard count) so a fixed arrival trace
+     * always produces the same per-shard queues.
+     */
+    std::size_t
+    shardFor(DeploymentId id) const
+    {
+        return static_cast<std::size_t>(id) % watchers.size();
+    }
+
+    /**
+     * Epoch snapshot input: every shard's binned history window, in
+     * shard order.  A shard with no samples yet (cold start) yields an
+     * empty sequence — the serving layer maps those requests to the
+     * cold-start placement instead of predicting from padding.
+     */
+    std::vector<std::vector<ml::Matrix>>
+    binnedWindows(std::size_t window_seconds, std::size_t bins) const;
+
+    /** Health tallies summed across shards. */
+    WatcherHealth aggregateHealth() const;
+
+  private:
+    /** Watchers own a Mutex (immovable), hence the indirection. */
+    std::vector<std::unique_ptr<Watcher>> watchers;
+};
+
+} // namespace adrias::telemetry
+
+#endif // ADRIAS_TELEMETRY_SHARDED_HH

@@ -223,6 +223,85 @@ TEST_F(ChaosTest, GuardEnforcesDeadline)
                                              MemoryMode::Local));
 }
 
+TEST_F(ChaosTest, ExactlyOnBudgetLatencyIsADeadlineMiss)
+{
+    // Regression: the check used `>`, so a modelled latency exactly
+    // equal to deadlineMs slipped through although the config
+    // documents a hard budget.  The boundary is exclusive: equal
+    // latency misses, and tallies/fail()/breaker all see the miss.
+    StubPredictor stub;
+    models::PredictorGuardConfig config;
+    config.baseLatencyMs = 2.0;
+    config.deadlineMs = 2.0; // no headroom at all
+    models::GuardedPredictor guard(stub, config);
+    guard.beginDecision(0);
+
+    std::vector<ml::Matrix> sequence(
+        ScenarioRunner::kWindowBins, ml::Matrix(1, kNumPerfEvents));
+    for (auto &step : sequence)
+        for (double &v : step.raw())
+            v = 1.0;
+    EXPECT_THROW(guard.predictPerformance(WorkloadClass::BestEffort,
+                                          sequence, sequence,
+                                          MemoryMode::Local),
+                 models::PredictionUnavailable);
+    EXPECT_EQ(guard.stats().deadlineExceeded, 1u);
+    EXPECT_EQ(guard.stats().failures, 1u);
+    EXPECT_EQ(guard.stats().served, 0u);
+
+    // One representable unit of headroom is enough to pass.
+    models::PredictorGuardConfig headroom = config;
+    headroom.deadlineMs = std::nextafter(2.0, 3.0);
+    models::GuardedPredictor relaxed(stub, headroom);
+    relaxed.beginDecision(0);
+    EXPECT_NO_THROW(relaxed.predictPerformance(WorkloadClass::BestEffort,
+                                               sequence, sequence,
+                                               MemoryMode::Local));
+    EXPECT_EQ(relaxed.stats().deadlineExceeded, 0u);
+}
+
+TEST_F(ChaosTest, BatchGateFailsWholeBatchOnDeadline)
+{
+    // The batched entry point admits ONE gate for the whole batch:
+    // a deadline miss costs one gate event but fails every row, and
+    // calls advance by the batch width.
+    StubPredictor stub;
+    models::PredictorGuardConfig config;
+    config.baseLatencyMs = 2.0;
+    config.deadlineMs = 2.0;
+    models::GuardedPredictor guard(stub, config);
+    guard.beginDecision(0);
+
+    std::vector<ml::Matrix> sequence(
+        ScenarioRunner::kWindowBins, ml::Matrix(1, kNumPerfEvents));
+    for (auto &step : sequence)
+        for (double &v : step.raw())
+            v = 1.0;
+    std::vector<models::PredictorBase::PerfQuery> queries(
+        4, {&sequence, &sequence, MemoryMode::Local});
+    EXPECT_THROW(guard.predictPerformanceBatch(WorkloadClass::BestEffort,
+                                               queries),
+                 models::PredictionUnavailable);
+    EXPECT_EQ(guard.stats().deadlineExceeded, 1u);
+    EXPECT_EQ(guard.stats().calls, 4u);
+    EXPECT_EQ(guard.stats().served, 0u);
+
+    // Healthy guard: the same batch is served and tallied per row.
+    models::GuardedPredictor healthy(stub, {});
+    healthy.beginDecision(0);
+    const std::vector<double> out =
+        healthy.predictPerformanceBatch(WorkloadClass::BestEffort,
+                                        queries);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(healthy.stats().calls, 4u);
+    EXPECT_EQ(healthy.stats().served, 4u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_DOUBLE_EQ(
+            out[i], stub.predictPerformance(WorkloadClass::BestEffort,
+                                            sequence, sequence,
+                                            MemoryMode::Local));
+}
+
 TEST_F(ChaosTest, GuardRejectsInvalidInputsWithoutChargingBreaker)
 {
     StubPredictor stub;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
+#include "common/threadpool.hh"
 #include "models/batching.hh"
 #include "models/performance.hh"
 #include "models/predictor.hh"
@@ -116,6 +120,57 @@ TEST(Batching, RaggedBatchPanics)
     std::vector<ml::Matrix> b(2, ml::Matrix(1, 2));
     EXPECT_THROW(stackSequences({&a, &b}), std::logic_error);
     EXPECT_THROW(stackSequences({}), std::logic_error);
+}
+
+TEST(Batching, RaggedDetectionIsDeterministicAcrossThreadCounts)
+{
+    // Regression: validation used to happen inside the parallel fill,
+    // so which ragged row got reported depended on chunk scheduling —
+    // and an empty later sequence could be dereferenced before its
+    // length was ever checked.  Shapes are now validated serially up
+    // front: the LOWEST offending row is reported, identically under
+    // any ADRIAS_THREADS.
+    std::vector<ml::Matrix> good(3, ml::Matrix(1, 2));
+    std::vector<ml::Matrix> short_a(2, ml::Matrix(1, 2));
+    std::vector<ml::Matrix> empty;
+    std::vector<ml::Matrix> short_b(1, ml::Matrix(1, 2));
+    const std::vector<const std::vector<ml::Matrix> *> batch{
+        &good, &good, &short_a, &empty, &short_b};
+
+    std::vector<std::string> messages;
+    for (unsigned threads : {1u, 2u, 0u}) { // 0 = hardware default
+        auto capture = [&batch, &messages] {
+            try {
+                (void)stackSequences(batch);
+                FAIL() << "ragged batch must panic";
+            } catch (const std::logic_error &err) {
+                messages.emplace_back(err.what());
+            }
+        };
+        if (threads == 0) {
+            capture();
+        } else {
+            ScopedThreadOverride override_(threads);
+            capture();
+        }
+    }
+    ASSERT_EQ(messages.size(), 3u);
+    // Row 2 is the first ragged one; rows 3 (empty!) and 4 must not
+    // win the report even when a chunk touches them first.
+    EXPECT_NE(messages[0].find("row 2"), std::string::npos)
+        << messages[0];
+    EXPECT_EQ(messages[0], messages[1]);
+    EXPECT_EQ(messages[0], messages[2]);
+}
+
+TEST(Batching, EmptySequenceInBatchPanicsCleanly)
+{
+    // An empty sequence after valid ones must be caught by the length
+    // check, never reach the element loop.
+    std::vector<ml::Matrix> a(2, ml::Matrix(1, 3));
+    std::vector<ml::Matrix> empty;
+    EXPECT_THROW(stackSequences({&a, &empty}), std::logic_error);
+    EXPECT_THROW(stackSequences({&empty, &a}), std::logic_error);
 }
 
 TEST(Batching, StackRows)

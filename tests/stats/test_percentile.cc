@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/rng.hh"
 #include "stats/percentile.hh"
@@ -22,6 +23,30 @@ TEST(Quantile, SingleElement)
     EXPECT_DOUBLE_EQ(quantile({3.0}, 0.0), 3.0);
     EXPECT_DOUBLE_EQ(quantile({3.0}, 0.5), 3.0);
     EXPECT_DOUBLE_EQ(quantile({3.0}, 1.0), 3.0);
+}
+
+TEST(Quantile, BoundaryQValuesAreValid)
+{
+    const std::vector<double> sample{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 3.0);
+}
+
+TEST(Quantile, RejectsNaNQ)
+{
+    const std::vector<double> sample{1.0, 2.0, 3.0};
+    EXPECT_THROW(quantile(sample, std::nan("")), std::runtime_error);
+}
+
+TEST(Quantile, BadQIsRejectedEvenForEmptySamples)
+{
+    // Regression: NaN slipped past the old `q < 0 || q > 1` check
+    // (both comparisons are false for NaN) into a float→size_t cast,
+    // and an empty sample with any bad q silently returned NaN.  The
+    // argument is validated before the empty-sample early-out.
+    EXPECT_THROW(quantile({}, -1.0), std::runtime_error);
+    EXPECT_THROW(quantile({}, 2.0), std::runtime_error);
+    EXPECT_THROW(quantile({}, std::nan("")), std::runtime_error);
 }
 
 TEST(Quantile, AllEqualSampleIsFlatAcrossQ)
