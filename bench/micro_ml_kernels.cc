@@ -28,6 +28,7 @@
 #include "ml/loss.hh"
 #include "ml/lstm.hh"
 #include "ml/sequential.hh"
+#include "ml/simd.hh"
 
 namespace
 {
@@ -57,7 +58,8 @@ randomSequence(std::size_t steps, std::size_t batch, std::size_t cols,
 }
 
 Result
-benchMatmul(std::size_t n, unsigned block)
+benchMatmul(std::size_t n, unsigned block,
+            ml::KernelTier tier = ml::KernelTier::Scalar)
 {
     Rng rng(1);
     const ml::Matrix a = randomMatrix(n, n, rng);
@@ -66,19 +68,38 @@ benchMatmul(std::size_t n, unsigned block)
     auto config = saved;
     config.gemmBlock = block;
     ml::setMatrixParallelConfig(config);
+    const ml::ScopedKernelTier tier_pin(tier);
     ml::Matrix out;
     auto result = bench::micro::measure(
         "matmul_" + std::to_string(n) +
-            (block ? "_blocked" + std::to_string(block) : ""),
+            (block ? "_blocked" + std::to_string(block) : "") +
+            (tier == ml::KernelTier::Vector ? "_vector" : ""),
         [&] { a.matmulInto(b, out); });
     ml::setMatrixParallelConfig(saved);
     return result;
 }
 
+/** Batch transcendental throughput: one tanh sweep over n doubles. */
+Result
+benchTanhBatch(std::size_t n, ml::KernelTier tier)
+{
+    Rng rng(5);
+    std::vector<double> x(n);
+    std::vector<double> out(n);
+    for (double &v : x)
+        v = rng.gaussian() * 4.0;
+    const ml::ScopedKernelTier tier_pin(tier);
+    return bench::micro::measure(
+        "tanh_batch_" + std::to_string(n) +
+            (tier == ml::KernelTier::Vector ? "_vector" : ""),
+        [&] { ml::simd::tanhBatch(x.data(), out.data(), n); });
+}
+
 /** LSTM forward at the Predictor's shape; mode selects the path. */
 Result
 benchLstmForward(const std::string &name, std::size_t batch, bool fused,
-                 bool inference)
+                 bool inference,
+                 ml::KernelTier tier = ml::KernelTier::Scalar)
 {
     Rng rng(2);
     constexpr std::size_t kHidden = 24;
@@ -90,6 +111,7 @@ benchLstmForward(const std::string &name, std::size_t batch, bool fused,
     const bool saved_fused = ml::lstmFusedKernels();
     ml::setLstmFusedKernels(fused);
     lstm.setInference(inference);
+    const ml::ScopedKernelTier tier_pin(tier);
     auto result = bench::micro::measure(
         name, [&] { lstm.forwardSequence(seq); });
     ml::setLstmFusedKernels(saved_fused);
@@ -150,10 +172,23 @@ main()
     results.push_back(benchMatmul(384, 0));
     results.push_back(benchMatmul(384, 64));
 
+    // Vector-tier rows are always emitted so the regression gate can
+    // compare against the baseline on any machine: when AVX2 is
+    // unavailable (or -DADRIAS_SIMD=OFF), the tier falls back to the
+    // scalar kernels and the rows simply mirror their scalar twins.
+    results.push_back(benchMatmul(384, 0, ml::KernelTier::Vector));
+    results.push_back(
+        benchTanhBatch(8192, ml::KernelTier::Scalar));
+    results.push_back(
+        benchTanhBatch(8192, ml::KernelTier::Vector));
+
     results.push_back(benchLstmForward("lstm_forward_train_h24_b32", 32,
                                        true, false));
     results.push_back(benchLstmForward("lstm_forward_infer_h24_b32", 32,
                                        true, true));
+    results.push_back(
+        benchLstmForward("lstm_forward_infer_h24_b32_vector", 32, true,
+                         true, ml::KernelTier::Vector));
     results.push_back(benchLstmForward("lstm_forward_reference_h24_b32",
                                        32, false, false));
     results.push_back(
@@ -189,6 +224,16 @@ main()
         {"lstm_train_step_b32",
          median("lstm_train_step_reference_h24_b32"),
          median("lstm_train_step_h24_b32")},
+        // Vector tier vs the fused scalar path on the same build and
+        // run — the perf acceptance bars for the SIMD tier (DESIGN.md
+        // §16).  On machines without AVX2 these report ~1.0×.
+        {"matmul_384_vector_vs_scalar", median("matmul_384"),
+         median("matmul_384_vector")},
+        {"lstm_forward_infer_b32_vector_vs_scalar",
+         median("lstm_forward_infer_h24_b32"),
+         median("lstm_forward_infer_h24_b32_vector")},
+        {"tanh_batch_8192_vector_vs_scalar", median("tanh_batch_8192"),
+         median("tanh_batch_8192_vector")},
     };
 
     // End-to-end before/after vs the pre-optimization commit: before_ns

@@ -21,6 +21,7 @@
 #include "bench/microbench.hh"
 #include "common/logging.hh"
 #include "core/adrias.hh"
+#include "ml/simd.hh"
 #include "serving/decision_service.hh"
 #include "stats/percentile.hh"
 #include "telemetry/watcher.hh"
@@ -98,30 +99,35 @@ main()
     const std::vector<serving::PlacementRequest> trace =
         buildTrace(stack.signatures(), requests);
 
-    const auto makeService = [&](std::size_t batch_size, bool pad) {
-        serving::DecisionServiceConfig config;
-        config.shards = kShards;
-        config.queueCapacity = requests;
-        config.batchSize = batch_size;
-        config.padBatches = pad;
-        auto service = std::make_unique<serving::DecisionService>(
-            stack.predictor(), stack.signatures(),
-            core::AdriasConfig{}, config);
-        serving::EpochSnapshot snapshot;
-        snapshot.shardWindows.assign(kShards, window);
-        service->beginEpoch(std::move(snapshot));
-        return service;
-    };
+    const auto makeService =
+        [&](std::size_t batch_size, bool pad,
+            ml::KernelTier tier = ml::KernelTier::Scalar) {
+            serving::DecisionServiceConfig config;
+            config.shards = kShards;
+            config.queueCapacity = requests;
+            config.batchSize = batch_size;
+            config.padBatches = pad;
+            config.kernelTier = tier;
+            auto service = std::make_unique<serving::DecisionService>(
+                stack.predictor(), stack.signatures(),
+                core::AdriasConfig{}, config);
+            serving::EpochSnapshot snapshot;
+            snapshot.shardWindows.assign(kShards, window);
+            service->beginEpoch(std::move(snapshot));
+            return service;
+        };
 
-    const auto serveAll = [&](std::size_t batch_size, bool pad) {
-        const auto service = makeService(batch_size, pad);
-        for (const auto &request : trace)
-            if (!service->submit(request))
-                fatal("micro_serving: unexpected back-pressure");
-        const auto decisions = service->drain(0);
-        if (decisions.size() != trace.size())
-            fatal("micro_serving: lost decisions");
-    };
+    const auto serveAll =
+        [&](std::size_t batch_size, bool pad,
+            ml::KernelTier tier = ml::KernelTier::Scalar) {
+            const auto service = makeService(batch_size, pad, tier);
+            for (const auto &request : trace)
+                if (!service->submit(request))
+                    fatal("micro_serving: unexpected back-pressure");
+            const auto decisions = service->drain(0);
+            if (decisions.size() != trace.size())
+                fatal("micro_serving: lost decisions");
+        };
 
     // This bench moves thousands of LSTM forwards per iteration, so a
     // smaller default sample than the harness-wide 30 keeps the smoke
@@ -135,6 +141,13 @@ main()
         warmup));
     results.push_back(bench::micro::measure(
         "serve_decisions_inline", [&] { serveAll(1, false); }, iters,
+        warmup));
+    // Vector tier pinned per service (DecisionServiceConfig.kernelTier)
+    // — always emitted so the regression gate finds the row; without
+    // AVX2 the tier degrades to scalar and the row mirrors b32.
+    results.push_back(bench::micro::measure(
+        "serve_decisions_b32_vector",
+        [&] { serveAll(32, true, ml::KernelTier::Vector); }, iters,
         warmup));
 
     // Wall-clock per-decision latency under b32: feed the daemon in
@@ -175,20 +188,26 @@ main()
 
     const double batched_ns = results[0].medianNs;
     const double inline_ns = results[1].medianNs;
+    const double vector_ns = results[2].medianNs;
     std::vector<bench::micro::Speedup> summary;
     summary.push_back({"batched_vs_inline", inline_ns, batched_ns});
+    summary.push_back({"b32_vector_vs_scalar", batched_ns, vector_ns});
 
     bench::micro::printResults("serving", results, summary);
     const double batched_dps =
         static_cast<double>(requests) / (batched_ns * 1e-9);
     const double inline_dps =
         static_cast<double>(requests) / (inline_ns * 1e-9);
+    const double vector_dps =
+        static_cast<double>(requests) / (vector_ns * 1e-9);
     std::printf("  %-36s %12.0f decisions/s\n", "throughput_b32",
                 batched_dps);
     std::printf("  %-36s %12.0f decisions/s\n", "throughput_inline",
                 inline_dps);
+    std::printf("  %-36s %12.0f decisions/s\n", "throughput_b32_vector",
+                vector_dps);
     std::printf("  %-36s %12.2f ms\n", "decision_p99_b32",
-                results[2].medianNs * 1e-6);
+                results[3].medianNs * 1e-6);
 
     bench::micro::writeJson(bench::micro::jsonPath("BENCH_serving.json"),
                             "serving", results, summary);

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared ulp/tolerance comparison helpers (DESIGN.md §16).
+ *
+ * The vector kernel tier is tolerance-equivalent to the scalar oracle,
+ * not bitwise — FMA contraction changes last-ulp rounding.  Every
+ * equivalence suite quantifies "close" the same way through these
+ * helpers instead of ad-hoc epsilons: distance in units in the last
+ * place (the number of representable doubles between two values),
+ * which is scale-free, plus an absolute floor for comparisons around
+ * zero where ulp distance explodes (1e-300 vs 0.0 is ~2^62 ulps).
+ */
+
+#ifndef ADRIAS_COMMON_FLOAT_COMPARE_HH
+#define ADRIAS_COMMON_FLOAT_COMPARE_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace adrias
+{
+
+/**
+ * Map a double onto the integer number line so that consecutive
+ * representable doubles map to consecutive integers and ordering is
+ * preserved (the standard sign-magnitude to two's-complement fold:
+ * negative doubles reflect below zero, so -0.0 maps next to +0.0).
+ * NaN inputs are the caller's problem — see ulpDistance.
+ */
+inline std::int64_t
+floatOrdinal(double x)
+{
+    std::int64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(x));
+    std::memcpy(&bits, &x, sizeof(bits));
+    if (bits < 0)
+        bits = std::numeric_limits<std::int64_t>::min() - bits;
+    return bits;
+}
+
+/**
+ * Distance between two doubles in units in the last place: how many
+ * representable doubles lie between them (0 when identical; 1 for
+ * adjacent values; +0.0 and -0.0 are 0 apart).  NaN on either side —
+ * or an infinity on exactly one side — is maximally distant
+ * (int64 max), so naive threshold checks reject it.
+ */
+inline std::uint64_t
+ulpDistance(double a, double b)
+{
+    constexpr auto kFar =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+    if (std::isnan(a) || std::isnan(b))
+        return kFar;
+    if (std::isinf(a) || std::isinf(b)) {
+        // Same infinity is identical; anything else is maximally far
+        // (the ordinal gap from a finite value to inf is meaningless).
+        return a == b ? 0 : kFar; // NOLINT(float-equal)
+    }
+    const std::int64_t oa = floatOrdinal(a);
+    const std::int64_t ob = floatOrdinal(b);
+    // Ordinals of finite doubles are < 2^63 - 1 apart in magnitude
+    // only pairwise; compute the difference in unsigned space to
+    // avoid signed overflow for opposite-sign pairs.
+    const auto ua = static_cast<std::uint64_t>(oa);
+    const auto ub = static_cast<std::uint64_t>(ob);
+    return oa >= ob ? ua - ub : ub - ua;
+}
+
+/**
+ * Tolerance check for kernel equivalence: true when a and b are within
+ * maxUlps representable doubles of each other, OR within absFloor
+ * absolutely (rescues comparisons around zero), OR both NaN (the
+ * specials contract says NaN-ness must agree; payloads need not).
+ */
+inline bool
+almostEqual(double a, double b, std::uint64_t maxUlps,
+            double absFloor = 0.0)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    if (std::fabs(a - b) <= absFloor)
+        return true;
+    return ulpDistance(a, b) <= maxUlps;
+}
+
+/**
+ * Running worst-case tracker for an equivalence sweep: feed every
+ * (oracle, candidate) pair, then assert on the maxima once — failure
+ * messages can then name the single worst pair instead of the first
+ * pair past the threshold.
+ */
+struct UlpStats
+{
+    std::uint64_t maxUlps = 0;   ///< worst ulp distance seen
+    double maxAbsDiff = 0.0;     ///< worst |a - b|
+    double worstA = 0.0;         ///< oracle side of the worst pair
+    double worstB = 0.0;         ///< candidate side of the worst pair
+    std::size_t count = 0;       ///< pairs observed
+    std::size_t nanMismatch = 0; ///< pairs where NaN-ness disagreed
+
+    void
+    add(double oracle, double candidate)
+    {
+        ++count;
+        if (std::isnan(oracle) || std::isnan(candidate)) {
+            if (std::isnan(oracle) != std::isnan(candidate))
+                ++nanMismatch;
+            return;
+        }
+        const std::uint64_t ulps = ulpDistance(oracle, candidate);
+        if (ulps > maxUlps) {
+            maxUlps = ulps;
+            worstA = oracle;
+            worstB = candidate;
+        }
+        maxAbsDiff =
+            std::max(maxAbsDiff, std::fabs(oracle - candidate));
+    }
+
+    /** True when every pair agreed within the tolerance. */
+    bool
+    within(std::uint64_t ulpBound) const
+    {
+        return nanMismatch == 0 && maxUlps <= ulpBound;
+    }
+};
+
+} // namespace adrias
+
+#endif // ADRIAS_COMMON_FLOAT_COMPARE_HH

@@ -2,9 +2,36 @@
 
 #include "common/logging.hh"
 #include "ml/fastmath.hh"
+#include "ml/simd.hh"
 
 namespace adrias::ml
 {
+
+namespace
+{
+
+/**
+ * Inference-only batch activation: on the vector tier, run the AVX2
+ * batch kernel in place over a copy of the input (tolerance-equivalent
+ * to the scalar map; ctest -L simd); otherwise the scalar map keeps
+ * the bitwise-deterministic default.  Training forwards never route
+ * through here — their outputs feed cached backward passes that must
+ * stay on the scalar oracle.
+ */
+Matrix
+inferenceBatch(const Matrix &input,
+               void (*batch)(const double *, double *, std::size_t),
+               double (*scalar)(double))
+{
+    if (effectiveKernelTier() != KernelTier::Vector)
+        return input.map(scalar);
+    Matrix out = input;
+    auto &data = out.raw();
+    batch(data.data(), data.data(), data.size());
+    return out;
+}
+
+} // namespace
 
 double
 sigmoidScalar(double x)
@@ -44,7 +71,7 @@ Matrix
 Tanh::forward(const Matrix &input)
 {
     if (isInference)
-        return input.map(tanhScalar);
+        return inferenceBatch(input, simd::tanhBatch, tanhScalar);
     lastOutput = input.map(tanhScalar);
     return lastOutput;
 }
@@ -66,7 +93,7 @@ Matrix
 Sigmoid::forward(const Matrix &input)
 {
     if (isInference)
-        return input.map(sigmoidScalar);
+        return inferenceBatch(input, simd::sigmoidBatch, sigmoidScalar);
     lastOutput = input.map(sigmoidScalar);
     return lastOutput;
 }

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "ml/activation.hh"
 #include "ml/fastmath.hh"
+#include "ml/simd.hh"
 
 namespace adrias::ml
 {
@@ -156,6 +157,23 @@ Lstm::forwardFused(const std::vector<Matrix> &sequence)
         double *gatebuf = cache ? cache->gates.raw().data() : nullptr;
         double *cellbuf = cache ? cache->cell.raw().data() : nullptr;
         double *tcbuf = cache ? cache->tanhCell.raw().data() : nullptr;
+
+        // Vector tier (DESIGN.md §16): the inference-only gate loop
+        // has no cache writes, so it maps straight onto the 4-wide
+        // AVX2 gate kernel.  Tolerance-equivalent to the scalar loop
+        // below (FMA + vector transcendentals; ctest -L simd), and
+        // thread-invariant for the same row-partition reason.
+        if (!keep_caches &&
+            effectiveKernelTier() == KernelTier::Vector) {
+            kernels::runRows(
+                batch, batch * gate_width, grain,
+                [za, zb, bias, cbuf, hbuf,
+                 hidden](std::size_t begin, std::size_t end) {
+                    simd::lstmGateRows(za, zb, bias, cbuf, hbuf,
+                                       begin, end, hidden);
+                });
+            continue;
+        }
 
         // One fused pass replaces colRange+map per gate, two hadamard
         // chains, and the cell/tanh temporaries.  Per element the

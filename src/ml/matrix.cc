@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "ml/simd.hh"
 
 namespace adrias::ml
 {
@@ -122,6 +123,23 @@ Matrix::matmulInto(const Matrix &other, Matrix &out) const
     // Partitioned over output rows: each row accumulates over k in
     // fixed index order, so the result never depends on the partition.
     // i-k-j loop order keeps the inner loop contiguous in both inputs.
+    if (effectiveKernelTier() == KernelTier::Vector) {
+        // Vector tier (DESIGN.md §16): register-blocked AVX2 FMA rows.
+        // Same per-element increasing-k order, but FMA contraction and
+        // the dropped exact-zero skip make it tolerance-equivalent to
+        // the scalar kernels below, not bitwise (ctest -L simd).  Row
+        // partitioning is unchanged, so the vector result itself is
+        // thread-invariant.
+        kernels::runRows(
+            nRows, nRows * inner * width, g_parallel.gemmGrain,
+            [this, &other, &out, inner, width](std::size_t begin,
+                                               std::size_t end) {
+                simd::gemmRows(data.data(), other.data.data(),
+                               out.data.data(), begin, end, inner,
+                               width);
+            });
+        return;
+    }
     if (block > 0 && (inner > block || width > block)) {
         // Cache-blocked variant: tiles over j and k reorder only which
         // (k, j) pairs are visited together; for any fixed output

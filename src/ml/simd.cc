@@ -1,0 +1,75 @@
+#include "ml/simd.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace adrias::ml
+{
+
+namespace
+{
+
+/** One-time ADRIAS_KERNEL_TIER parse; warnings fire exactly once. */
+KernelTier
+initialTier()
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char *env = std::getenv("ADRIAS_KERNEL_TIER");
+    if (env == nullptr || *env == '\0')
+        return KernelTier::Scalar;
+    if (const auto parsed = parseKernelTier(env))
+        return *parsed;
+    logWarn(std::string("ADRIAS_KERNEL_TIER='") + env +
+            "' not recognized (want 'scalar' or 'vector'); "
+            "using the scalar tier");
+    return KernelTier::Scalar;
+}
+
+/** Function-local static: safe against static-init order. */
+KernelTier &
+tierRef()
+{
+    static KernelTier tier = initialTier();
+    return tier;
+}
+
+} // namespace
+
+KernelTier
+kernelTier()
+{
+    return tierRef();
+}
+
+void
+setKernelTier(KernelTier tier)
+{
+    tierRef() = tier;
+}
+
+KernelTier
+effectiveKernelTier()
+{
+    if (tierRef() == KernelTier::Vector && vectorTierAvailable())
+        return KernelTier::Vector;
+    return KernelTier::Scalar;
+}
+
+std::optional<KernelTier>
+parseKernelTier(const std::string &text)
+{
+    if (text == "scalar")
+        return KernelTier::Scalar;
+    if (text == "vector")
+        return KernelTier::Vector;
+    return std::nullopt;
+}
+
+const char *
+kernelTierName(KernelTier tier)
+{
+    return tier == KernelTier::Vector ? "vector" : "scalar";
+}
+
+} // namespace adrias::ml

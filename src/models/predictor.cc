@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "ml/simd.hh"
 #include "obs/obs.hh"
 #include "scenario/runner.hh"
 
@@ -44,6 +45,11 @@ Predictor::train(
     const std::vector<scenario::PerformanceSample> &be_samples,
     const std::vector<scenario::PerformanceSample> &lc_samples)
 {
+    // Training always runs the bitwise-deterministic scalar tier, even
+    // under ADRIAS_KERNEL_TIER=vector: trained weights feed checkpoints
+    // and golden scenarios, so they must not drift with the inference
+    // tier (DESIGN.md §16).
+    const ml::ScopedKernelTier scalar_pin(ml::KernelTier::Scalar);
     system->train(state_samples);
     bestEffort->train(be_samples, system.get());
     if (lc_samples.size() >= 4) {

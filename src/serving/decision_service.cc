@@ -221,6 +221,13 @@ void
 DecisionService::decideBatch(SimTime now,
                              std::vector<PlacementDecision> &out)
 {
+    // Pin the configured kernel tier for everything this batch infers
+    // (DESIGN.md §16).  Safe on the single consumer thread: the tier
+    // knob is only read by the kernel dispatch sites this call runs.
+    std::optional<ml::ScopedKernelTier> tier_pin;
+    if (knobs.kernelTier)
+        tier_pin.emplace(*knobs.kernelTier);
+
     const bool flushed_full = assembler.pending() >= knobs.batchSize;
     const std::vector<std::size_t> seqs = assembler.take();
 

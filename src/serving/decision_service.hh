@@ -28,6 +28,7 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/io/checkpoint_annotations.hh"
@@ -36,6 +37,7 @@
 #include "core/orchestrator.hh"
 #include "models/batching.hh"
 #include "models/guard.hh"
+#include "ml/simd.hh"
 #include "serving/request.hh"
 #include "stats/percentile.hh"
 #include "telemetry/sharded.hh"
@@ -61,6 +63,19 @@ struct DecisionServiceConfig
      * padded outputs are discarded.
      */
     bool padBatches = true;
+
+    /**
+     * Kernel tier the batched inference runs on (DESIGN.md §16).
+     * nullopt inherits the process-wide tier (the ADRIAS_KERNEL_TIER
+     * knob); an explicit value pins every decideBatch dispatch to that
+     * tier, demoted to Scalar when the vector tier is unavailable.
+     * The vector tier changes last-ulp rounding, so decisions near a
+     * rule threshold may legitimately differ from the scalar tier.
+     * Served-vs-inline and batch-vs-single equivalence still hold
+     * within either tier: the vector kernels are row-local, so batch
+     * width never leaks into a row's result.
+     */
+    std::optional<ml::KernelTier> kernelTier;
 };
 
 /** Serving tallies (see stats()). */

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the shared ulp/tolerance comparison helpers
+ * (common/float_compare.hh) that every vector-equivalence suite
+ * stands on.
+ */
+
+#include "common/float_compare.hh"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace adrias
+{
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(FloatOrdinal, ConsecutiveDoublesAreConsecutiveOrdinals)
+{
+    const double x = 1.5;
+    const double up = std::nextafter(x, kInf);
+    EXPECT_EQ(floatOrdinal(up), floatOrdinal(x) + 1);
+    const double down = std::nextafter(x, -kInf);
+    EXPECT_EQ(floatOrdinal(down), floatOrdinal(x) - 1);
+}
+
+TEST(FloatOrdinal, OrderingPreservedAcrossZero)
+{
+    EXPECT_LT(floatOrdinal(-1.0), floatOrdinal(-1e-300));
+    EXPECT_LT(floatOrdinal(-1e-300), floatOrdinal(-0.0));
+    // The fold maps -0.0 and +0.0 onto the same ordinal, so the two
+    // zeros are zero ulps apart rather than punching a hole in the
+    // number line.
+    EXPECT_EQ(floatOrdinal(-0.0), floatOrdinal(0.0));
+    EXPECT_LT(floatOrdinal(-0.0), floatOrdinal(1e-300));
+    EXPECT_LT(floatOrdinal(1e-300), floatOrdinal(1.0));
+}
+
+TEST(UlpDistance, IdenticalIsZero)
+{
+    EXPECT_EQ(ulpDistance(1.25, 1.25), 0u);
+    EXPECT_EQ(ulpDistance(-7.5e100, -7.5e100), 0u);
+    EXPECT_EQ(ulpDistance(0.0, 0.0), 0u);
+}
+
+TEST(UlpDistance, SignedZerosAreZeroApart)
+{
+    EXPECT_EQ(ulpDistance(0.0, -0.0), 0u);
+    EXPECT_EQ(ulpDistance(-0.0, 0.0), 0u);
+}
+
+TEST(UlpDistance, AdjacentValuesAreOneApart)
+{
+    const double x = 3.0;
+    EXPECT_EQ(ulpDistance(x, std::nextafter(x, kInf)), 1u);
+    EXPECT_EQ(ulpDistance(x, std::nextafter(x, -kInf)), 1u);
+    // Denormal neighbors too: the mapping is uniform over the whole
+    // representable line.
+    const double tiny = std::numeric_limits<double>::denorm_min();
+    EXPECT_EQ(ulpDistance(0.0, tiny), 1u);
+    EXPECT_EQ(ulpDistance(-tiny, 0.0), 1u);
+    EXPECT_EQ(ulpDistance(-tiny, tiny), 2u);
+}
+
+TEST(UlpDistance, SymmetricAndCrossSign)
+{
+    EXPECT_EQ(ulpDistance(1.0, 2.0), ulpDistance(2.0, 1.0));
+    // Distance across zero counts every representable double between
+    // the operands — a huge number, not an overflowed small one.
+    EXPECT_GT(ulpDistance(-1.0, 1.0), 1ull << 60);
+    // No signed-overflow trap on extreme opposite-sign pairs.
+    const double big = std::numeric_limits<double>::max();
+    EXPECT_GT(ulpDistance(-big, big), ulpDistance(0.0, big));
+}
+
+TEST(UlpDistance, NanAndInfinityAreFar)
+{
+    constexpr auto kFar = static_cast<std::uint64_t>(
+        std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(ulpDistance(kNan, 1.0), kFar);
+    EXPECT_EQ(ulpDistance(1.0, kNan), kFar);
+    EXPECT_EQ(ulpDistance(kNan, kNan), kFar);
+    EXPECT_EQ(ulpDistance(kInf, 1.0), kFar);
+    EXPECT_EQ(ulpDistance(-kInf, kInf), kFar);
+    // Same infinity is identical.
+    EXPECT_EQ(ulpDistance(kInf, kInf), 0u);
+    EXPECT_EQ(ulpDistance(-kInf, -kInf), 0u);
+}
+
+TEST(AlmostEqual, UlpBoundAccepts)
+{
+    const double x = 0.1 + 0.2; // famously not 0.3
+    EXPECT_TRUE(almostEqual(x, 0.3, 1));
+    EXPECT_FALSE(almostEqual(x, 0.3, 0));
+    EXPECT_TRUE(almostEqual(5.0, 5.0, 0));
+}
+
+TEST(AlmostEqual, AbsoluteFloorRescuesNearZero)
+{
+    // 1e-300 vs 0.0 is astronomically many ulps apart but absolutely
+    // negligible — exactly what the floor is for.
+    EXPECT_FALSE(almostEqual(1e-300, 0.0, 1024));
+    EXPECT_TRUE(almostEqual(1e-300, 0.0, 1024, 1e-290));
+}
+
+TEST(AlmostEqual, NanHandling)
+{
+    EXPECT_TRUE(almostEqual(kNan, kNan, 0));
+    EXPECT_FALSE(almostEqual(kNan, 1.0, 1024, 1e10));
+    EXPECT_FALSE(almostEqual(1.0, kNan, 1024, 1e10));
+}
+
+TEST(UlpStats, TracksWorstPair)
+{
+    UlpStats stats;
+    stats.add(1.0, 1.0);
+    stats.add(2.0, std::nextafter(2.0, kInf));
+    const double worst = std::nextafter(std::nextafter(4.0, kInf), kInf);
+    stats.add(4.0, worst);
+    EXPECT_EQ(stats.count, 3u);
+    EXPECT_EQ(stats.maxUlps, 2u);
+    EXPECT_EQ(stats.worstA, 4.0);
+    EXPECT_EQ(stats.worstB, worst);
+    EXPECT_TRUE(stats.within(2));
+    EXPECT_FALSE(stats.within(1));
+}
+
+TEST(UlpStats, NanMismatchPoisons)
+{
+    UlpStats stats;
+    stats.add(kNan, kNan); // agreeing NaNs are fine
+    EXPECT_TRUE(stats.within(0));
+    stats.add(kNan, 0.5);
+    EXPECT_EQ(stats.nanMismatch, 1u);
+    EXPECT_FALSE(stats.within(1 << 20));
+}
+
+TEST(UlpStats, EmptyIsWithinAnything)
+{
+    const UlpStats stats;
+    EXPECT_TRUE(stats.within(0));
+    EXPECT_EQ(stats.count, 0u);
+    EXPECT_EQ(stats.maxAbsDiff, 0.0);
+}
+
+} // namespace
+} // namespace adrias

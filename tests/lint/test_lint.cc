@@ -47,7 +47,7 @@ linesOf(const std::vector<Finding> &findings, const std::string &rule)
 TEST(LintRules, EveryRuleHasMetadata)
 {
     const auto &rules = adrias::lint::rules();
-    ASSERT_EQ(rules.size(), 8u);
+    ASSERT_EQ(rules.size(), 9u);
     std::vector<std::string> ids;
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.description.empty()) << rule.id;
@@ -56,7 +56,7 @@ TEST(LintRules, EveryRuleHasMetadata)
     for (const char *expected :
          {"raw-rand", "wall-clock", "unordered-container",
           "nodiscard-result", "float-equal", "iostream-include",
-          "raw-ofstream", "raw-thread"}) {
+          "raw-ofstream", "raw-thread", "raw-intrinsics"}) {
         EXPECT_NE(std::find(ids.begin(), ids.end(), expected),
                   ids.end())
             << expected;
@@ -135,6 +135,51 @@ TEST(LintRules, RawThreadFixture)
     // suppress line 18.
     for (const auto &f : findings)
         EXPECT_NE(f.line, 18u);
+}
+
+TEST(LintRules, RawIntrinsicsFixture)
+{
+    const auto findings = lintFile(fixture("bad_intrinsics.cc"),
+                                   "src/ml/bad_intrinsics.cc");
+    EXPECT_EQ(linesOf(findings, "raw-intrinsics"),
+              (std::vector<std::size_t>{3, 8, 9, 10}));
+    // The NOLINTNEXTLINE(raw-intrinsics) on fixture line 11 must
+    // suppress line 12.
+    for (const auto &f : findings)
+        EXPECT_NE(f.line, 12u);
+}
+
+TEST(LintScopes, SimdPortabilityLayerIsExempt)
+{
+    // src/ml/simd* is the one sanctioned home for raw intrinsics.
+    for (const char *label :
+         {"src/ml/simd_kernels.cc", "src/ml/simd.hh",
+          "src/ml/simd.cc"}) {
+        const auto findings =
+            lintFile(fixture("bad_intrinsics.cc"), label);
+        EXPECT_TRUE(linesOf(findings, "raw-intrinsics").empty())
+            << label;
+    }
+}
+
+TEST(LintScopes, RawIntrinsicsEnforcedInTestsAndBench)
+{
+    // Unlike raw-thread, the intrinsics rule covers tests and bench
+    // too — vector code in suites must also go through the layer.
+    for (const char *label :
+         {"tests/ml/bad_intrinsics.cc", "bench/bad_intrinsics.cc",
+          "src/serving/bad_intrinsics.cc"}) {
+        const auto findings =
+            lintFile(fixture("bad_intrinsics.cc"), label);
+        EXPECT_FALSE(linesOf(findings, "raw-intrinsics").empty())
+            << label;
+    }
+    // tools/ stays outside the scope (the lint tool itself names the
+    // banned identifiers).
+    EXPECT_TRUE(linesOf(lintFile(fixture("bad_intrinsics.cc"),
+                                 "tools/bad_intrinsics.cc"),
+                        "raw-intrinsics")
+                    .empty());
 }
 
 TEST(LintScopes, ThreadPoolImplementationIsExempt)

@@ -20,6 +20,7 @@
 #include "common/threadpool.hh"
 #include "ml/lstm.hh"
 #include "ml/matrix.hh"
+#include "ml/simd.hh"
 
 namespace
 {
@@ -47,7 +48,13 @@ class FusedEquivalenceTest : public ::testing::Test
     {
         savedConfig = matrixParallelConfig();
         savedFused = lstmFusedKernels();
+        savedTier = adrias::ml::kernelTier();
         setMatrixParallelConfig({0, 0});
+        // This suite IS the bitwise scalar contract — it must hold
+        // even when the whole test run is launched under
+        // ADRIAS_KERNEL_TIER=vector (the vector tier's tolerance
+        // contract is ctest -L simd, not this file).
+        adrias::ml::setKernelTier(adrias::ml::KernelTier::Scalar);
     }
 
     void
@@ -55,10 +62,12 @@ class FusedEquivalenceTest : public ::testing::Test
     {
         setMatrixParallelConfig(savedConfig);
         setLstmFusedKernels(savedFused);
+        adrias::ml::setKernelTier(savedTier);
     }
 
     MatrixParallelConfig savedConfig;
     bool savedFused = true;
+    adrias::ml::KernelTier savedTier = adrias::ml::KernelTier::Scalar;
 };
 
 Matrix

@@ -1,0 +1,14 @@
+// Deliberately violating fixture for the raw-intrinsics rule.
+
+#include <immintrin.h>
+
+void
+leakyKernel(const double *x, double *out)
+{
+    __m256d v = _mm256_loadu_pd(x);
+    v = _mm256_add_pd(v, v);
+    _mm256_storeu_pd(out, v);
+    // NOLINTNEXTLINE(raw-intrinsics)
+    const __m128d escaped = _mm_setzero_pd();
+    (void)escaped;
+}

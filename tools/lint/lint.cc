@@ -77,6 +77,15 @@ inRawThreadScope(const std::string &label)
     return startsWith(label, "src/");
 }
 
+bool
+inIntrinsicsScope(const std::string &label)
+{
+    if (startsWith(label, "src/ml/simd"))
+        return false; // the one sanctioned SIMD portability layer
+    return startsWith(label, "src/") || startsWith(label, "tests/") ||
+           startsWith(label, "bench/");
+}
+
 // --------------------------------------------------------------------------
 // Literal classification (float-equal)
 // --------------------------------------------------------------------------
@@ -588,6 +597,48 @@ checkRawThread(const std::string &label,
     }
 }
 
+void
+checkRawIntrinsics(const std::string &label,
+                   const Suppressions &nolint,
+                   const std::vector<std::string> &stripped,
+                   std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const std::string &line = stripped[i];
+        if (line.find("#include") != std::string::npos &&
+            line.find("intrin.h") != std::string::npos &&
+            !nolint.suppressed(i, "raw-intrinsics")) {
+            findings.push_back(
+                {label, i + 1, "raw-intrinsics",
+                 "intrinsics header: raw SIMD lives only under the "
+                 "src/ml/simd portability layer; call the batch "
+                 "kernels in ml/simd.hh instead"});
+            continue;
+        }
+        for (const auto &[id, col] : identifiersIn(line)) {
+            (void)col;
+            // _mm_/_mm256_/_mm512_ intrinsics and the __m128/__m256/
+            // __m512 vector types (but not __m-prefixed identifiers
+            // like __might_be_anything).
+            const bool intrinsic = id.rfind("_mm", 0) == 0;
+            const bool vecType =
+                id.rfind("__m", 0) == 0 && id.size() > 3 &&
+                std::isdigit(static_cast<unsigned char>(id[3]));
+            if ((intrinsic || vecType) &&
+                !nolint.suppressed(i, "raw-intrinsics")) {
+                findings.push_back(
+                    {label, i + 1, "raw-intrinsics",
+                     "'" + id +
+                         "': raw SIMD lives only under the src/ml/simd "
+                         "portability layer (scalar fallback + runtime "
+                         "dispatch); call the batch kernels in "
+                         "ml/simd.hh instead"});
+                break;
+            }
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -617,6 +668,9 @@ rules()
          "no std::thread/std::async in src outside "
          "common/threadpool.*; parallelism goes through the "
          "deterministic ThreadPool"},
+        {"raw-intrinsics",
+         "no immintrin.h/__m256/_mm256_* outside src/ml/simd* (src, "
+         "tests, bench); SIMD goes through the portability layer"},
     };
     return kRules;
 }
@@ -646,6 +700,8 @@ lintContent(const std::string &label, const std::string &content)
         checkRawOfstream(label, nolint, stripped, findings);
     if (inRawThreadScope(label))
         checkRawThread(label, nolint, stripped, findings);
+    if (inIntrinsicsScope(label))
+        checkRawIntrinsics(label, nolint, stripped, findings);
 
     std::stable_sort(findings.begin(), findings.end(),
                      [](const Finding &a, const Finding &b) {
